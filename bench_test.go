@@ -1,0 +1,366 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (DESIGN.md experiment index E1–E12), the design ablations
+// (A1–A5), and micro-benchmarks for the hot paths (term extraction,
+// Hellinger distance, 212-feature extraction, GBM scoring, target
+// identification, crawling).
+//
+// The table/figure benchmarks run the full experiment per iteration on a
+// shared reduced-scale corpus (scale 1/50); cmd/kpexperiments regenerates
+// the same artifacts at any scale. Shapes are scale-stable (see
+// EXPERIMENTS.md).
+package knowphish_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"knowphish/internal/crawl"
+	"knowphish/internal/dataset"
+	"knowphish/internal/experiments"
+	"knowphish/internal/features"
+	"knowphish/internal/ml"
+	"knowphish/internal/target"
+	"knowphish/internal/terms"
+	"knowphish/internal/webgen"
+	"knowphish/internal/webpage"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+	benchErr    error
+)
+
+func benchSetup(b *testing.B) *experiments.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRunner, benchErr = experiments.NewRunner(dataset.Config{
+			Seed:  71,
+			Scale: 50,
+			World: webgen.Config{Seed: 72, Brands: 100, RankedGenerics: 80, VocabularyWords: 140},
+		})
+	})
+	if benchErr != nil {
+		b.Fatalf("corpus: %v", benchErr)
+	}
+	return benchRunner
+}
+
+// ---------------------------------------------------------------------
+// Per-table / per-figure benchmarks (E1–E12).
+
+func BenchmarkTableV(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab := r.TableV(); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTableVI(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TableVI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVII(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TableVII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableVIII(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TableVIII(30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIX(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TableIX(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableX(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TableX(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPReduction(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.FPReduction(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks (A1–A5).
+
+func BenchmarkAblationSplit(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationSplit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDistance(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationDistance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationThreshold(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTrainSize(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationTrainSize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationUnseenBrands(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationUnseenBrands(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationClassifier(b *testing.B) {
+	r := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AblationClassifier(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks for the hot paths.
+
+func benchSnapshot(b *testing.B, phish bool) *webpage.Snapshot {
+	b.Helper()
+	r := benchSetup(b)
+	rng := rand.New(rand.NewSource(5))
+	var site *webgen.Site
+	if phish {
+		site = r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+	} else {
+		site = r.Corpus.World.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
+	}
+	snap, err := crawl.VisitSite(r.Corpus.World, site)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+func BenchmarkTermExtraction(b *testing.B) {
+	snap := benchSnapshot(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := terms.Extract(snap.Text); len(got) == 0 {
+			b.Fatal("no terms")
+		}
+	}
+}
+
+func BenchmarkHellinger(b *testing.B) {
+	snap := benchSnapshot(b, false)
+	a := webpage.Analyze(snap)
+	p := a.Dist(webpage.DistText)
+	q := a.Dist(webpage.DistTitle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = terms.Hellinger(p, q)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	snap := benchSnapshot(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = webpage.Analyze(snap)
+	}
+}
+
+func BenchmarkFeatureExtraction(b *testing.B) {
+	r := benchSetup(b)
+	snap := benchSnapshot(b, true)
+	e := features.Extractor{Rank: r.Corpus.World.Ranking()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := e.ExtractSnapshot(snap); len(v) != features.TotalCount {
+			b.Fatal("bad vector")
+		}
+	}
+}
+
+func BenchmarkGBMScore(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := benchSnapshot(b, true)
+	e := features.Extractor{Rank: r.Corpus.World.Ranking()}
+	v := e.ExtractSnapshot(snap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.ScoreVector(v)
+	}
+}
+
+func BenchmarkGBMTrain(b *testing.B) {
+	r := benchSetup(b)
+	x, y := r.TrainMatrix()
+	cfg := ml.GBMConfig{Trees: 30, MaxDepth: 3, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.TrainGBM(x, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTargetIdentification(b *testing.B) {
+	r := benchSetup(b)
+	id := target.New(r.Corpus.Engine)
+	snap := benchSnapshot(b, true)
+	a := webpage.Analyze(snap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = id.Identify(a)
+	}
+}
+
+func BenchmarkCrawlVisit(b *testing.B) {
+	r := benchSetup(b)
+	rng := rand.New(rand.NewSource(6))
+	site := r.Corpus.World.NewPhishSite(rng, webgen.PhishOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crawl.VisitSite(r.Corpus.World, site); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := webgen.New(webgen.Config{Seed: int64(i + 1), Brands: 50, RankedGenerics: 50, VocabularyWords: 80})
+		if len(w.Brands) != 50 {
+			b.Fatal("bad world")
+		}
+	}
+}
+
+func BenchmarkPhishGeneration(b *testing.B) {
+	r := benchSetup(b)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site := r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+		if !site.IsPhish {
+			b.Fatal("not phish")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Command kpexperiments regenerates the paper's tables and figures
+// (DESIGN.md experiment index E1–E12 plus ablations A1–A5).
+//
+// Usage:
+//
+//	kpexperiments                      # run everything at scale 1/10
+//	kpexperiments -run tableVI,fig4    # selected experiments
+//	kpexperiments -scale 1             # paper-scale corpora (slow)
+//	kpexperiments -out results/        # also write one file per artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"knowphish/internal/dataset"
+	"knowphish/internal/experiments"
+	"knowphish/internal/webgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kpexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runFilter = flag.String("run", "all", "comma list: tableV tableVI tableVII tableVIII tableIX tableX fig2 fig3 fig4 fig5 fig6 fpreduction ablation-split ablation-distance ablation-threshold ablation-trainsize ablation-unseen, or all")
+		scale     = flag.Int("scale", 10, "corpus scale divisor (1 = paper-scale, slow)")
+		seed      = flag.Int64("seed", 1, "seed")
+		outDir    = flag.String("out", "", "directory to also write artifacts into")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "building corpus (scale 1/%d, seed %d)...\n", *scale, *seed)
+	r, err := experiments.NewRunner(dataset.Config{
+		Seed:  *seed,
+		Scale: *scale,
+		World: webgen.Config{Seed: *seed + 1},
+	})
+	if err != nil {
+		return err
+	}
+
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(*runFilter, ",") {
+		wanted[strings.ToLower(strings.TrimSpace(name))] = true
+	}
+	all := wanted["all"]
+
+	var artifacts []experiments.Artifact
+	addT := func(id string, t *experiments.Table, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		artifacts = append(artifacts, experiments.Artifact{ID: id, Table: t})
+		return nil
+	}
+	addF := func(id string, f *experiments.Figure, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		artifacts = append(artifacts, experiments.Artifact{ID: id, Figure: f})
+		return nil
+	}
+	addFs := func(id string, fs []*experiments.Figure, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, f := range fs {
+			artifacts = append(artifacts, experiments.Artifact{ID: id, Figure: f})
+		}
+		return nil
+	}
+
+	if all && *runFilter == "all" {
+		arts, err := r.RunAll(os.Stderr)
+		if err != nil {
+			return err
+		}
+		artifacts = arts
+	} else {
+		if wanted["tablev"] {
+			if err := addT("E1/TableV", r.TableV(), nil); err != nil {
+				return err
+			}
+		}
+		if wanted["tablevi"] {
+			t, err := r.TableVI()
+			if err := addT("E2/TableVI", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["fig2"] {
+			fs, err := r.Fig2()
+			if err := addFs("E3/Fig2", fs, err); err != nil {
+				return err
+			}
+		}
+		if wanted["tablevii"] {
+			t, err := r.TableVII()
+			if err := addT("E4/TableVII", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["fig3"] {
+			f, err := r.Fig3()
+			if err := addF("E5/Fig3", f, err); err != nil {
+				return err
+			}
+		}
+		if wanted["fig4"] {
+			f, err := r.Fig4()
+			if err := addF("E6/Fig4", f, err); err != nil {
+				return err
+			}
+		}
+		if wanted["fig5"] {
+			fs, err := r.Fig5()
+			if err := addFs("E7/Fig5", fs, err); err != nil {
+				return err
+			}
+		}
+		if wanted["fig6"] {
+			f, err := r.Fig6()
+			if err := addF("E8/Fig6", f, err); err != nil {
+				return err
+			}
+		}
+		if wanted["tableviii"] {
+			t, err := r.TableVIII(100)
+			if err := addT("E9/TableVIII", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["tableix"] {
+			t, err := r.TableIX()
+			if err := addT("E10/TableIX", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["tablex"] {
+			t, err := r.TableX()
+			if err := addT("E11/TableX", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["fpreduction"] {
+			t, err := r.FPReduction()
+			if err := addT("E12/FPReduction", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["ablation-split"] {
+			t, err := r.AblationSplit()
+			if err := addT("A1/Split", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["ablation-distance"] {
+			t, err := r.AblationDistance()
+			if err := addT("A2/Distance", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["ablation-threshold"] {
+			t, err := r.AblationThreshold()
+			if err := addT("A3/Threshold", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["ablation-trainsize"] {
+			t, err := r.AblationTrainSize()
+			if err := addT("A4/TrainSize", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["ablation-unseen"] {
+			t, err := r.AblationUnseenBrands()
+			if err := addT("A5/UnseenBrands", t, err); err != nil {
+				return err
+			}
+		}
+		if wanted["ablation-classifier"] {
+			t, err := r.AblationClassifier()
+			if err := addT("A6/Classifier", t, err); err != nil {
+				return err
+			}
+		}
+	}
+
+	if len(artifacts) == 0 {
+		return fmt.Errorf("nothing selected by -run %q", *runFilter)
+	}
+	for _, a := range artifacts {
+		fmt.Println(a.Render())
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for _, a := range artifacts {
+			name := strings.NewReplacer("/", "_", ":", "", " ", "_").Replace(a.ID) + ".txt"
+			path := filepath.Join(*outDir, name)
+			if err := os.WriteFile(path, []byte(a.Render()), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d artifacts to %s\n", len(artifacts), *outDir)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Multilang demonstrates the language independence of the feature set
+// (Section VI-C, Table VI of the paper): a detector trained only on
+// English pages is evaluated against legitimate test sets in six
+// languages, with the same phishing test set.
+//
+//	go run ./examples/multilang
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knowphish"
+	"knowphish/internal/ml"
+	"knowphish/internal/webgen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("building six-language corpus (this generates ~15k pages)...")
+	corpus, err := knowphish.BuildCorpus(knowphish.CorpusConfig{Seed: 7, Scale: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train on English-only corpora: legTrain is English, phishTrain is
+	// multilingual-lure but structure-driven.
+	snaps := append(corpus.LegTrain.Snapshots(), corpus.PhishTrain.Snapshots()...)
+	labels := append(corpus.LegTrain.Labels(), corpus.PhishTrain.Labels()...)
+	detector, err := knowphish.Train(snaps, labels, knowphish.TrainConfig{Rank: corpus.World.Ranking()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d pages (legTrain is English-only)\n\n", len(snaps))
+
+	fmt.Printf("%-12s %-6s %-7s %-8s %-7s\n", "Language", "Pre.", "Recall", "FPR", "AUC")
+	for _, lang := range webgen.Languages {
+		camp, ok := corpus.LangTests[lang]
+		if !ok {
+			continue
+		}
+		var scores []float64
+		var truth []int
+		for _, ex := range corpus.PhishTest.Examples {
+			scores = append(scores, detector.Score(ex.Snapshot))
+			truth = append(truth, 1)
+		}
+		for _, ex := range camp.Examples {
+			scores = append(scores, detector.Score(ex.Snapshot))
+			truth = append(truth, 0)
+		}
+		conf := ml.Evaluate(scores, truth, detector.Threshold())
+		fmt.Printf("%-12s %-6.3f %-7.3f %-8.4f %-7.3f\n",
+			lang, conf.Precision(), conf.Recall(), conf.FPR(), ml.AUC(scores, truth))
+	}
+	fmt.Println("\nthe paper's Table VI shape: precision 0.95+, recall ~constant, FPR < 0.005 across all six languages")
+}

@@ -1,0 +1,129 @@
+package baselines
+
+import (
+	"testing"
+
+	"knowphish/internal/dataset"
+	"knowphish/internal/ml"
+	"knowphish/internal/webgen"
+)
+
+var sharedCorpus *dataset.Corpus
+
+func corpus(t *testing.T) *dataset.Corpus {
+	t.Helper()
+	if sharedCorpus == nil {
+		c, err := dataset.Build(dataset.Config{
+			Seed:  31,
+			Scale: 40,
+			World: webgen.Config{Seed: 32, Brands: 60, RankedGenerics: 60, VocabularyWords: 100},
+		})
+		if err != nil {
+			t.Fatalf("corpus: %v", err)
+		}
+		sharedCorpus = c
+	}
+	return sharedCorpus
+}
+
+func evaluate(t *testing.T, clf Classifier, c *dataset.Corpus, threshold float64) ml.Confusion {
+	t.Helper()
+	var scores []float64
+	var labels []int
+	for _, ex := range c.PhishTest.Examples {
+		scores = append(scores, clf.Score(ex.Snapshot))
+		labels = append(labels, 1)
+	}
+	for _, ex := range c.LangTests[webgen.English].Examples {
+		scores = append(scores, clf.Score(ex.Snapshot))
+		labels = append(labels, 0)
+	}
+	return ml.Evaluate(scores, labels, threshold)
+}
+
+func TestCantinaBetterThanChance(t *testing.T) {
+	c := corpus(t)
+	clf := NewCantina(c.Engine)
+	if clf.Name() == "" {
+		t.Error("empty name")
+	}
+	conf := evaluate(t, clf, c, 0.5)
+	// Cantina should catch most phish (their keyterms retrieve the brand,
+	// not the phisher's RDN) at a visible false-positive cost.
+	if rec := conf.Recall(); rec < 0.6 {
+		t.Errorf("Cantina recall = %.3f, want >= 0.6 (%s)", rec, conf)
+	}
+	if fpr := conf.FPR(); fpr > 0.5 {
+		t.Errorf("Cantina FPR = %.3f, want < 0.5", fpr)
+	}
+}
+
+func TestCantinaScoresDiscrete(t *testing.T) {
+	c := corpus(t)
+	clf := NewCantina(c.Engine)
+	for i := 0; i < 10; i++ {
+		s := clf.Score(c.PhishTest.Examples[i].Snapshot)
+		if s != 0 && s != 0.5 && s != 1 {
+			t.Fatalf("Cantina score = %v, want 0, 0.5 or 1", s)
+		}
+	}
+}
+
+func TestURLLexicalLearns(t *testing.T) {
+	c := corpus(t)
+	snaps := append(c.LegTrain.Snapshots(), c.PhishTrain.Snapshots()...)
+	labels := append(c.LegTrain.Labels(), c.PhishTrain.Labels()...)
+	clf, err := TrainURLLexical(snaps, labels, 1)
+	if err != nil {
+		t.Fatalf("TrainURLLexical: %v", err)
+	}
+	conf := evaluate(t, clf, c, 0.5)
+	if acc := conf.Accuracy(); acc < 0.8 {
+		t.Errorf("URL-lexical accuracy = %.3f, want >= 0.8 (%s)", acc, conf)
+	}
+}
+
+func TestBagOfWordsLearns(t *testing.T) {
+	c := corpus(t)
+	snaps := append(c.LegTrain.Snapshots(), c.PhishTrain.Snapshots()...)
+	labels := append(c.LegTrain.Labels(), c.PhishTrain.Labels()...)
+	clf, err := TrainBagOfWords(snaps, labels, 1)
+	if err != nil {
+		t.Fatalf("TrainBagOfWords: %v", err)
+	}
+	conf := evaluate(t, clf, c, 0.5)
+	if acc := conf.Accuracy(); acc < 0.8 {
+		t.Errorf("BoW accuracy = %.3f, want >= 0.8 (%s)", acc, conf)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := TrainURLLexical(nil, nil, 1); err == nil {
+		t.Error("URL-lexical empty training: want error")
+	}
+	if _, err := TrainBagOfWords(nil, nil, 1); err == nil {
+		t.Error("BoW empty training: want error")
+	}
+}
+
+func TestScoresInRange(t *testing.T) {
+	c := corpus(t)
+	snaps := append(c.LegTrain.Snapshots(), c.PhishTrain.Snapshots()...)
+	labels := append(c.LegTrain.Labels(), c.PhishTrain.Labels()...)
+	url, err := TrainURLLexical(snaps, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bow, err := TrainBagOfWords(snaps, labels, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, clf := range []Classifier{NewCantina(c.Engine), url, bow} {
+		for i := 0; i < 5; i++ {
+			s := clf.Score(c.PhishTest.Examples[i].Snapshot)
+			if s < 0 || s > 1 {
+				t.Errorf("%s score = %v", clf.Name(), s)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package crawl
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"knowphish/internal/urlx"
+	"knowphish/internal/webgen"
+	"knowphish/internal/webpage"
+)
+
+func testWorld(t *testing.T) *webgen.World {
+	t.Helper()
+	return webgen.New(webgen.Config{Seed: 1, Brands: 40, RankedGenerics: 60, VocabularyWords: 100})
+}
+
+func TestVisitBrandPage(t *testing.T) {
+	w := testWorld(t)
+	b := w.Brands[0]
+	start := "http://www." + b.RDN() + "/" // redirects to https front page
+	snap, err := Visit(w, start)
+	if err != nil {
+		t.Fatalf("Visit: %v", err)
+	}
+	if snap.StartingURL != start {
+		t.Errorf("StartingURL = %s", snap.StartingURL)
+	}
+	if snap.LandingURL != "https://www."+b.RDN()+"/" {
+		t.Errorf("LandingURL = %s", snap.LandingURL)
+	}
+	if len(snap.RedirectionChain) != 2 {
+		t.Errorf("chain = %v", snap.RedirectionChain)
+	}
+	if snap.Title == "" || snap.Text == "" {
+		t.Error("empty title or text")
+	}
+	if len(snap.HREFLinks) == 0 || len(snap.LoggedLinks) == 0 {
+		t.Error("links not extracted")
+	}
+	if len(snap.ScreenshotTerms) == 0 {
+		t.Error("screenshot layer empty")
+	}
+	// All links must be absolute.
+	for _, l := range append(append([]string{}, snap.HREFLinks...), snap.LoggedLinks...) {
+		if !strings.Contains(l, "://") {
+			t.Errorf("relative link leaked: %s", l)
+		}
+	}
+}
+
+func TestVisitErrors(t *testing.T) {
+	w := testWorld(t)
+	if _, err := Visit(w, ""); !errors.Is(err, ErrEmptyStartURL) {
+		t.Errorf("empty URL error = %v", err)
+	}
+	if _, err := Visit(w, "http://nowhere.example/"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing page error = %v", err)
+	}
+	// Redirect loop.
+	loop := &webgen.Site{
+		StartURL: "http://a.example/",
+		Pages: map[string]*webgen.Page{
+			"http://a.example/": {URL: "http://a.example/", RedirectTo: "http://b.example/"},
+			"http://b.example/": {URL: "http://b.example/", RedirectTo: "http://a.example/"},
+		},
+	}
+	if _, err := Visit(loop, "http://a.example/"); !errors.Is(err, ErrRedirectLoop) {
+		t.Errorf("loop error = %v", err)
+	}
+}
+
+func TestVisitSitePhish(t *testing.T) {
+	w := testWorld(t)
+	rng := rand.New(rand.NewSource(2))
+	site := w.NewPhishSite(rng, webgen.PhishOptions{UseShortener: true})
+	snap, err := VisitSite(w, site)
+	if err != nil {
+		t.Fatalf("VisitSite: %v", err)
+	}
+	if snap.StartingURL != site.StartURL {
+		t.Errorf("StartingURL = %s, want %s", snap.StartingURL, site.StartURL)
+	}
+	if len(snap.RedirectionChain) < 2 {
+		t.Errorf("shortened phish chain = %v, want >= 2 hops", snap.RedirectionChain)
+	}
+	start := urlx.MustParse(snap.StartingURL)
+	land := urlx.MustParse(snap.LandingURL)
+	if start.RDN == land.RDN {
+		t.Errorf("shortener start and landing share RDN %s", start.RDN)
+	}
+	if snap.InputCount < 2 {
+		t.Errorf("phish InputCount = %d, want >= 2", snap.InputCount)
+	}
+	if snap.Language == "" {
+		t.Error("language tag missing")
+	}
+}
+
+func TestVisitSiteLegitAcrossLanguages(t *testing.T) {
+	w := testWorld(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, lang := range webgen.Languages {
+		site := w.NewLegitSite(rng, webgen.LegitOptions{Lang: lang})
+		snap, err := VisitSite(w, site)
+		if err != nil {
+			t.Fatalf("VisitSite(%s): %v", lang, err)
+		}
+		if snap.Language != string(lang) {
+			t.Errorf("language = %s, want %s", snap.Language, lang)
+		}
+	}
+}
+
+func TestVisitIFrameFolding(t *testing.T) {
+	// An iframe whose src resolves in the fetcher must contribute its
+	// text and links to the outer snapshot.
+	inner := `<html><body>inner secret words <a href="http://deep.example/x">link</a><input type="text"></body></html>`
+	outer := `<html><head><title>Outer</title></head><body>outer words
+	<iframe src="http://frames.example/inner"></iframe></body></html>`
+	site := &webgen.Site{
+		StartURL: "http://outer.example/",
+		Pages: map[string]*webgen.Page{
+			"http://outer.example/":       {URL: "http://outer.example/", HTML: outer},
+			"http://frames.example/inner": {URL: "http://frames.example/inner", HTML: inner},
+		},
+	}
+	snap, err := Visit(site, "http://outer.example/")
+	if err != nil {
+		t.Fatalf("Visit: %v", err)
+	}
+	if !strings.Contains(snap.Text, "inner secret words") {
+		t.Errorf("iframe text not folded: %q", snap.Text)
+	}
+	found := false
+	for _, l := range snap.HREFLinks {
+		if l == "http://deep.example/x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("iframe links not folded: %v", snap.HREFLinks)
+	}
+	if snap.InputCount != 1 {
+		t.Errorf("iframe inputs not folded: %d", snap.InputCount)
+	}
+	if snap.IFrameCount != 1 {
+		t.Errorf("IFrameCount = %d", snap.IFrameCount)
+	}
+}
+
+func TestComposePrecedence(t *testing.T) {
+	a := &webgen.Site{Pages: map[string]*webgen.Page{
+		"http://x.example/": {URL: "http://x.example/", HTML: "<body>from a</body>"},
+	}}
+	b := &webgen.Site{Pages: map[string]*webgen.Page{
+		"http://x.example/": {URL: "http://x.example/", HTML: "<body>from b</body>"},
+		"http://y.example/": {URL: "http://y.example/", HTML: "<body>only b</body>"},
+	}}
+	f := Compose(a, b)
+	p, ok := f.Fetch("http://x.example/")
+	if !ok || !strings.Contains(p.HTML, "from a") {
+		t.Error("earlier fetcher must win")
+	}
+	if _, ok := f.Fetch("http://y.example/"); !ok {
+		t.Error("later fetcher must fill gaps")
+	}
+	if _, ok := f.Fetch("http://z.example/"); ok {
+		t.Error("unknown URL must miss")
+	}
+	// Nil fetchers are tolerated.
+	f = Compose(nil, a)
+	if _, ok := f.Fetch("http://x.example/"); !ok {
+		t.Error("nil fetcher broke composition")
+	}
+}
+
+func TestSnapshotFeedsAnalysis(t *testing.T) {
+	// End-to-end: generated phish → crawl → webpage.Analyze, checking the
+	// structural signal the features rely on (external links concentrated
+	// on the target).
+	w := testWorld(t)
+	rng := rand.New(rand.NewSource(4))
+	target := w.Brands[1]
+	site := w.NewPhishSite(rng, webgen.PhishOptions{Target: target, Hosting: webgen.HostDedicated})
+	snap, err := VisitSite(w, site)
+	if err != nil {
+		t.Fatalf("VisitSite: %v", err)
+	}
+	a := webpage.Analyze(snap)
+	foundTarget := false
+	for _, p := range append(append([]urlx.Parts{}, a.ExtLink...), a.ExtLog...) {
+		if p.RDN == target.RDN() {
+			foundTarget = true
+		}
+	}
+	if !foundTarget {
+		t.Error("phish snapshot has no external reference to its target")
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"knowphish/internal/core"
+	"knowphish/internal/ml"
+	"knowphish/internal/webgen"
+)
+
+// TableVI reproduces the per-language accuracy evaluation (Table VI):
+// scenario 2 — train on legTrain+phishTrain, predict on phishTest plus
+// each language's legitimate set, threshold 0.7.
+func (r *Runner) TableVI() (*Table, error) {
+	d, err := r.Detector(0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table VI: Detailed accuracy evaluation for six languages",
+		Header: []string{"Language", "Pre.", "Recall", "F1-score", "FP Rate", "AUC"},
+	}
+	for _, lang := range webgen.Languages {
+		if _, ok := r.Corpus.LangTests[lang]; !ok {
+			continue
+		}
+		scores, labels := r.scenario2Scores(d, lang)
+		conf, auc := evalRow(scores, labels, core.DefaultThreshold)
+		t.AddRow(languageName(lang),
+			fmtF(conf.Precision(), 3), fmtF(conf.Recall(), 3), fmtF(conf.F1(), 3),
+			fmt.Sprintf("%.4f", conf.FPR()), fmtF(auc, 3))
+	}
+	return t, nil
+}
+
+// Fig3 reproduces the precision–recall curves for six languages (Fig. 3),
+// obtained by sweeping the discrimination threshold.
+func (r *Runner) Fig3() (*Figure, error) {
+	d, err := r.Detector(0)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{Title: "Fig 3: Precision vs recall evaluation", XLabel: "Precision", YLabel: "Recall"}
+	for _, lang := range webgen.Languages {
+		if _, ok := r.Corpus.LangTests[lang]; !ok {
+			continue
+		}
+		scores, labels := r.scenario2Scores(d, lang)
+		curve := ml.PRCurve(scores, labels)
+		x := make([]float64, len(curve))
+		y := make([]float64, len(curve))
+		for i, p := range curve {
+			x[i] = p.Precision
+			y[i] = p.Recall
+		}
+		f.AddSeries(languageName(lang), x, y)
+	}
+	return f, nil
+}
+
+// Fig4 reproduces the per-language ROC curves (Fig. 4).
+func (r *Runner) Fig4() (*Figure, error) {
+	d, err := r.Detector(0)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{Title: "Fig 4: ROC evaluation results for six languages", XLabel: "False Positive Rate", YLabel: "True Positive Rate"}
+	for _, lang := range webgen.Languages {
+		if _, ok := r.Corpus.LangTests[lang]; !ok {
+			continue
+		}
+		scores, labels := r.scenario2Scores(d, lang)
+		curve := ml.ROC(scores, labels)
+		x := make([]float64, len(curve))
+		y := make([]float64, len(curve))
+		for i, p := range curve {
+			x[i] = p.FPR
+			y[i] = p.TPR
+		}
+		f.AddSeries(languageName(lang), x, y)
+	}
+	return f, nil
+}

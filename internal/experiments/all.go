@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Artifact is one regenerated paper artifact: a table or figure with its
+// experiment id from DESIGN.md.
+type Artifact struct {
+	ID     string
+	Table  *Table
+	Figure *Figure
+}
+
+// Render writes the artifact's content.
+func (a Artifact) Render() string {
+	if a.Table != nil {
+		return a.Table.Render()
+	}
+	if a.Figure != nil {
+		return a.Figure.Render()
+	}
+	return ""
+}
+
+// RunAll executes every experiment (E1–E12 plus the ablations) and
+// returns the artifacts in paper order. Progress lines go to w when it is
+// non-nil.
+func (r *Runner) RunAll(w io.Writer) ([]Artifact, error) {
+	logf := func(format string, args ...interface{}) {
+		if w != nil {
+			fmt.Fprintf(w, format+"\n", args...)
+		}
+	}
+	var out []Artifact
+	add := func(id string, t *Table, f *Figure, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, Artifact{ID: id, Table: t, Figure: f})
+		logf("done: %s", id)
+		return nil
+	}
+
+	logf("E1 Table V")
+	if err := add("E1/TableV", r.TableV(), nil, nil); err != nil {
+		return out, err
+	}
+	logf("E2 Table VI")
+	t6, err := r.TableVI()
+	if err := add("E2/TableVI", t6, nil, err); err != nil {
+		return out, err
+	}
+	logf("E3 Fig 2")
+	f2s, err := r.Fig2()
+	if err != nil {
+		return out, fmt.Errorf("E3/Fig2: %w", err)
+	}
+	for _, f := range f2s {
+		out = append(out, Artifact{ID: "E3/" + f.Title, Figure: f})
+	}
+	logf("E4 Table VII")
+	t7, err := r.TableVII()
+	if err := add("E4/TableVII", t7, nil, err); err != nil {
+		return out, err
+	}
+	logf("E5 Fig 3")
+	f3, err := r.Fig3()
+	if err := add("E5/Fig3", nil, f3, err); err != nil {
+		return out, err
+	}
+	logf("E6 Fig 4")
+	f4, err := r.Fig4()
+	if err := add("E6/Fig4", nil, f4, err); err != nil {
+		return out, err
+	}
+	logf("E7 Fig 5")
+	f5s, err := r.Fig5()
+	if err != nil {
+		return out, fmt.Errorf("E7/Fig5: %w", err)
+	}
+	for _, f := range f5s {
+		out = append(out, Artifact{ID: "E7/" + f.Title, Figure: f})
+	}
+	logf("E8 Fig 6")
+	f6, err := r.Fig6()
+	if err := add("E8/Fig6", nil, f6, err); err != nil {
+		return out, err
+	}
+	logf("E9 Table VIII")
+	t8, err := r.TableVIII(100)
+	if err := add("E9/TableVIII", t8, nil, err); err != nil {
+		return out, err
+	}
+	logf("E10 Table IX")
+	t9, err := r.TableIX()
+	if err := add("E10/TableIX", t9, nil, err); err != nil {
+		return out, err
+	}
+	logf("E11 Table X")
+	t10, err := r.TableX()
+	if err := add("E11/TableX", t10, nil, err); err != nil {
+		return out, err
+	}
+	logf("E12 FP reduction")
+	fp, err := r.FPReduction()
+	if err := add("E12/FPReduction", fp, nil, err); err != nil {
+		return out, err
+	}
+	logf("A1 split ablation")
+	a1, err := r.AblationSplit()
+	if err := add("A1/Split", a1, nil, err); err != nil {
+		return out, err
+	}
+	logf("A2 distance ablation")
+	a2, err := r.AblationDistance()
+	if err := add("A2/Distance", a2, nil, err); err != nil {
+		return out, err
+	}
+	logf("A3 threshold ablation")
+	a3, err := r.AblationThreshold()
+	if err := add("A3/Threshold", a3, nil, err); err != nil {
+		return out, err
+	}
+	logf("A4 train-size ablation")
+	a4, err := r.AblationTrainSize()
+	if err := add("A4/TrainSize", a4, nil, err); err != nil {
+		return out, err
+	}
+	logf("A5 unseen-brands ablation")
+	a5, err := r.AblationUnseenBrands()
+	if err := add("A5/UnseenBrands", a5, nil, err); err != nil {
+		return out, err
+	}
+	logf("A6 classifier ablation")
+	a6, err := r.AblationClassifier()
+	if err := add("A6/Classifier", a6, nil, err); err != nil {
+		return out, err
+	}
+	return out, nil
+}

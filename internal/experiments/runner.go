@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"knowphish/internal/core"
+	"knowphish/internal/dataset"
+	"knowphish/internal/features"
+	"knowphish/internal/ml"
+	"knowphish/internal/webgen"
+	"knowphish/internal/webpage"
+)
+
+// Runner holds a corpus plus caches (feature matrices, trained models)
+// shared across experiments. Experiments are read-only once their caches
+// are built; a Runner may be reused across all experiments of a session.
+type Runner struct {
+	Corpus *dataset.Corpus
+	// Ext extracts full 212-feature vectors with the world's ranking.
+	Ext features.Extractor
+	// Seed drives all model training in the experiments.
+	Seed int64
+
+	mu         sync.Mutex
+	trainX     [][]float64
+	trainY     []int
+	phishTestX [][]float64
+	langX      map[webgen.Language][][]float64
+	detectors  map[features.Set]*core.Detector
+	setEvals   []setEval
+}
+
+// NewRunner builds the corpus and prepares the runner.
+func NewRunner(cfg dataset.Config) (*Runner, error) {
+	c, err := dataset.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building corpus: %w", err)
+	}
+	return &Runner{
+		Corpus:    c,
+		Ext:       features.Extractor{Rank: c.World.Ranking()},
+		Seed:      cfg.Seed + 100,
+		langX:     make(map[webgen.Language][][]float64),
+		detectors: make(map[features.Set]*core.Detector),
+	}, nil
+}
+
+// extract maps snapshots to full feature vectors, in parallel
+// (extraction is deterministic and per-snapshot independent).
+func (r *Runner) extract(examples []*dataset.Example) [][]float64 {
+	snaps := make([]*webpage.Snapshot, len(examples))
+	for i, ex := range examples {
+		snaps[i] = ex.Snapshot
+	}
+	return r.Ext.ExtractBatch(snaps, 0)
+}
+
+// TrainMatrix returns the scenario training matrix: legTrain + phishTrain
+// (the paper's 5,567 oldest instances), with labels.
+func (r *Runner) TrainMatrix() ([][]float64, []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.trainX == nil {
+		leg := r.extract(r.Corpus.LegTrain.Examples)
+		phish := r.extract(r.Corpus.PhishTrain.Examples)
+		r.trainX = append(leg, phish...)
+		r.trainY = append(r.Corpus.LegTrain.Labels(), r.Corpus.PhishTrain.Labels()...)
+	}
+	return r.trainX, r.trainY
+}
+
+// PhishTestMatrix returns the phishTest features.
+func (r *Runner) PhishTestMatrix() [][]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.phishTestX == nil {
+		r.phishTestX = r.extract(r.Corpus.PhishTest.Examples)
+	}
+	return r.phishTestX
+}
+
+// LangMatrix returns the features of one language's legitimate test set.
+func (r *Runner) LangMatrix(lang webgen.Language) [][]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if x, ok := r.langX[lang]; ok {
+		return x
+	}
+	camp, ok := r.Corpus.LangTests[lang]
+	if !ok {
+		return nil
+	}
+	x := r.extract(camp.Examples)
+	r.langX[lang] = x
+	return x
+}
+
+// Detector returns the scenario-2 detector trained on the given feature
+// set (cached per set). Set 0 means features.All.
+func (r *Runner) Detector(set features.Set) (*core.Detector, error) {
+	if set == 0 {
+		set = features.All
+	}
+	x, y := r.TrainMatrix()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d, ok := r.detectors[set]; ok {
+		return d, nil
+	}
+	gbm := core.DefaultGBMConfig()
+	gbm.Seed = r.Seed
+	d, err := core.TrainOnVectors(x, y, core.TrainConfig{
+		GBM:        gbm,
+		FeatureSet: set,
+		Rank:       r.Corpus.World.Ranking(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %s detector: %w", set, err)
+	}
+	r.detectors[set] = d
+	return d, nil
+}
+
+// scenario2Scores scores phishTest (label 1) plus one language set
+// (label 0) with a detector, returning pooled scores and labels.
+func (r *Runner) scenario2Scores(d *core.Detector, lang webgen.Language) ([]float64, []int) {
+	var scores []float64
+	var labels []int
+	for _, v := range r.PhishTestMatrix() {
+		scores = append(scores, d.ScoreVector(v))
+		labels = append(labels, 1)
+	}
+	for _, v := range r.LangMatrix(lang) {
+		scores = append(scores, d.ScoreVector(v))
+		labels = append(labels, 0)
+	}
+	return scores, labels
+}
+
+// evalRow formats the standard metric columns the paper's tables use.
+func evalRow(scores []float64, labels []int, threshold float64) (ml.Confusion, float64) {
+	return ml.Evaluate(scores, labels, threshold), ml.AUC(scores, labels)
+}
+
+// languageName maps languages to the capitalized set names of Table V.
+func languageName(l webgen.Language) string {
+	switch l {
+	case webgen.English:
+		return "English"
+	case webgen.French:
+		return "French"
+	case webgen.German:
+		return "German"
+	case webgen.Italian:
+		return "Italian"
+	case webgen.Portuguese:
+		return "Portuguese"
+	case webgen.Spanish:
+		return "Spanish"
+	default:
+		return string(l)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"knowphish/internal/core"
+	"knowphish/internal/ml"
+	"knowphish/internal/webgen"
+)
+
+// Fig6 reproduces the scalability evaluation (Fig. 6): the model is
+// trained once on the (small) training corpora, then the test set grows
+// in ten increments of 10,000 legitimate + 100 phishing pages (divided by
+// the corpus scale), sampling without replacement from English and
+// phishTest. Precision, recall and FPR are reported at every size.
+func (r *Runner) Fig6() (*Figure, error) {
+	d, err := r.Detector(0)
+	if err != nil {
+		return nil, err
+	}
+	legX := r.LangMatrix(webgen.English)
+	phishX := r.PhishTestMatrix()
+	if len(legX) == 0 || len(phishX) == 0 {
+		return nil, fmt.Errorf("experiments: Fig6: empty test matrices")
+	}
+
+	// Pre-score everything once; increments then only re-aggregate.
+	legScores := make([]float64, len(legX))
+	for i, v := range legX {
+		legScores[i] = d.ScoreVector(v)
+	}
+	phishScores := make([]float64, len(phishX))
+	for i, v := range phishX {
+		phishScores[i] = d.ScoreVector(v)
+	}
+	rng := rand.New(rand.NewSource(r.Seed + 6))
+	rng.Shuffle(len(legScores), func(i, j int) { legScores[i], legScores[j] = legScores[j], legScores[i] })
+	rng.Shuffle(len(phishScores), func(i, j int) { phishScores[i], phishScores[j] = phishScores[j], phishScores[i] })
+
+	const steps = 10
+	legStep := len(legScores) / steps
+	phishStep := len(phishScores) / steps
+	if legStep == 0 || phishStep == 0 {
+		return nil, fmt.Errorf("experiments: Fig6: corpus too small for %d steps", steps)
+	}
+
+	var sizes, precision, recall, fpr []float64
+	for s := 1; s <= steps; s++ {
+		var scores []float64
+		var labels []int
+		for i := 0; i < s*legStep; i++ {
+			scores = append(scores, legScores[i])
+			labels = append(labels, 0)
+		}
+		for i := 0; i < s*phishStep; i++ {
+			scores = append(scores, phishScores[i])
+			labels = append(labels, 1)
+		}
+		conf := ml.Evaluate(scores, labels, core.DefaultThreshold)
+		sizes = append(sizes, float64(len(scores)))
+		precision = append(precision, conf.Precision())
+		recall = append(recall, conf.Recall())
+		fpr = append(fpr, conf.FPR())
+	}
+
+	f := &Figure{
+		Title:  "Fig 6: Performance vs the scale of data",
+		XLabel: "Sample size", YLabel: "Precision/Recall (left), FP Rate (right)",
+	}
+	f.AddSeries("Precision", sizes, precision)
+	f.AddSeries("Recall", sizes, recall)
+	f.AddSeries("FP Rate", sizes, fpr)
+	_, trainY := r.TrainMatrix()
+	f.Notes = append(f.Notes, fmt.Sprintf(
+		"model trained once on %d instances; test grows to %d instances (scale 1/%d of the paper's 101,000)",
+		len(trainY), int(sizes[len(sizes)-1]), r.Corpus.Scale()))
+	return f, nil
+}

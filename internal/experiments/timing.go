@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"knowphish/internal/crawl"
+	"knowphish/internal/webgen"
+	"knowphish/internal/webpage"
+)
+
+// stageTimes collects per-operation durations.
+type stageTimes struct {
+	name    string
+	samples []time.Duration
+}
+
+func (s *stageTimes) add(d time.Duration) { s.samples = append(s.samples, d) }
+
+func (s *stageTimes) stats() (median, avg, std time.Duration) {
+	if len(s.samples) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), s.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median = sorted[len(sorted)/2]
+	var sum float64
+	for _, d := range sorted {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(sorted))
+	var sq float64
+	for _, d := range sorted {
+		diff := float64(d) - mean
+		sq += diff * diff
+	}
+	return median, time.Duration(mean), time.Duration(math.Sqrt(sq / float64(len(sorted))))
+}
+
+// TableVIII reproduces the processing-time breakdown (Table VIII):
+// webpage scraping, loading data, feature extraction and classification,
+// measured over freshly generated pages. The paper's scraping column is
+// dominated by network time (median 12.8 s), which a simulator does not
+// have; the relationship the table demonstrates — classification adds
+// under a second on top of scraping — is preserved and noted.
+func (r *Runner) TableVIII(pages int) (*Table, error) {
+	if pages <= 0 {
+		pages = 100
+	}
+	d, err := r.Detector(0)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(r.Seed + 8))
+	scrape := &stageTimes{name: "Webpage scraping (simulated web)"}
+	load := &stageTimes{name: "Loading data"}
+	extract := &stageTimes{name: "Features extraction"}
+	classify := &stageTimes{name: "Classification"}
+	total := &stageTimes{name: "Total (no scraping)"}
+
+	for i := 0; i < pages; i++ {
+		var site *webgen.Site
+		if i%2 == 0 {
+			site = r.Corpus.World.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
+		} else {
+			site = r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+		}
+
+		t0 := time.Now()
+		snap, err := crawl.VisitSite(r.Corpus.World, site)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: TableVIII scrape: %w", err)
+		}
+		scrape.add(time.Since(t0))
+
+		// Loading data: snapshot JSON roundtrip, the paper's "load the
+		// scraped json" step.
+		blob, err := json.Marshal(snap)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: TableVIII marshal: %w", err)
+		}
+		t1 := time.Now()
+		var loaded webpage.Snapshot
+		if err := json.NewDecoder(bytes.NewReader(blob)).Decode(&loaded); err != nil {
+			return nil, fmt.Errorf("experiments: TableVIII load: %w", err)
+		}
+		loadDur := time.Since(t1)
+		load.add(loadDur)
+
+		t2 := time.Now()
+		v := r.Ext.ExtractSnapshot(&loaded)
+		extractDur := time.Since(t2)
+		extract.add(extractDur)
+
+		t3 := time.Now()
+		_ = d.ScoreVector(v)
+		classifyDur := time.Since(t3)
+		classify.add(classifyDur)
+
+		total.add(loadDur + extractDur + classifyDur)
+	}
+
+	t := &Table{
+		Title:  "Table VIII: Processing time (microseconds)",
+		Header: []string{"Operation", "Median", "Average", "StDev"},
+	}
+	for _, s := range []*stageTimes{scrape, load, extract, classify, total} {
+		med, avg, std := s.stats()
+		t.AddRow(s.name,
+			fmt.Sprintf("%d", med.Microseconds()),
+			fmt.Sprintf("%d", avg.Microseconds()),
+			fmt.Sprintf("%d", std.Microseconds()))
+	}
+	t.Notes = append(t.Notes,
+		"paper reports milliseconds on live web (scrape median 12787 ms dominated by network; classification < 1 ms)",
+		"shape preserved: classification is orders of magnitude cheaper than page acquisition+extraction",
+		fmt.Sprintf("measured over %d pages", pages))
+	return t, nil
+}

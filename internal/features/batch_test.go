@@ -1,0 +1,45 @@
+package features
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"knowphish/internal/crawl"
+	"knowphish/internal/webgen"
+	"knowphish/internal/webpage"
+)
+
+func TestExtractBatchMatchesSequential(t *testing.T) {
+	w := webgen.New(webgen.Config{Seed: 9, Brands: 30, RankedGenerics: 40, VocabularyWords: 80})
+	e := &Extractor{Rank: w.Ranking()}
+	rng := rand.New(rand.NewSource(1))
+	var snaps []*webpage.Snapshot
+	for i := 0; i < 40; i++ {
+		var site *webgen.Site
+		if i%2 == 0 {
+			site = w.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
+		} else {
+			site = w.NewPhishSite(rng, w.RandomPhishOptions(rng))
+		}
+		snap, err := crawl.VisitSite(w, site)
+		if err != nil {
+			t.Fatalf("visit: %v", err)
+		}
+		snaps = append(snaps, snap)
+	}
+	sequential := e.ExtractBatch(snaps, 1)
+	for _, workers := range []int{0, 2, 4, 16, 100} {
+		parallel := e.ExtractBatch(snaps, workers)
+		if !reflect.DeepEqual(sequential, parallel) {
+			t.Fatalf("workers=%d: parallel extraction differs from sequential", workers)
+		}
+	}
+}
+
+func TestExtractBatchEmpty(t *testing.T) {
+	e := &Extractor{}
+	if got := e.ExtractBatch(nil, 4); got != nil {
+		t.Errorf("empty batch: got %v", got)
+	}
+}

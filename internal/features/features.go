@@ -1,0 +1,353 @@
+// Package features implements the paper's 212-feature set (Section IV-B,
+// Table III):
+//
+//	f1 (106) — URL statistics split by control and constraint
+//	f2  (66) — pairwise Hellinger distances between term distributions
+//	f3  (22) — usage of the starting and landing mld across sources
+//	f4  (13) — RDN-usage consistency
+//	f5   (5) — webpage content counts
+//
+// The extractor consumes a webpage.Analysis and a popularity ranking; it
+// uses no learned vocabulary, no language resources and no online service,
+// which is what makes the feature set adaptable, usable and
+// language-independent (Section IV-A).
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"knowphish/internal/ranking"
+	"knowphish/internal/terms"
+	"knowphish/internal/urlx"
+	"knowphish/internal/webpage"
+)
+
+// Feature-set sizes from Table III. TotalCount must equal 212.
+const (
+	CountF1    = 106
+	CountF2    = 66
+	CountF3    = 22
+	CountF4    = 13
+	CountF5    = 5
+	TotalCount = CountF1 + CountF2 + CountF3 + CountF4 + CountF5
+)
+
+// Set is a bitmask of feature groups, used to evaluate the per-set
+// experiments of Table VII / Fig. 2 / Fig. 5.
+type Set uint8
+
+// Feature groups and the combinations the paper evaluates.
+const (
+	F1 Set = 1 << iota
+	F2
+	F3
+	F4
+	F5
+
+	F15  = F1 | F5
+	F234 = F2 | F3 | F4
+	All  = F1 | F2 | F3 | F4 | F5
+)
+
+// String names the set the way the paper does (f1, f2,3,4, fall, ...).
+func (s Set) String() string {
+	if s == All {
+		return "fall"
+	}
+	var parts []string
+	for i, g := range []Set{F1, F2, F3, F4, F5} {
+		if s&g != 0 {
+			parts = append(parts, fmt.Sprintf("%d", i+1))
+		}
+	}
+	if len(parts) == 0 {
+		return "f none"
+	}
+	return "f" + strings.Join(parts, ",")
+}
+
+// Extractor computes feature vectors. The zero value works but treats all
+// domains as unranked; set Rank to the world's popularity list for
+// feature 9.
+type Extractor struct {
+	// Rank is the local popularity list (the paper's offline Alexa
+	// copy). Nil means every domain is unranked.
+	Rank *ranking.List
+}
+
+// Extract computes the full 212-feature vector for an analyzed page.
+// The layout is [f1 | f2 | f3 | f4 | f5]; Names gives per-column names and
+// Indices gives per-set column spans.
+func (e *Extractor) Extract(a *webpage.Analysis) []float64 {
+	out := make([]float64, 0, TotalCount)
+	out = e.appendF1(out, a)
+	out = appendF2(out, a)
+	out = appendF3(out, a)
+	out = appendF4(out, a)
+	out = appendF5(out, a)
+	return out
+}
+
+// ExtractSnapshot analyzes the snapshot and extracts its features.
+func (e *Extractor) ExtractSnapshot(s *webpage.Snapshot) []float64 {
+	return e.Extract(webpage.Analyze(s))
+}
+
+// urlStats computes the nine per-URL features of Table IV.
+// Order: [1 protocol, 2 dotsInFreeURL, 3 levelDomains, 4 lenURL,
+// 5 lenFQDN, 6 lenMLD, 7 termsInURL, 8 termsInMLD, 9 rank].
+func (e *Extractor) urlStats(p urlx.Parts) [9]float64 {
+	var f [9]float64
+	if p.IsHTTPS() {
+		f[0] = 1
+	}
+	f[1] = float64(strings.Count(p.FreeURL(), "."))
+	f[2] = float64(p.LevelDomains())
+	f[3] = float64(len(p.Raw))
+	f[4] = float64(len(p.FQDN))
+	f[5] = float64(len(p.MLD))
+	f[6] = float64(len(terms.Extract(p.Raw)))
+	f[7] = float64(len(terms.Extract(p.MLD)))
+	f[8] = float64(e.Rank.Rank(p.RDN))
+	if p.RDN == "" {
+		f[8] = ranking.UnrankedValue
+	}
+	return f
+}
+
+// appendF1 emits the 106 URL features: 9 for the starting URL, 9 for the
+// landing URL, and for each of the four link groups (internal/external ×
+// logged/HREF) the mean/median/stdev of features 3–9 plus the https ratio.
+func (e *Extractor) appendF1(out []float64, a *webpage.Analysis) []float64 {
+	start := e.urlStats(a.Start)
+	land := e.urlStats(a.Land)
+	out = append(out, start[:]...)
+	out = append(out, land[:]...)
+	for _, group := range [][]urlx.Parts{a.IntLog, a.ExtLog, a.IntLink, a.ExtLink} {
+		out = e.appendGroupStats(out, group)
+	}
+	return out
+}
+
+// appendGroupStats emits the 22 features of one link group: features 3–9
+// aggregated as mean, median, stdev (7×3) plus the https ratio (1).
+func (e *Extractor) appendGroupStats(out []float64, group []urlx.Parts) []float64 {
+	n := len(group)
+	// Collect per-URL values for features 3..9 (indices 2..8).
+	cols := make([][]float64, 7)
+	var httpsCount int
+	for _, p := range group {
+		s := e.urlStats(p)
+		for c := 0; c < 7; c++ {
+			cols[c] = append(cols[c], s[c+2])
+		}
+		if s[0] == 1 {
+			httpsCount++
+		}
+	}
+	for c := 0; c < 7; c++ {
+		m, med, sd := meanMedianStd(cols[c])
+		out = append(out, m, med, sd)
+	}
+	ratio := 0.0
+	if n > 0 {
+		ratio = float64(httpsCount) / float64(n)
+	}
+	return append(out, ratio)
+}
+
+// appendF2 emits the 66 pairwise Hellinger distances between the twelve
+// feature distributions of Table I, pairs in canonical order.
+func appendF2(out []float64, a *webpage.Analysis) []float64 {
+	ids := webpage.FeatureDistIDs
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			out = append(out, terms.Hellinger(a.Dist(ids[i]), a.Dist(ids[j])))
+		}
+	}
+	return out
+}
+
+// f3Sources are the six distributions checked for mld presence (binary
+// features) and the five checked for substring-probability sums (Dtext is
+// excluded from the sums: too many short irrelevant terms, Section IV-B).
+var (
+	f3BinarySources = []webpage.DistID{
+		webpage.DistText, webpage.DistTitle,
+		webpage.DistIntLog, webpage.DistExtLog,
+		webpage.DistIntLink, webpage.DistExtLink,
+	}
+	f3SumSources = []webpage.DistID{
+		webpage.DistTitle,
+		webpage.DistIntLog, webpage.DistExtLog,
+		webpage.DistIntLink, webpage.DistExtLink,
+	}
+)
+
+// mldTerm folds an mld to its letters-only form, the term its usage in
+// text would produce ("secure-login-77" → "securelogin").
+func mldTerm(mld string) string {
+	var b strings.Builder
+	for _, r := range mld {
+		c := terms.Canonicalize(r)
+		if c > 0 {
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// appendF3 emits the 22 mld-usage features: 12 binary presence flags
+// (starting and landing mld × six sources) and 10 substring-probability
+// sums (starting and landing mld × five sources).
+func appendF3(out []float64, a *webpage.Analysis) []float64 {
+	// Punycode mlds are decoded first so homograph domains compare by
+	// their folded unicode form.
+	for _, mld := range []string{a.Start.UnicodeMLD(), a.Land.UnicodeMLD()} {
+		t := mldTerm(mld)
+		for _, src := range f3BinarySources {
+			v := 0.0
+			if t != "" && len(t) >= terms.MinTermLength && a.Dist(src).Contains(t) {
+				v = 1
+			}
+			out = append(out, v)
+		}
+	}
+	for _, mld := range []string{a.Start.UnicodeMLD(), a.Land.UnicodeMLD()} {
+		t := mldTerm(mld)
+		for _, src := range f3SumSources {
+			out = append(out, a.Dist(src).SubstringProbabilitySum(t))
+		}
+	}
+	return out
+}
+
+// appendF4 emits the 13 RDN-usage features (our instantiation of the
+// paper's category, documented in DESIGN.md §4).
+func appendF4(out []float64, a *webpage.Analysis) []float64 {
+	chainRDNs := map[string]struct{}{}
+	for _, p := range a.Chain {
+		if p.RDN != "" {
+			chainRDNs[p.RDN] = struct{}{}
+		}
+	}
+	sameRDN := 0.0
+	if a.Start.RDN != "" && a.Start.RDN == a.Land.RDN {
+		sameRDN = 1
+	}
+
+	logAll := append(append([]urlx.Parts{}, a.IntLog...), a.ExtLog...)
+	linkAll := append(append([]urlx.Parts{}, a.IntLink...), a.ExtLink...)
+
+	intRatio := func(internal, total int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(internal) / float64(total)
+	}
+	landMatch := func(group []urlx.Parts) float64 {
+		if len(group) == 0 || a.Land.RDN == "" {
+			return 0
+		}
+		n := 0
+		for _, p := range group {
+			if p.RDN == a.Land.RDN {
+				n++
+			}
+		}
+		return float64(n) / float64(len(group))
+	}
+
+	extRDNCounts := map[string]int{}
+	for _, p := range a.ExtLog {
+		if p.RDN != "" {
+			extRDNCounts[p.RDN]++
+		}
+	}
+	for _, p := range a.ExtLink {
+		if p.RDN != "" {
+			extRDNCounts[p.RDN]++
+		}
+	}
+	maxExtConcentration := 0.0
+	totalExt := len(a.ExtLog) + len(a.ExtLink)
+	if totalExt > 0 {
+		maxCount := 0
+		for _, c := range extRDNCounts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		maxExtConcentration = float64(maxCount) / float64(totalExt)
+	}
+
+	out = append(out,
+		float64(len(a.Chain)),                  // 1 chain length
+		float64(len(chainRDNs)),                // 2 distinct RDNs in chain
+		sameRDN,                                // 3 start RDN == landing RDN
+		float64(distinctRDNs(logAll)),          // 4 distinct RDNs in logged
+		float64(distinctRDNs(linkAll)),         // 5 distinct RDNs in HREF
+		intRatio(len(a.IntLog), len(logAll)),   // 6 internal ratio logged
+		intRatio(len(a.IntLink), len(linkAll)), // 7 internal ratio HREF
+		float64(len(a.ExtLog)),                 // 8 external logged count
+		float64(len(a.ExtLink)),                // 9 external HREF count
+		landMatch(logAll),                      // 10 landing-RDN share, logged
+		landMatch(linkAll),                     // 11 landing-RDN share, HREF
+		float64(len(extRDNCounts)),             // 12 distinct external RDNs
+		maxExtConcentration,                    // 13 max external concentration
+	)
+	return out
+}
+
+// appendF5 emits the 5 webpage-content features.
+func appendF5(out []float64, a *webpage.Analysis) []float64 {
+	return append(out,
+		float64(a.Dist(webpage.DistText).TotalOccurrences()),
+		float64(a.Dist(webpage.DistTitle).TotalOccurrences()),
+		float64(a.Snap.InputCount),
+		float64(a.Snap.ImageCount),
+		float64(a.Snap.IFrameCount),
+	)
+}
+
+func distinctRDNs(ps []urlx.Parts) int {
+	set := map[string]struct{}{}
+	for _, p := range ps {
+		if p.RDN != "" {
+			set[p.RDN] = struct{}{}
+		}
+	}
+	return len(set)
+}
+
+// meanMedianStd computes the three aggregates of one column; empty input
+// yields zeros (links of that group absent — the paper's features simply
+// read 0, Section VII-B discusses the resulting null features).
+func meanMedianStd(v []float64) (mean, median, std float64) {
+	n := len(v)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	mean = sum / float64(n)
+	var sq float64
+	for _, x := range v {
+		d := x - mean
+		sq += d * d
+	}
+	std = math.Sqrt(sq / float64(n))
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		median = sorted[n/2]
+	} else {
+		median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return mean, median, std
+}

@@ -1,0 +1,50 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the tokenizer with adversarial fragments. Under
+// plain `go test` only the seed corpus runs; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<",
+		"<<<<>>>>",
+		"<a",
+		"<a href=",
+		`<a href="unterminated`,
+		"<!--",
+		"<!-- <script> -->",
+		"<script><script><script>",
+		"</closing-only>",
+		"<title><title><title>",
+		"<iframe src='a'><iframe src='b'>",
+		strings.Repeat("<div>", 2000),
+		"<p>" + strings.Repeat("&amp;", 500),
+		"\x00\x01\x02<body>\xff\xfe</body>",
+		"<input type=><img src=><form action=>",
+		"<a href='a' href='b' href='c'>dup</a>",
+		"<A HREF=HTTP://X.EXAMPLE/>case</A>",
+		"<style>body{}</style><style>again",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		if doc.ImageCount < 0 || doc.InputCount < 0 || doc.IFrameCount < 0 {
+			t.Fatalf("negative counts: %+v", doc)
+		}
+		for _, l := range doc.HREFLinks {
+			if l == "" {
+				t.Fatal("empty href recorded")
+			}
+		}
+		if len(doc.IFrameSrcs) > doc.IFrameCount {
+			t.Fatalf("more iframe srcs (%d) than iframes (%d)", len(doc.IFrameSrcs), doc.IFrameCount)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+// Package htmlx is a small, dependency-free HTML scanner that extracts
+// exactly the elements the paper's data sources need (Section II-C):
+// title, rendered body text, outgoing HREF links, embedded-resource URLs
+// ("logged links" sources), copyright notice, and counts of input fields,
+// images and iframes.
+//
+// It is a tolerant tokenizer, not a conforming DOM parser: phishing pages
+// are frequently malformed, and all downstream consumers only need
+// term-level content, so recovering gracefully matters more than tree
+// fidelity.
+package htmlx
+
+import (
+	"strings"
+)
+
+// Document holds the extracted elements of one HTML document.
+type Document struct {
+	// Title is the text between <title> tags.
+	Title string `json:"title"`
+	// Text is the rendered text: character data outside of script/style,
+	// within (or, for malformed pages, outside) the body.
+	Text string `json:"text"`
+	// HREFLinks are the values of <a href> attributes, in order.
+	HREFLinks []string `json:"href_links,omitempty"`
+	// ResourceLinks are URLs of embedded content the browser would load:
+	// img/script/iframe/embed/source src, link href, form action.
+	ResourceLinks []string `json:"resource_links,omitempty"`
+	// Copyright is the copyright notice found in Text, if any.
+	Copyright string `json:"copyright,omitempty"`
+	// InputCount is the number of <input> and <textarea> elements.
+	InputCount int `json:"input_count"`
+	// ImageCount is the number of <img> elements.
+	ImageCount int `json:"image_count"`
+	// IFrameCount is the number of <iframe> elements.
+	IFrameCount int `json:"iframe_count"`
+	// IFrameSrcs are the src URLs of iframes (subset of ResourceLinks),
+	// kept separately because the paper folds iframe content into the
+	// page's own sources.
+	IFrameSrcs []string `json:"iframe_srcs,omitempty"`
+}
+
+// Parse scans src and extracts the document elements.
+func Parse(src string) Document {
+	var (
+		doc       Document
+		text      strings.Builder
+		title     strings.Builder
+		inTitle   bool
+		skipUntil string // closing tag name that ends a skipped element
+	)
+	i := 0
+	n := len(src)
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			appendText(&text, &title, inTitle, skipUntil, src[i:])
+			break
+		}
+		appendText(&text, &title, inTitle, skipUntil, src[i:i+lt])
+		i += lt
+		tag, attrs, selfClose, closing, next := scanTag(src, i)
+		if tag == "" {
+			// Stray '<': treat as text.
+			appendText(&text, &title, inTitle, skipUntil, "<")
+			i++
+			continue
+		}
+		i = next
+		if closing {
+			switch tag {
+			case "title":
+				inTitle = false
+			case skipUntil:
+				skipUntil = ""
+			}
+			// Closing block elements break words.
+			text.WriteByte(' ')
+			continue
+		}
+		if skipUntil != "" {
+			continue
+		}
+		switch tag {
+		case "title":
+			if !selfClose {
+				inTitle = true
+			}
+		case "script", "style", "noscript":
+			if !selfClose {
+				skipUntil = tag
+			}
+			if srcAttr := attrs["src"]; srcAttr != "" {
+				doc.ResourceLinks = append(doc.ResourceLinks, srcAttr)
+			}
+		case "a", "area":
+			if href := attrs["href"]; href != "" && !strings.HasPrefix(href, "javascript:") && !strings.HasPrefix(href, "#") {
+				doc.HREFLinks = append(doc.HREFLinks, href)
+			}
+		case "img":
+			doc.ImageCount++
+			if s := attrs["src"]; s != "" {
+				doc.ResourceLinks = append(doc.ResourceLinks, s)
+			}
+		case "iframe", "frame":
+			doc.IFrameCount++
+			if s := attrs["src"]; s != "" {
+				doc.ResourceLinks = append(doc.ResourceLinks, s)
+				doc.IFrameSrcs = append(doc.IFrameSrcs, s)
+			}
+		case "embed", "source", "audio", "video", "track":
+			if s := attrs["src"]; s != "" {
+				doc.ResourceLinks = append(doc.ResourceLinks, s)
+			}
+		case "link":
+			if h := attrs["href"]; h != "" {
+				doc.ResourceLinks = append(doc.ResourceLinks, h)
+			}
+		case "form":
+			if a := attrs["action"]; a != "" {
+				doc.ResourceLinks = append(doc.ResourceLinks, a)
+			}
+		case "input":
+			typ := strings.ToLower(attrs["type"])
+			if typ != "hidden" && typ != "submit" && typ != "button" && typ != "image" {
+				doc.InputCount++
+			}
+		case "textarea", "select":
+			doc.InputCount++
+		case "br", "p", "div", "td", "tr", "li", "h1", "h2", "h3", "h4", "h5", "h6":
+			text.WriteByte(' ')
+		}
+	}
+	doc.Title = collapseSpace(title.String())
+	doc.Text = collapseSpace(decodeEntities(text.String()))
+	doc.Copyright = extractCopyright(doc.Text)
+	return doc
+}
+
+func appendText(text, title *strings.Builder, inTitle bool, skipUntil, s string) {
+	if s == "" || skipUntil != "" {
+		return
+	}
+	if inTitle {
+		title.WriteString(s)
+		return
+	}
+	text.WriteString(s)
+}
+
+// scanTag parses the tag beginning at src[i] == '<'. It returns the
+// lowercase tag name, its attributes, whether it is self-closing, whether
+// it is a closing tag, and the index just past the '>'.
+func scanTag(src string, i int) (tag string, attrs map[string]string, selfClose, closing bool, next int) {
+	n := len(src)
+	j := i + 1
+	if j >= n {
+		return "", nil, false, false, i + 1
+	}
+	if src[j] == '!' || src[j] == '?' {
+		// Comment, doctype or processing instruction: skip to '>'
+		// (handling <!-- --> comments properly).
+		if strings.HasPrefix(src[j:], "!--") {
+			if end := strings.Index(src[j+3:], "-->"); end >= 0 {
+				return "!comment", nil, true, false, j + 3 + end + 3
+			}
+			return "!comment", nil, true, false, n
+		}
+		if end := strings.IndexByte(src[j:], '>'); end >= 0 {
+			return "!decl", nil, true, false, j + end + 1
+		}
+		return "!decl", nil, true, false, n
+	}
+	if src[j] == '/' {
+		closing = true
+		j++
+	}
+	start := j
+	for j < n && isNameChar(src[j]) {
+		j++
+	}
+	if j == start {
+		return "", nil, false, false, i + 1
+	}
+	tag = strings.ToLower(src[start:j])
+	// Scan attributes until '>'.
+	attrs = map[string]string{}
+	for j < n && src[j] != '>' {
+		// Skip whitespace and slashes.
+		for j < n && (src[j] == ' ' || src[j] == '\t' || src[j] == '\n' || src[j] == '\r' || src[j] == '/') {
+			if src[j] == '/' {
+				selfClose = true
+			}
+			j++
+		}
+		if j >= n || src[j] == '>' {
+			break
+		}
+		selfClose = false
+		aStart := j
+		for j < n && src[j] != '=' && src[j] != '>' && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' && src[j] != '\r' && src[j] != '/' {
+			j++
+		}
+		name := strings.ToLower(src[aStart:j])
+		// Skip whitespace before '='.
+		for j < n && (src[j] == ' ' || src[j] == '\t') {
+			j++
+		}
+		if j < n && src[j] == '=' {
+			j++
+			for j < n && (src[j] == ' ' || src[j] == '\t') {
+				j++
+			}
+			var val string
+			if j < n && (src[j] == '"' || src[j] == '\'') {
+				quote := src[j]
+				j++
+				vStart := j
+				for j < n && src[j] != quote {
+					j++
+				}
+				val = src[vStart:j]
+				if j < n {
+					j++
+				}
+			} else {
+				vStart := j
+				for j < n && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' && src[j] != '\r' && src[j] != '>' {
+					j++
+				}
+				val = src[vStart:j]
+			}
+			if name != "" {
+				attrs[name] = val
+			}
+		} else if name != "" {
+			attrs[name] = ""
+		}
+	}
+	if j < n && src[j] == '>' {
+		j++
+	}
+	if j > i+1 && j-2 >= 0 && j-2 < n && src[j-2] == '/' {
+		selfClose = true
+	}
+	return tag, attrs, selfClose, closing, j
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&apos;", "'",
+	"&nbsp;", " ",
+	"&copy;", "©",
+	"&#169;", "©",
+	"&reg;", "®",
+	"&eacute;", "é",
+	"&egrave;", "è",
+	"&agrave;", "à",
+	"&ccedil;", "ç",
+	"&uuml;", "ü",
+	"&ouml;", "ö",
+	"&auml;", "ä",
+	"&ntilde;", "ñ",
+)
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}
+
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// extractCopyright returns the sentence-ish span around a copyright marker
+// (©, "copyright", "(c)") in text, or "" when none is present. The paper
+// uses the copyright notice as one of the five keyterm sources for target
+// identification.
+func extractCopyright(text string) string {
+	lower := strings.ToLower(text)
+	idx := -1
+	for _, marker := range []string{"©", "copyright", "(c)"} {
+		if i := strings.Index(lower, marker); i >= 0 && (idx < 0 || i < idx) {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return ""
+	}
+	// Take up to 12 whitespace-separated tokens starting at the marker.
+	span := text[idx:]
+	fields := strings.Fields(span)
+	if len(fields) > 12 {
+		fields = fields[:12]
+	}
+	// Trim at a sentence boundary if one appears.
+	for i, f := range fields {
+		if strings.HasSuffix(f, ".") && i > 0 {
+			fields = fields[:i+1]
+			break
+		}
+	}
+	return strings.Join(fields, " ")
+}

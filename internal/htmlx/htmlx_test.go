@@ -1,0 +1,185 @@
+package htmlx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html>
+<head>
+  <title>Example Bank — Secure Login</title>
+  <link rel="stylesheet" href="https://cdn.example.com/style.css">
+  <script src="https://cdn.example.com/app.js"></script>
+  <style>body { color: red; }</style>
+</head>
+<body>
+  <h1>Welcome to Example Bank</h1>
+  <p>Please <a href="https://example.com/login">sign in</a> to continue.</p>
+  <a href="#skip">skip</a>
+  <a href="javascript:void(0)">noop</a>
+  <form action="/submit">
+    <input type="text" name="user">
+    <input type="password" name="pass">
+    <input type="hidden" name="csrf" value="x">
+    <input type="submit" value="Go">
+    <textarea name="msg"></textarea>
+  </form>
+  <img src="/logo.png" alt="logo">
+  <img src="https://static.example.com/banner.jpg">
+  <iframe src="https://ads.example.net/frame"></iframe>
+  <script>var secret = "should not appear in text";</script>
+  <p>&copy; 2015 Example Bank Inc. All rights reserved.</p>
+</body>
+</html>`
+
+func TestParseSamplePage(t *testing.T) {
+	doc := Parse(samplePage)
+	if doc.Title != "Example Bank — Secure Login" {
+		t.Errorf("Title = %q", doc.Title)
+	}
+	if !strings.Contains(doc.Text, "Welcome to Example Bank") {
+		t.Errorf("Text missing body content: %q", doc.Text)
+	}
+	if strings.Contains(doc.Text, "should not appear") {
+		t.Error("script content leaked into Text")
+	}
+	if strings.Contains(doc.Text, "color: red") {
+		t.Error("style content leaked into Text")
+	}
+	if want := []string{"https://example.com/login"}; !reflect.DeepEqual(doc.HREFLinks, want) {
+		t.Errorf("HREFLinks = %v, want %v (fragment and javascript links dropped)", doc.HREFLinks, want)
+	}
+	wantRes := []string{
+		"https://cdn.example.com/style.css",
+		"https://cdn.example.com/app.js",
+		"/submit",
+		"/logo.png",
+		"https://static.example.com/banner.jpg",
+		"https://ads.example.net/frame",
+	}
+	if !reflect.DeepEqual(doc.ResourceLinks, wantRes) {
+		t.Errorf("ResourceLinks = %v\nwant %v", doc.ResourceLinks, wantRes)
+	}
+	if doc.InputCount != 3 { // text, password, textarea; hidden+submit excluded
+		t.Errorf("InputCount = %d, want 3", doc.InputCount)
+	}
+	if doc.ImageCount != 2 {
+		t.Errorf("ImageCount = %d, want 2", doc.ImageCount)
+	}
+	if doc.IFrameCount != 1 {
+		t.Errorf("IFrameCount = %d, want 1", doc.IFrameCount)
+	}
+	if want := []string{"https://ads.example.net/frame"}; !reflect.DeepEqual(doc.IFrameSrcs, want) {
+		t.Errorf("IFrameSrcs = %v", doc.IFrameSrcs)
+	}
+	if !strings.HasPrefix(doc.Copyright, "©") || !strings.Contains(doc.Copyright, "Example Bank") {
+		t.Errorf("Copyright = %q", doc.Copyright)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unclosed tag", `<a href="http://x.example/`},
+		{"stray lt", `1 < 2 and <b>bold</b>`},
+		{"unterminated comment", `<!-- never closed <a href="x">`},
+		{"attr no quotes", `<a href=http://q.example/p>t</a>`},
+		{"empty", ""},
+		{"only text", "just plain text with no markup"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			// Must not panic; result fields must be consistent.
+			doc := Parse(tt.src)
+			if doc.ImageCount < 0 || doc.InputCount < 0 {
+				t.Error("negative counts")
+			}
+		})
+	}
+	doc := Parse(`<a href=http://q.example/p>t</a>`)
+	if want := []string{"http://q.example/p"}; !reflect.DeepEqual(doc.HREFLinks, want) {
+		t.Errorf("unquoted attr: HREFLinks = %v, want %v", doc.HREFLinks, want)
+	}
+	doc = Parse(`1 < 2 and <b>bold</b>`)
+	if !strings.Contains(doc.Text, "bold") || !strings.Contains(doc.Text, "1 <") {
+		t.Errorf("stray-lt text = %q", doc.Text)
+	}
+}
+
+func TestParseComment(t *testing.T) {
+	doc := Parse(`before<!-- <a href="http://hidden.example/">x</a> -->after`)
+	if len(doc.HREFLinks) != 0 {
+		t.Errorf("links inside comments must be ignored, got %v", doc.HREFLinks)
+	}
+	if !strings.Contains(doc.Text, "before") || !strings.Contains(doc.Text, "after") {
+		t.Errorf("Text = %q", doc.Text)
+	}
+}
+
+func TestSelfClosingAndCase(t *testing.T) {
+	doc := Parse(`<IMG SRC="/up.png"/><INPUT TYPE="TEXT"><IFrame src="/f"/>`)
+	if doc.ImageCount != 1 || doc.InputCount != 1 || doc.IFrameCount != 1 {
+		t.Errorf("counts = %d/%d/%d, want 1/1/1", doc.ImageCount, doc.InputCount, doc.IFrameCount)
+	}
+}
+
+func TestEntityDecoding(t *testing.T) {
+	doc := Parse(`<body>Fish &amp; Chips &copy; caf&eacute;</body>`)
+	if !strings.Contains(doc.Text, "Fish & Chips") {
+		t.Errorf("Text = %q", doc.Text)
+	}
+	if !strings.Contains(doc.Text, "café") {
+		t.Errorf("Text = %q", doc.Text)
+	}
+}
+
+func TestCopyrightVariants(t *testing.T) {
+	tests := []struct {
+		text string
+		want string
+	}{
+		{"Some text. Copyright 2015 MegaCorp Ltd. More text follows here.", "Copyright 2015 MegaCorp Ltd."},
+		{"no notice here", ""},
+		{"prefix (c) 2014 Small Shop", "(c) 2014 Small Shop"},
+	}
+	for _, tt := range tests {
+		if got := extractCopyright(tt.text); got != tt.want {
+			t.Errorf("extractCopyright(%q) = %q, want %q", tt.text, got, tt.want)
+		}
+	}
+}
+
+func TestTitleOnlyOnce(t *testing.T) {
+	doc := Parse(`<title>First</title><body>body text<title>ignored?</title></body>`)
+	if !strings.HasPrefix(doc.Title, "First") {
+		t.Errorf("Title = %q", doc.Title)
+	}
+}
+
+// Property: Parse never panics and text never contains tag delimiters from
+// well-formed tags.
+func TestQuickParseRobust(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		_ = doc
+		return true // reaching here means no panic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedSkip(t *testing.T) {
+	doc := Parse(`<script>if (a<b) { document.write("<a href='http://x/'>"); }</script><body>visible</body>`)
+	if strings.Contains(doc.Text, "document.write") {
+		t.Errorf("script body leaked: %q", doc.Text)
+	}
+	if !strings.Contains(doc.Text, "visible") {
+		t.Errorf("Text = %q", doc.Text)
+	}
+}

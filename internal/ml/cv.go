@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StratifiedKFold assigns each sample to one of k folds, preserving the
+// class ratio in every fold. It returns a slice of fold assignments
+// (fold[i] ∈ [0,k)). Deterministic for a given seed.
+func StratifiedKFold(labels []int, k int, seed int64) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: StratifiedKFold: k=%d, need k >= 2", k)
+	}
+	if len(labels) < k {
+		return nil, fmt.Errorf("ml: StratifiedKFold: %d samples for %d folds", len(labels), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fold := make([]int, len(labels))
+	// Per class, shuffle indices and deal them round-robin into folds.
+	byClass := map[int][]int{}
+	for i, l := range labels {
+		byClass[l] = append(byClass[l], i)
+	}
+	for _, idx := range byClass {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for j, i := range idx {
+			fold[i] = j % k
+		}
+	}
+	return fold, nil
+}
+
+// CVResult aggregates per-fold evaluation of a cross-validation run.
+type CVResult struct {
+	// Folds holds the per-fold confusion matrices at the discrimination
+	// threshold used.
+	Folds []Confusion `json:"folds"`
+	// Pooled is the sum of all fold matrices (micro average).
+	Pooled Confusion `json:"pooled"`
+	// AUCMean is the mean per-fold AUC.
+	AUCMean float64 `json:"auc_mean"`
+	// Scores and Labels are pooled out-of-fold scores, usable for ROC
+	// plots over the whole CV run.
+	Scores []float64 `json:"-"`
+	Labels []int     `json:"-"`
+}
+
+// CrossValidateGBM runs k-fold stratified cross-validation of a GBM with
+// the given config, evaluating at threshold.
+func CrossValidateGBM(x [][]float64, y []int, k int, threshold float64, cfg GBMConfig) (*CVResult, error) {
+	fold, err := StratifiedKFold(y, k, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	res := &CVResult{}
+	var aucSum float64
+	for f := 0; f < k; f++ {
+		var trX [][]float64
+		var trY []int
+		var teX [][]float64
+		var teY []int
+		for i := range x {
+			if fold[i] == f {
+				teX = append(teX, x[i])
+				teY = append(teY, y[i])
+			} else {
+				trX = append(trX, x[i])
+				trY = append(trY, y[i])
+			}
+		}
+		m, err := TrainGBM(trX, trY, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ml: CV fold %d: %w", f, err)
+		}
+		scores := m.ScoreAll(teX)
+		c := Evaluate(scores, teY, threshold)
+		res.Folds = append(res.Folds, c)
+		res.Pooled.TP += c.TP
+		res.Pooled.FP += c.FP
+		res.Pooled.TN += c.TN
+		res.Pooled.FN += c.FN
+		aucSum += AUC(scores, teY)
+		res.Scores = append(res.Scores, scores...)
+		res.Labels = append(res.Labels, teY...)
+	}
+	res.AUCMean = aucSum / float64(k)
+	return res, nil
+}

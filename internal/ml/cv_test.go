@@ -1,0 +1,102 @@
+package ml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStratifiedKFoldBalance(t *testing.T) {
+	labels := make([]int, 100)
+	for i := 80; i < 100; i++ {
+		labels[i] = 1 // 20% positive
+	}
+	fold, err := StratifiedKFold(labels, 5, 1)
+	if err != nil {
+		t.Fatalf("StratifiedKFold: %v", err)
+	}
+	if len(fold) != 100 {
+		t.Fatalf("fold assignments = %d", len(fold))
+	}
+	posPerFold := make([]int, 5)
+	totPerFold := make([]int, 5)
+	for i, f := range fold {
+		if f < 0 || f >= 5 {
+			t.Fatalf("fold %d outside range", f)
+		}
+		totPerFold[f]++
+		if labels[i] == 1 {
+			posPerFold[f]++
+		}
+	}
+	for f := 0; f < 5; f++ {
+		if totPerFold[f] != 20 {
+			t.Errorf("fold %d size = %d, want 20", f, totPerFold[f])
+		}
+		if posPerFold[f] != 4 {
+			t.Errorf("fold %d positives = %d, want 4 (stratified)", f, posPerFold[f])
+		}
+	}
+}
+
+func TestStratifiedKFoldErrors(t *testing.T) {
+	if _, err := StratifiedKFold([]int{0, 1}, 1, 0); err == nil {
+		t.Error("k=1: want error")
+	}
+	if _, err := StratifiedKFold([]int{0, 1}, 5, 0); err == nil {
+		t.Error("too few samples: want error")
+	}
+}
+
+func TestStratifiedKFoldDeterministic(t *testing.T) {
+	labels := make([]int, 50)
+	for i := 0; i < 25; i++ {
+		labels[i] = 1
+	}
+	a, err := StratifiedKFold(labels, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StratifiedKFold(labels, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different folds")
+		}
+	}
+}
+
+func TestCrossValidateGBM(t *testing.T) {
+	x, y := makeBlobs(300, 3, 13)
+	res, err := CrossValidateGBM(x, y, 5, 0.5, GBMConfig{Trees: 20, Seed: 3})
+	if err != nil {
+		t.Fatalf("CrossValidateGBM: %v", err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("folds = %d, want 5", len(res.Folds))
+	}
+	if res.Pooled.Total() != 300 {
+		t.Errorf("pooled total = %d, want 300 (every sample scored exactly once)", res.Pooled.Total())
+	}
+	if res.Pooled.Accuracy() < 0.85 {
+		t.Errorf("CV accuracy = %v, want >= 0.85", res.Pooled.Accuracy())
+	}
+	if res.AUCMean < 0.9 || res.AUCMean > 1 {
+		t.Errorf("AUCMean = %v", res.AUCMean)
+	}
+	if len(res.Scores) != 300 || len(res.Labels) != 300 {
+		t.Errorf("pooled scores/labels = %d/%d", len(res.Scores), len(res.Labels))
+	}
+}
+
+func TestCrossValidateGBMPropagatesError(t *testing.T) {
+	// All labels in one fold's training set could still be fine; force an
+	// error with k too large instead.
+	x, y := makeBlobs(4, 2, 1)
+	if _, err := CrossValidateGBM(x, y, 10, 0.5, GBMConfig{Trees: 2}); err == nil {
+		t.Error("want error for k > n")
+	} else if !strings.Contains(err.Error(), "folds") {
+		t.Logf("error text: %v", err)
+	}
+}

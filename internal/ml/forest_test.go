@@ -1,0 +1,68 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrainForestSeparatesBlobs(t *testing.T) {
+	x, y := makeBlobs(400, 4, 19)
+	f, err := TrainForest(x, y, ForestConfig{Trees: 40, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	teX, teY := makeBlobs(300, 4, 91)
+	c := Evaluate(f.ScoreAll(teX), teY, 0.5)
+	if acc := c.Accuracy(); acc < 0.9 {
+		t.Errorf("forest accuracy = %v, want >= 0.9 (%s)", acc, c)
+	}
+	if auc := AUC(f.ScoreAll(teX), teY); auc < 0.95 {
+		t.Errorf("forest AUC = %v", auc)
+	}
+}
+
+func TestForestScoreBounds(t *testing.T) {
+	x, y := makeBlobs(200, 3, 23)
+	f, err := TrainForest(x, y, ForestConfig{Trees: 20, Seed: 2})
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	for _, row := range x {
+		s := f.Score(row)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+	var empty RandomForest
+	if empty.Score([]float64{1}) != 0 {
+		t.Error("empty forest must score 0")
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	if _, err := TrainForest(nil, nil, ForestConfig{}); err == nil {
+		t.Error("empty training: want error")
+	}
+	if _, err := TrainForest([][]float64{{1}, {2}}, []int{0, 0}, ForestConfig{}); err == nil {
+		t.Error("single class: want error")
+	}
+	if _, err := TrainForest([][]float64{{1}, {2}}, []int{0, 2}, ForestConfig{}); err == nil {
+		t.Error("bad label: want error")
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	x, y := makeBlobs(150, 3, 29)
+	f1, err := TrainForest(x, y, ForestConfig{Trees: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := TrainForest(x, y, ForestConfig{Trees: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.1, -0.4, 0.9}
+	if f1.Score(probe) != f2.Score(probe) {
+		t.Error("same seed, different forests")
+	}
+}

@@ -1,0 +1,86 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sparseBlobs(n int, seed int64) ([]SparseVector, []int) {
+	// Class 1 examples contain token "phish", class 0 contain "legit",
+	// both contain shared noise tokens.
+	rng := rand.New(rand.NewSource(seed))
+	dim := 1 << 12
+	x := make([]SparseVector, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		var v SparseVector
+		if label == 1 {
+			v = append(v, SparseEntry{HashFeature("phish", dim), 1})
+		} else {
+			v = append(v, SparseEntry{HashFeature("legit", dim), 1})
+		}
+		for k := 0; k < 3; k++ {
+			tok := string(rune('a' + rng.Intn(20)))
+			v = append(v, SparseEntry{HashFeature("noise-"+tok, dim), 1})
+		}
+		x[i] = v
+		y[i] = label
+	}
+	return x, y
+}
+
+func TestTrainLogisticSeparates(t *testing.T) {
+	x, y := sparseBlobs(400, 17)
+	m, err := TrainLogistic(x, y, LRConfig{Dim: 1 << 12, Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainLogistic: %v", err)
+	}
+	teX, teY := sparseBlobs(200, 91)
+	c := Evaluate(m.ScoreAll(teX), teY, 0.5)
+	if acc := c.Accuracy(); acc < 0.95 {
+		t.Errorf("accuracy = %v, want >= 0.95 (%s)", acc, c)
+	}
+}
+
+func TestTrainLogisticErrors(t *testing.T) {
+	if _, err := TrainLogistic(nil, nil, LRConfig{Dim: 10}); err == nil {
+		t.Error("empty input: want error")
+	}
+	if _, err := TrainLogistic([]SparseVector{{}}, []int{0}, LRConfig{}); err == nil {
+		t.Error("Dim=0: want error")
+	}
+	if _, err := TrainLogistic([]SparseVector{{}}, []int{0, 1}, LRConfig{Dim: 4}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestLogisticScoreBounds(t *testing.T) {
+	x, y := sparseBlobs(100, 3)
+	m, err := TrainLogistic(x, y, LRConfig{Dim: 1 << 12, Seed: 2})
+	if err != nil {
+		t.Fatalf("TrainLogistic: %v", err)
+	}
+	for _, v := range x {
+		s := m.Score(v)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+	// Out-of-range indices are ignored, not a panic.
+	_ = m.Score(SparseVector{{Index: -5, Value: 1}, {Index: 1 << 30, Value: 1}})
+}
+
+func TestHashFeatureStable(t *testing.T) {
+	a := HashFeature("paypal", 1024)
+	b := HashFeature("paypal", 1024)
+	if a != b {
+		t.Error("hash not stable")
+	}
+	if a < 0 || a >= 1024 {
+		t.Errorf("hash %d outside [0,1024)", a)
+	}
+	if HashFeature("paypal", 1024) == HashFeature("paypa1", 1024) {
+		t.Log("note: collision between near tokens (possible, not an error)")
+	}
+}

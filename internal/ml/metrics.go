@@ -1,0 +1,210 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix with the positive class being
+// "phishing" throughout the repository.
+type Confusion struct {
+	TP int `json:"tp"`
+	FP int `json:"fp"`
+	TN int `json:"tn"`
+	FN int `json:"fn"`
+}
+
+// Evaluate thresholds scores against labels: score >= threshold predicts
+// positive. scores and labels must have equal length.
+func Evaluate(scores []float64, labels []int, threshold float64) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		pred := 0
+		if s >= threshold {
+			pred = 1
+		}
+		switch {
+		case pred == 1 && labels[i] == 1:
+			c.TP++
+		case pred == 1 && labels[i] == 0:
+			c.FP++
+		case pred == 0 && labels[i] == 0:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positive predictions exist.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN) — the true positive rate.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FPR returns FP/(FP+TN) — the rate of legitimate pages misclassified as
+// phishing, the paper's headline "misclassification rate".
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Total returns the number of evaluated instances.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// String renders the matrix compactly for logs and tables.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d pre=%.4f rec=%.4f fpr=%.5f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.FPR())
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	FPR       float64 `json:"fpr"`
+	TPR       float64 `json:"tpr"`
+	Threshold float64 `json:"threshold"`
+}
+
+// ROC computes the full ROC curve by sweeping the threshold over every
+// distinct score. Points are ordered by increasing FPR, starting at (0,0)
+// and ending at (1,1).
+func ROC(scores []float64, labels []int) []ROCPoint {
+	n := len(scores)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+
+	var pos, neg int
+	for _, l := range labels {
+		if l == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil
+	}
+
+	points := []ROCPoint{{FPR: 0, TPR: 0, Threshold: scores[idx[0]] + 1}}
+	var tp, fp int
+	for k := 0; k < n; {
+		// Advance over ties: all samples with equal score flip together.
+		s := scores[idx[k]]
+		for k < n && scores[idx[k]] == s {
+			if labels[idx[k]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		points = append(points, ROCPoint{
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+			Threshold: s,
+		})
+	}
+	return points
+}
+
+// AUC computes the area under the ROC curve by trapezoidal integration.
+// It equals the probability a random positive scores above a random
+// negative (ties counted half).
+func AUC(scores []float64, labels []int) float64 {
+	points := ROC(scores, labels)
+	if len(points) < 2 {
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// PRPoint is one operating point of a precision–recall curve.
+type PRPoint struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	Threshold float64 `json:"threshold"`
+}
+
+// PRCurve computes the precision–recall curve by threshold sweep,
+// ordered by increasing recall.
+func PRCurve(scores []float64, labels []int) []PRPoint {
+	n := len(scores)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var pos int
+	for _, l := range labels {
+		if l == 1 {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return nil
+	}
+	var points []PRPoint
+	var tp, fp int
+	for k := 0; k < n; {
+		s := scores[idx[k]]
+		for k < n && scores[idx[k]] == s {
+			if labels[idx[k]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		points = append(points, PRPoint{
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(pos),
+			Threshold: s,
+		})
+	}
+	return points
+}

@@ -1,0 +1,196 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEvaluateAndRates(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.4, 0.3, 0.6, 0.2}
+	labels := []int{1, 1, 1, 0, 0, 0}
+	c := Evaluate(scores, labels, 0.5)
+	// preds: 1,1,0,0,1,0 → TP=2 FN=1 FP=1 TN=2
+	want := Confusion{TP: 2, FP: 1, TN: 2, FN: 1}
+	if c != want {
+		t.Fatalf("Evaluate = %+v, want %+v", c, want)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.FPR(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("FPR = %v", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", got)
+	}
+	if c.Total() != 6 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionZeroDivisions(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.FPR() != 0 || c.Accuracy() != 0 {
+		t.Error("zero-valued confusion must return 0 rates, not NaN")
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	points := ROC(scores, labels)
+	if len(points) < 3 {
+		t.Fatalf("ROC points = %d", len(points))
+	}
+	if got := AUC(scores, labels); got != 1 {
+		t.Errorf("AUC = %v, want 1 for perfect separation", got)
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("ROC must start at (0,0), got (%v,%v)", first.FPR, first.TPR)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("ROC must end at (1,1), got (%v,%v)", last.FPR, last.TPR)
+	}
+}
+
+func TestROCWorstAndRandom(t *testing.T) {
+	// Inverted classifier: AUC = 0.
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []int{1, 1, 0, 0}
+	if got := AUC(scores, labels); got != 0 {
+		t.Errorf("inverted AUC = %v, want 0", got)
+	}
+	// Constant scores: single diagonal step, AUC = 0.5 (ties half-counted).
+	scores = []float64{0.5, 0.5, 0.5, 0.5}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("constant-score AUC = %v, want 0.5", got)
+	}
+}
+
+func TestROCMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	scores := make([]float64, 500)
+	labels := make([]int, 500)
+	for i := range scores {
+		labels[i] = rng.Intn(2)
+		scores[i] = rng.Float64()
+	}
+	points := ROC(scores, labels)
+	for i := 1; i < len(points); i++ {
+		if points[i].FPR < points[i-1].FPR || points[i].TPR < points[i-1].TPR {
+			t.Fatalf("ROC not monotone at %d: %+v -> %+v", i, points[i-1], points[i])
+		}
+	}
+	if auc := AUC(scores, labels); auc < 0 || auc > 1 {
+		t.Errorf("AUC = %v outside [0,1]", auc)
+	}
+}
+
+func TestAUCMatchesPairwiseProbability(t *testing.T) {
+	// AUC must equal P(score+ > score−) + ½P(tie) computed by brute force.
+	rng := rand.New(rand.NewSource(5))
+	scores := make([]float64, 120)
+	labels := make([]int, 120)
+	for i := range scores {
+		labels[i] = rng.Intn(2)
+		scores[i] = math.Round(rng.Float64()*10) / 10 // coarse → many ties
+	}
+	var wins, ties, pairs float64
+	for i := range scores {
+		if labels[i] != 1 {
+			continue
+		}
+		for j := range scores {
+			if labels[j] != 0 {
+				continue
+			}
+			pairs++
+			switch {
+			case scores[i] > scores[j]:
+				wins++
+			case scores[i] == scores[j]:
+				ties++
+			}
+		}
+	}
+	want := (wins + ties/2) / pairs
+	if got := AUC(scores, labels); math.Abs(got-want) > 1e-9 {
+		t.Errorf("AUC = %v, brute force = %v", got, want)
+	}
+}
+
+func TestROCEdgeCases(t *testing.T) {
+	if pts := ROC(nil, nil); pts != nil {
+		t.Error("empty input must yield nil")
+	}
+	// Single class: undefined, nil.
+	if pts := ROC([]float64{0.5, 0.6}, []int{1, 1}); pts != nil {
+		t.Error("single-class input must yield nil")
+	}
+	if auc := AUC([]float64{0.5}, []int{1}); auc != 0 {
+		t.Errorf("degenerate AUC = %v, want 0", auc)
+	}
+}
+
+func TestPRCurve(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2}
+	labels := []int{1, 0, 1, 0}
+	points := PRCurve(scores, labels)
+	if len(points) != 4 {
+		t.Fatalf("PR points = %d, want 4", len(points))
+	}
+	// First point: only 0.9 predicted positive → precision 1, recall 0.5.
+	if points[0].Precision != 1 || points[0].Recall != 0.5 {
+		t.Errorf("first PR point = %+v", points[0])
+	}
+	// Last point: recall must reach 1.
+	if points[len(points)-1].Recall != 1 {
+		t.Errorf("last PR recall = %v, want 1", points[len(points)-1].Recall)
+	}
+	// Recall non-decreasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].Recall < points[i-1].Recall {
+			t.Errorf("recall decreased at %d", i)
+		}
+	}
+}
+
+func TestPRCurveEdgeCases(t *testing.T) {
+	if pts := PRCurve(nil, nil); pts != nil {
+		t.Error("empty input must yield nil")
+	}
+	if pts := PRCurve([]float64{0.1}, []int{0}); pts != nil {
+		t.Error("no positives must yield nil")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	s := c.String()
+	for _, want := range []string{"TP=1", "FP=2", "TN=3", "FN=4"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexStr(s, sub) >= 0)
+}
+
+func indexStr(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

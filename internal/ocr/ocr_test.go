@@ -1,0 +1,82 @@
+package ocr
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestZeroValuePerfectRecognition(t *testing.T) {
+	var r Recognizer
+	in := []string{"nova bank secure login", "welcome back"}
+	got := r.Recognize(in)
+	want := []string{"nova bank secure login", "welcome back"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Recognize = %v, want %v", got, want)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := Default()
+	in := []string{"nova bank secure login verify account password"}
+	a := r.Recognize(in)
+	b := r.Recognize(in)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSeedChangesNoise(t *testing.T) {
+	in := []string{"alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo lima"}
+	r1 := &Recognizer{DropRate: 0.5, Seed: 1}
+	r2 := &Recognizer{DropRate: 0.5, Seed: 999}
+	a := strings.Join(r1.Recognize(in), " ")
+	b := strings.Join(r2.Recognize(in), " ")
+	if a == b {
+		t.Log("note: two seeds produced identical output (possible, but suspicious)")
+	}
+}
+
+func TestDropRateOne(t *testing.T) {
+	r := &Recognizer{DropRate: 1}
+	if got := r.Recognize([]string{"everything vanishes"}); got != nil {
+		t.Errorf("DropRate=1 must drop all words, got %v", got)
+	}
+}
+
+func TestConfusionDestroysTerms(t *testing.T) {
+	r := &Recognizer{ConfuseRate: 1, Seed: 3}
+	got := r.Recognize([]string{"login"})
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] == "login" {
+		t.Errorf("ConfuseRate=1 must alter a confusable word, got %q", got[0])
+	}
+	// The classic confusions replace letters with digits.
+	if !strings.ContainsAny(got[0], "0123456789") {
+		t.Errorf("confused word %q has no digit substitution", got[0])
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	r := Default()
+	if got := r.Recognize(nil); got != nil {
+		t.Errorf("nil input: got %v", got)
+	}
+	if got := r.Recognize([]string{""}); got != nil {
+		t.Errorf("blank line: got %v", got)
+	}
+}
+
+func TestDefaultRatesModerate(t *testing.T) {
+	r := Default()
+	// A long input must survive mostly intact.
+	words := strings.Fields(strings.Repeat("alpha bravo charlie delta echo ", 20))
+	in := []string{strings.Join(words, " ")}
+	out := strings.Fields(strings.Join(r.Recognize(in), " "))
+	ratio := float64(len(out)) / float64(len(words))
+	if ratio < 0.7 {
+		t.Errorf("default OCR keeps only %.0f%% of words", ratio*100)
+	}
+}

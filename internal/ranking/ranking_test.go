@@ -1,0 +1,127 @@
+package ranking
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndRank(t *testing.T) {
+	l := New([]string{"alpha.com", "Beta.org", "gamma.net"})
+	if got := l.Rank("alpha.com"); got != 1 {
+		t.Errorf("Rank(alpha.com) = %d, want 1", got)
+	}
+	if got := l.Rank("beta.org"); got != 2 {
+		t.Errorf("Rank(beta.org) = %d, want 2 (case-insensitive)", got)
+	}
+	if got := l.Rank("missing.example"); got != UnrankedValue {
+		t.Errorf("Rank(missing) = %d, want %d", got, UnrankedValue)
+	}
+	if !l.Contains("gamma.net") || l.Contains("nope.example") {
+		t.Error("Contains misbehaves")
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d, want 3", l.Len())
+	}
+}
+
+func TestNilList(t *testing.T) {
+	var l *List
+	if got := l.Rank("anything.com"); got != UnrankedValue {
+		t.Errorf("nil list Rank = %d, want %d", got, UnrankedValue)
+	}
+	if l.Contains("anything.com") {
+		t.Error("nil list Contains = true")
+	}
+	if l.Len() != 0 {
+		t.Error("nil list Len != 0")
+	}
+	if n, err := l.WriteTo(&bytes.Buffer{}); n != 0 || err != nil {
+		t.Error("nil list WriteTo misbehaves")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	src := "# comment\n1,google.com\n2,facebook.com\n\n5,wikipedia.org\n"
+	l, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := l.Rank("wikipedia.org"); got != 5 {
+		t.Errorf("Rank(wikipedia.org) = %d, want 5", got)
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d, want 3", l.Len())
+	}
+}
+
+func TestReadPlainLines(t *testing.T) {
+	l, err := Read(strings.NewReader("first.com\nsecond.com\n"))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := l.Rank("second.com"); got != 2 {
+		t.Errorf("Rank(second.com) = %d, want 2", got)
+	}
+}
+
+func TestReadBadRank(t *testing.T) {
+	if _, err := Read(strings.NewReader("xx,google.com\n")); err == nil {
+		t.Fatal("Read with bad rank: error = nil, want parse error")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := New([]string{"a.com", "b.com", "c.com"})
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for _, d := range []string{"a.com", "b.com", "c.com"} {
+		if back.Rank(d) != l.Rank(d) {
+			t.Errorf("roundtrip rank mismatch for %s", d)
+		}
+	}
+}
+
+func TestDuplicatesKeepFirst(t *testing.T) {
+	l := New([]string{"dup.com", "other.com", "dup.com"})
+	if got := l.Rank("dup.com"); got != 1 {
+		t.Errorf("Rank(dup.com) = %d, want 1", got)
+	}
+}
+
+// Property: every domain passed to New is ranked in [1, len], and ranks of
+// distinct domains are unique.
+func TestQuickNewRanksValid(t *testing.T) {
+	f := func(raw []string) bool {
+		l := New(raw)
+		seen := map[int]bool{}
+		for _, d := range raw {
+			d = strings.ToLower(strings.TrimSpace(d))
+			if d == "" {
+				continue
+			}
+			r := l.Rank(d)
+			if r == UnrankedValue {
+				return false
+			}
+			if r < 1 || r > len(raw) {
+				return false
+			}
+			if seen[r] {
+				continue // same domain seen twice maps to one rank
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

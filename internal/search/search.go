@@ -1,0 +1,175 @@
+// Package search is the simulated search engine used by target
+// identification (Section V-B) and by the Cantina baseline. It maintains a
+// TF-IDF-scored inverted index over the *legitimate* synthetic web —
+// phishing pages are never indexed, implementing the paper's assumption
+// that "a search engine would not return a phishing site as a top hit"
+// (new phishs are not yet indexed; old ones are already blacklisted).
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Doc is one indexed page.
+type Doc struct {
+	// URL is the page address.
+	URL string `json:"url"`
+	// RDN is the page's registered domain, what queries return.
+	RDN string `json:"rdn"`
+	// MLD is the main level domain of RDN.
+	MLD string `json:"mld"`
+	// Terms are the page's index terms (already term-extracted).
+	Terms []string `json:"terms"`
+}
+
+// Result is one search hit.
+type Result struct {
+	RDN   string  `json:"rdn"`
+	MLD   string  `json:"mld"`
+	URL   string  `json:"url"`
+	Score float64 `json:"score"`
+}
+
+// Engine is an in-memory inverted index. Add and Query may be used
+// concurrently.
+type Engine struct {
+	mu       sync.RWMutex
+	docs     []indexedDoc
+	postings map[string][]posting // term → (doc, tf)
+}
+
+type indexedDoc struct {
+	doc Doc
+	len int
+}
+
+type posting struct {
+	doc int
+	tf  int
+}
+
+// NewEngine returns an empty index.
+func NewEngine() *Engine {
+	return &Engine{postings: make(map[string][]posting)}
+}
+
+// Add indexes a document. Empty-term documents are ignored.
+func (e *Engine) Add(d Doc) {
+	if len(d.Terms) == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := len(e.docs)
+	counts := make(map[string]int, len(d.Terms))
+	for _, t := range d.Terms {
+		counts[t]++
+	}
+	e.docs = append(e.docs, indexedDoc{doc: d, len: len(d.Terms)})
+	for t, c := range counts {
+		e.postings[t] = append(e.postings[t], posting{doc: id, tf: c})
+	}
+}
+
+// Len returns the number of indexed documents.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.docs)
+}
+
+// IDF returns the inverse document frequency of term against the index
+// (log(1 + N/df)); terms absent from the corpus get the maximum weight
+// log(1 + N). The Cantina baseline derives its TF-IDF signatures from
+// these statistics.
+func (e *Engine) IDF(term string) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := float64(len(e.docs))
+	if n == 0 {
+		return 0
+	}
+	df := float64(len(e.postings[term]))
+	if df == 0 {
+		df = 1
+	}
+	return math.Log(1 + n/df)
+}
+
+// Query scores documents against the query terms with TF-IDF and returns
+// the top-k results deduplicated by RDN (a real engine returns distinct
+// sites at the top). Deterministic: ties break by RDN.
+func (e *Engine) Query(queryTerms []string, k int) []Result {
+	if k <= 0 || len(queryTerms) == 0 {
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := float64(len(e.docs))
+	if n == 0 {
+		return nil
+	}
+	scores := make(map[int]float64)
+	seen := map[string]struct{}{}
+	for _, qt := range queryTerms {
+		if _, dup := seen[qt]; dup {
+			continue
+		}
+		seen[qt] = struct{}{}
+		posts := e.postings[qt]
+		if len(posts) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(posts)))
+		for _, p := range posts {
+			tf := float64(p.tf) / float64(e.docs[p.doc].len)
+			scores[p.doc] += tf * idf
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	type scored struct {
+		doc   int
+		score float64
+	}
+	all := make([]scored, 0, len(scores))
+	for d, s := range scores {
+		all = append(all, scored{d, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return e.docs[all[i].doc].doc.RDN < e.docs[all[j].doc].doc.RDN
+	})
+	var out []Result
+	byRDN := map[string]struct{}{}
+	for _, s := range all {
+		d := e.docs[s.doc].doc
+		if _, dup := byRDN[d.RDN]; dup {
+			continue
+		}
+		byRDN[d.RDN] = struct{}{}
+		out = append(out, Result{RDN: d.RDN, MLD: d.MLD, URL: d.URL, Score: s.score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// ContainsRDN reports whether rdn appears in results.
+func ContainsRDN(results []Result, rdn string) bool {
+	if rdn == "" {
+		return false
+	}
+	for _, r := range results {
+		if r.RDN == rdn {
+			return true
+		}
+	}
+	return false
+}

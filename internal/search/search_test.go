@@ -1,0 +1,120 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+)
+
+func engineWithDocs() *Engine {
+	e := NewEngine()
+	e.Add(Doc{URL: "https://www.novabank.com/", RDN: "novabank.com", MLD: "novabank",
+		Terms: []string{"nova", "bank", "novabank", "login", "accounts", "savings"}})
+	e.Add(Doc{URL: "https://www.paysphere.com/", RDN: "paysphere.com", MLD: "paysphere",
+		Terms: []string{"pay", "sphere", "paysphere", "wallet", "send", "login"}})
+	e.Add(Doc{URL: "http://www.harborfield.net/", RDN: "harborfield.net", MLD: "harborfield",
+		Terms: []string{"harbor", "field", "harborfield", "news", "stories"}})
+	return e
+}
+
+func TestQueryRanksRelevant(t *testing.T) {
+	e := engineWithDocs()
+	res := e.Query([]string{"nova", "bank", "login"}, 5)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].RDN != "novabank.com" {
+		t.Errorf("top result = %s, want novabank.com", res[0].RDN)
+	}
+	if !ContainsRDN(res, "novabank.com") {
+		t.Error("ContainsRDN failed")
+	}
+	if ContainsRDN(res, "absent.example") {
+		t.Error("ContainsRDN false positive")
+	}
+	if ContainsRDN(res, "") {
+		t.Error("empty RDN must never match")
+	}
+}
+
+func TestQueryIDFWeighting(t *testing.T) {
+	// "login" appears in two docs, "harbor" in one; a query for both must
+	// rank the harbor doc on top (rarer term carries more weight).
+	e := engineWithDocs()
+	res := e.Query([]string{"harbor", "login"}, 3)
+	if len(res) < 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].RDN != "harborfield.net" {
+		t.Errorf("top = %s, want harborfield.net", res[0].RDN)
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	e := engineWithDocs()
+	if res := e.Query(nil, 5); res != nil {
+		t.Error("nil query must return nil")
+	}
+	if res := e.Query([]string{"nova"}, 0); res != nil {
+		t.Error("k=0 must return nil")
+	}
+	if res := e.Query([]string{"zzznomatch"}, 5); res != nil {
+		t.Error("no-match query must return nil")
+	}
+	empty := NewEngine()
+	if res := empty.Query([]string{"nova"}, 5); res != nil {
+		t.Error("empty engine must return nil")
+	}
+}
+
+func TestQueryDeduplicatesByRDN(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 3; i++ {
+		e.Add(Doc{URL: fmt.Sprintf("https://site.example/p%d", i), RDN: "site.example", MLD: "site",
+			Terms: []string{"common", "words"}})
+	}
+	res := e.Query([]string{"common"}, 10)
+	if len(res) != 1 {
+		t.Errorf("results = %d, want 1 (deduplicated by RDN)", len(res))
+	}
+}
+
+func TestQueryTopKRespected(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 20; i++ {
+		e.Add(Doc{URL: fmt.Sprintf("https://s%d.example/", i), RDN: fmt.Sprintf("s%d.example", i), MLD: fmt.Sprintf("s%d", i),
+			Terms: []string{"shared", fmt.Sprintf("unique%d", i)}})
+	}
+	res := e.Query([]string{"shared"}, 7)
+	if len(res) != 7 {
+		t.Errorf("results = %d, want 7", len(res))
+	}
+}
+
+func TestAddIgnoresEmptyDocs(t *testing.T) {
+	e := NewEngine()
+	e.Add(Doc{URL: "https://empty.example/", RDN: "empty.example"})
+	if e.Len() != 0 {
+		t.Error("empty doc must be ignored")
+	}
+}
+
+func TestQueryDeterministicTieBreak(t *testing.T) {
+	e := NewEngine()
+	e.Add(Doc{URL: "u1", RDN: "bbb.example", MLD: "bbb", Terms: []string{"tie"}})
+	e.Add(Doc{URL: "u2", RDN: "aaa.example", MLD: "aaa", Terms: []string{"tie"}})
+	for i := 0; i < 5; i++ {
+		res := e.Query([]string{"tie"}, 2)
+		if res[0].RDN != "aaa.example" {
+			t.Fatalf("tie-break not lexicographic: %v", res)
+		}
+	}
+}
+
+func TestDuplicateQueryTermsCountOnce(t *testing.T) {
+	e := engineWithDocs()
+	a := e.Query([]string{"nova", "nova", "nova"}, 3)
+	b := e.Query([]string{"nova"}, 3)
+	if len(a) != len(b) || a[0].Score != b[0].Score {
+		t.Error("duplicate query terms must not inflate scores")
+	}
+}

@@ -1,0 +1,32 @@
+package terms_test
+
+import (
+	"fmt"
+
+	"knowphish/internal/terms"
+)
+
+func ExampleExtract() {
+	// Section III-B: canonicalize, split on non-letters, drop short
+	// fragments. Homograph characters fold to their base letter.
+	fmt.Println(terms.Extract("Bank of Amérìca — sign-in"))
+	// Output: [bank america sign]
+}
+
+func ExampleHellinger() {
+	legitimate := terms.FromText("harbor field news harbor field stories")
+	phishing := terms.FromText("novabank login verify password")
+	same := terms.FromText("harbor field news harbor field stories")
+
+	fmt.Printf("disjoint: %.0f\n", terms.Hellinger(legitimate, phishing))
+	fmt.Printf("identical: %.0f\n", terms.Hellinger(legitimate, same))
+	// Output:
+	// disjoint: 1
+	// identical: 0
+}
+
+func ExampleDistribution_TopN() {
+	d := terms.FromText("login login login account account secure")
+	fmt.Println(d.TopN(2))
+	// Output: [login account]
+}

@@ -1,0 +1,215 @@
+// Package terms implements the term-extraction scheme of Section III-B of
+// the paper and the probabilistic term distributions compared with the
+// Hellinger distance (Equation 1).
+//
+// A "term" is a maximal run of characters from the 26-letter lowercase
+// English alphabet A = {a..z} of length at least 3, after canonicalizing
+// upper-case, accented and look-alike characters to their base letter
+// (e.g. B, β, b̀, b̂ → b). Everything outside A splits the input. The scheme
+// is deliberately language-independent: no dictionary, no stop-word list,
+// no stemming.
+package terms
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// MinTermLength is the minimum length of an extracted term. Shorter
+// substrings are discarded (Section III-B: "throw away any substring whose
+// length is less than 3").
+const MinTermLength = 3
+
+// Canonicalize maps r to a lowercase English letter in a–z, or -1 when the
+// rune has no base letter (digits, punctuation, CJK, etc.). Accented Latin
+// characters fold to their base letter; Greek look-alikes used in
+// homograph attacks fold to the Latin letter they resemble.
+func Canonicalize(r rune) rune {
+	switch {
+	case 'a' <= r && r <= 'z':
+		return r
+	case 'A' <= r && r <= 'Z':
+		return r + ('a' - 'A')
+	}
+	if r < 128 {
+		return -1
+	}
+	if f, ok := foldTable[r]; ok {
+		return f
+	}
+	// Generic decomposition fallback: strip the combining class by
+	// checking the unicode Latin range tables.
+	if unicode.Is(unicode.Latin, r) {
+		lower := unicode.ToLower(r)
+		if f, ok := foldTable[lower]; ok {
+			return f
+		}
+	}
+	return -1
+}
+
+// Extract splits s into terms per the paper's scheme. The returned slice
+// preserves occurrence order and repetitions (one entry per occurrence),
+// which NewDistribution needs to compute probabilities.
+func Extract(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() >= MinTermLength {
+			out = append(out, cur.String())
+		}
+		cur.Reset()
+	}
+	for _, r := range s {
+		c := Canonicalize(r)
+		if c < 0 {
+			flush()
+			continue
+		}
+		cur.WriteRune(c)
+	}
+	flush()
+	return out
+}
+
+// ExtractAll extracts terms from every string in ss, concatenated in order.
+func ExtractAll(ss []string) []string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, Extract(s)...)
+	}
+	return out
+}
+
+// Distribution is a probabilistic term distribution D_S: each extracted
+// term t_i paired with its occurrence probability p_i within the source,
+// with probabilities in (0, 1] summing to 1 (Section III-B).
+//
+// Terms are stored sorted so that every numeric traversal (Hellinger
+// distance, probability sums) visits them in a fixed order — floating-
+// point accumulation is order-sensitive, and the whole repository
+// guarantees bit-identical results for identical inputs.
+type Distribution struct {
+	terms []string  // sorted ascending
+	probs []float64 // parallel to terms
+	index map[string]int
+	total int
+}
+
+// NewDistribution builds a distribution from a multiset of term
+// occurrences. An empty occurrence list yields the empty distribution.
+func NewDistribution(occurrences []string) Distribution {
+	if len(occurrences) == 0 {
+		return Distribution{}
+	}
+	counts := make(map[string]int, len(occurrences))
+	for _, t := range occurrences {
+		counts[t]++
+	}
+	ts := make([]string, 0, len(counts))
+	for t := range counts {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	probs := make([]float64, len(ts))
+	index := make(map[string]int, len(ts))
+	n := float64(len(occurrences))
+	for i, t := range ts {
+		probs[i] = float64(counts[t]) / n
+		index[t] = i
+	}
+	return Distribution{terms: ts, probs: probs, index: index, total: len(occurrences)}
+}
+
+// FromText extracts terms from s and builds their distribution.
+func FromText(s string) Distribution {
+	return NewDistribution(Extract(s))
+}
+
+// FromStrings extracts terms from every string and builds the combined
+// distribution.
+func FromStrings(ss []string) Distribution {
+	return NewDistribution(ExtractAll(ss))
+}
+
+// Empty reports whether the distribution has no terms.
+func (d Distribution) Empty() bool { return len(d.terms) == 0 }
+
+// Len returns the number of distinct terms.
+func (d Distribution) Len() int { return len(d.terms) }
+
+// TotalOccurrences returns the number of term occurrences the distribution
+// was built from.
+func (d Distribution) TotalOccurrences() int { return d.total }
+
+// P returns the probability of term t, or 0 if absent.
+func (d Distribution) P(t string) float64 {
+	if i, ok := d.index[t]; ok {
+		return d.probs[i]
+	}
+	return 0
+}
+
+// Contains reports whether term t occurs in the distribution.
+func (d Distribution) Contains(t string) bool {
+	_, ok := d.index[t]
+	return ok
+}
+
+// Terms returns the distinct terms in sorted order. The slice is shared;
+// callers must not modify it.
+func (d Distribution) Terms() []string { return d.terms }
+
+// TermSet returns the support of the distribution as a set.
+func (d Distribution) TermSet() map[string]struct{} {
+	out := make(map[string]struct{}, len(d.terms))
+	for _, t := range d.terms {
+		out[t] = struct{}{}
+	}
+	return out
+}
+
+// SubstringProbabilitySum returns the sum of probabilities of terms that
+// are substrings of target. Used by feature set f3: "sum of probability
+// from terms of D that are substrings of starting/landing mld".
+// Deterministic: terms are visited in sorted order.
+func (d Distribution) SubstringProbabilitySum(target string) float64 {
+	if target == "" {
+		return 0
+	}
+	var sum float64
+	for i, t := range d.terms {
+		if strings.Contains(target, t) {
+			sum += d.probs[i]
+		}
+	}
+	return sum
+}
+
+// TopN returns the n most probable terms, ties broken lexicographically
+// for determinism.
+func (d Distribution) TopN(n int) []string {
+	type tp struct {
+		t string
+		p float64
+	}
+	all := make([]tp, 0, len(d.terms))
+	for i, t := range d.terms {
+		all = append(all, tp{t, d.probs[i]})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].p != all[j].p {
+			return all[i].p > all[j].p
+		}
+		return all[i].t < all[j].t
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}

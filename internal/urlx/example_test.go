@@ -1,0 +1,27 @@
+package urlx_test
+
+import (
+	"fmt"
+
+	"knowphish/internal/urlx"
+)
+
+func ExampleParse() {
+	// The worked example from Section II-B of the paper.
+	p := urlx.MustParse("https://www.amazon.co.uk/ap/signin?_encoding=UTF8")
+	fmt.Println("FQDN:", p.FQDN)
+	fmt.Println("RDN:", p.RDN)
+	fmt.Println("mld:", p.MLD)
+	fmt.Println("FreeURL:", p.FreeURL())
+	// Output:
+	// FQDN: www.amazon.co.uk
+	// RDN: amazon.co.uk
+	// mld: amazon
+	// FreeURL: www /ap/signin _encoding=UTF8
+}
+
+func ExampleDecodeHost() {
+	// An IDN homograph domain as it appears in a URL.
+	fmt.Println(urlx.DecodeHost("xn--mnchen-3ya.example"))
+	// Output: münchen.example
+}

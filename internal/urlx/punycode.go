@@ -1,0 +1,257 @@
+package urlx
+
+// Punycode (RFC 3492) for internationalized domain labels. Phishing
+// domains use IDN homographs ("paypаl.com" with a Cyrillic а) which
+// appear in URLs as punycode ("xn--papal-4ve.com"); decoding them lets
+// the term layer apply the paper's §III-B homograph canonicalization to
+// domain names, not just page text.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bootstring parameters for Punycode, RFC 3492 §5.
+const (
+	pcBase        = 36
+	pcTMin        = 1
+	pcTMax        = 26
+	pcSkew        = 38
+	pcDamp        = 700
+	pcInitialBias = 72
+	pcInitialN    = 128
+)
+
+// ACEPrefix is the IDNA ASCII-compatible-encoding label prefix.
+const ACEPrefix = "xn--"
+
+func pcAdapt(delta, numPoints int, firstTime bool) int {
+	if firstTime {
+		delta /= pcDamp
+	} else {
+		delta /= 2
+	}
+	delta += delta / numPoints
+	k := 0
+	for delta > ((pcBase-pcTMin)*pcTMax)/2 {
+		delta /= pcBase - pcTMin
+		k += pcBase
+	}
+	return k + (pcBase-pcTMin+1)*delta/(delta+pcSkew)
+}
+
+// digitValue maps a basic code point to its base-36 value.
+func digitValue(c byte) (int, bool) {
+	switch {
+	case c >= 'a' && c <= 'z':
+		return int(c - 'a'), true
+	case c >= 'A' && c <= 'Z':
+		return int(c - 'A'), true
+	case c >= '0' && c <= '9':
+		return int(c-'0') + 26, true
+	default:
+		return 0, false
+	}
+}
+
+func digitChar(d int) byte {
+	if d < 26 {
+		return byte('a' + d)
+	}
+	return byte('0' + d - 26)
+}
+
+// DecodePunycodeLabel decodes one punycode label body (without the
+// "xn--" prefix) per RFC 3492 §6.2.
+func DecodePunycodeLabel(encoded string) (string, error) {
+	output := []rune{}
+	input := encoded
+	if i := strings.LastIndexByte(encoded, '-'); i >= 0 {
+		for _, r := range encoded[:i] {
+			if r >= 128 {
+				return "", fmt.Errorf("urlx: punycode: non-basic rune %q in literal portion", r)
+			}
+			output = append(output, r)
+		}
+		input = encoded[i+1:]
+	}
+	n := pcInitialN
+	i := 0
+	bias := pcInitialBias
+	pos := 0
+	for pos < len(input) {
+		oldi := i
+		w := 1
+		for k := pcBase; ; k += pcBase {
+			if pos >= len(input) {
+				return "", fmt.Errorf("urlx: punycode: truncated input %q", encoded)
+			}
+			d, ok := digitValue(input[pos])
+			pos++
+			if !ok {
+				return "", fmt.Errorf("urlx: punycode: bad digit %q", input[pos-1])
+			}
+			if d > (1<<31-1-i)/w {
+				return "", fmt.Errorf("urlx: punycode: overflow in %q", encoded)
+			}
+			i += d * w
+			var t int
+			switch {
+			case k <= bias:
+				t = pcTMin
+			case k >= bias+pcTMax:
+				t = pcTMax
+			default:
+				t = k - bias
+			}
+			if d < t {
+				break
+			}
+			if w > (1<<31-1)/(pcBase-t) {
+				return "", fmt.Errorf("urlx: punycode: overflow in %q", encoded)
+			}
+			w *= pcBase - t
+		}
+		bias = pcAdapt(i-oldi, len(output)+1, oldi == 0)
+		if i/(len(output)+1) > 1<<31-1-n {
+			return "", fmt.Errorf("urlx: punycode: overflow in %q", encoded)
+		}
+		n += i / (len(output) + 1)
+		i %= len(output) + 1
+		if n > 0x10FFFF {
+			return "", fmt.Errorf("urlx: punycode: rune out of range in %q", encoded)
+		}
+		output = append(output, 0)
+		copy(output[i+1:], output[i:])
+		output[i] = rune(n)
+		i++
+	}
+	return string(output), nil
+}
+
+// EncodePunycodeLabel encodes one unicode label body to punycode (without
+// the "xn--" prefix) per RFC 3492 §6.3.
+func EncodePunycodeLabel(label string) (string, error) {
+	var out strings.Builder
+	runes := []rune(label)
+	basicCount := 0
+	for _, r := range runes {
+		if r < 128 {
+			out.WriteRune(r)
+			basicCount++
+		}
+	}
+	h := basicCount
+	if basicCount > 0 {
+		out.WriteByte('-')
+	}
+	n := pcInitialN
+	delta := 0
+	bias := pcInitialBias
+	for h < len(runes) {
+		m := 0x7FFFFFFF
+		for _, r := range runes {
+			if int(r) >= n && int(r) < m {
+				m = int(r)
+			}
+		}
+		if m-n > (1<<31-1-delta)/(h+1) {
+			return "", fmt.Errorf("urlx: punycode: overflow encoding %q", label)
+		}
+		delta += (m - n) * (h + 1)
+		n = m
+		for _, r := range runes {
+			if int(r) < n {
+				delta++
+				if delta > 1<<31-1 {
+					return "", fmt.Errorf("urlx: punycode: overflow encoding %q", label)
+				}
+			}
+			if int(r) == n {
+				q := delta
+				for k := pcBase; ; k += pcBase {
+					var t int
+					switch {
+					case k <= bias:
+						t = pcTMin
+					case k >= bias+pcTMax:
+						t = pcTMax
+					default:
+						t = k - bias
+					}
+					if q < t {
+						break
+					}
+					out.WriteByte(digitChar(t + (q-t)%(pcBase-t)))
+					q = (q - t) / (pcBase - t)
+				}
+				out.WriteByte(digitChar(q))
+				bias = pcAdapt(delta, h+1, h == basicCount)
+				delta = 0
+				h++
+			}
+		}
+		delta++
+		n++
+	}
+	return out.String(), nil
+}
+
+// DecodeHost decodes every "xn--" label of a host to its unicode form;
+// labels that fail to decode are kept as-is. Pure-ASCII hosts return
+// unchanged.
+func DecodeHost(host string) string {
+	if !strings.Contains(host, ACEPrefix) {
+		return host
+	}
+	labels := strings.Split(host, ".")
+	for i, l := range labels {
+		if strings.HasPrefix(l, ACEPrefix) {
+			if decoded, err := DecodePunycodeLabel(l[len(ACEPrefix):]); err == nil {
+				labels[i] = decoded
+			}
+		}
+	}
+	return strings.Join(labels, ".")
+}
+
+// EncodeHost encodes every non-ASCII label of a host into punycode;
+// ASCII labels pass through. Labels that fail to encode are kept as-is.
+func EncodeHost(host string) string {
+	labels := strings.Split(host, ".")
+	for i, l := range labels {
+		ascii := true
+		for _, r := range l {
+			if r >= 128 {
+				ascii = false
+				break
+			}
+		}
+		if ascii {
+			continue
+		}
+		if enc, err := EncodePunycodeLabel(l); err == nil {
+			labels[i] = ACEPrefix + enc
+		}
+	}
+	return strings.Join(labels, ".")
+}
+
+// UnicodeMLD returns the mld with punycode decoded ("xn--papal-4ve" →
+// "paypаl"); ASCII mlds return unchanged. Term extraction downstream
+// folds the homograph characters to base letters (§III-B), recovering
+// the brand term a homograph attack hides.
+func (p Parts) UnicodeMLD() string {
+	if !strings.HasPrefix(p.MLD, ACEPrefix) {
+		return p.MLD
+	}
+	return DecodeHost(p.MLD)
+}
+
+// UnicodeRDN returns the RDN with punycode labels decoded.
+func (p Parts) UnicodeRDN() string {
+	if !strings.Contains(p.RDN, ACEPrefix) {
+		return p.RDN
+	}
+	return DecodeHost(p.RDN)
+}

@@ -1,0 +1,109 @@
+package urlx
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPunycodeRFCVectors(t *testing.T) {
+	// Well-known vectors: the RFC 3492 samples plus IDNA classics.
+	tests := []struct{ unicode, encoded string }{
+		{"münchen", "mnchen-3ya"},
+		{"bücher", "bcher-kva"},
+		{"café", "caf-dma"},
+		{"абв", "80acd"}, // xn--80a… is the familiar Cyrillic prefix
+		{"он", "m1ab"},
+	}
+	for _, tt := range tests {
+		enc, err := EncodePunycodeLabel(tt.unicode)
+		if err != nil {
+			t.Fatalf("encode %q: %v", tt.unicode, err)
+		}
+		if enc != tt.encoded {
+			t.Errorf("encode %q = %q, want %q", tt.unicode, enc, tt.encoded)
+		}
+		dec, err := DecodePunycodeLabel(tt.encoded)
+		if err != nil {
+			t.Fatalf("decode %q: %v", tt.encoded, err)
+		}
+		if dec != tt.unicode {
+			t.Errorf("decode %q = %q, want %q", tt.encoded, dec, tt.unicode)
+		}
+	}
+}
+
+func TestPunycodeRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	alphabet := []rune("abcdefgz0123" + "аеорсухіβεαπ" + "üéàñçöß")
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		runes := make([]rune, n)
+		for i := range runes {
+			runes[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		label := string(runes)
+		enc, err := EncodePunycodeLabel(label)
+		if err != nil {
+			t.Fatalf("encode %q: %v", label, err)
+		}
+		dec, err := DecodePunycodeLabel(enc)
+		if err != nil {
+			t.Fatalf("decode %q (from %q): %v", enc, label, err)
+		}
+		if dec != label {
+			t.Fatalf("roundtrip %q -> %q -> %q", label, enc, dec)
+		}
+	}
+}
+
+func TestDecodePunycodeErrors(t *testing.T) {
+	for _, bad := range []string{"!!!", "99999999999a", "ü-abc"} {
+		if _, err := DecodePunycodeLabel(bad); err == nil {
+			t.Errorf("decode %q: want error", bad)
+		}
+	}
+	// "a-" is valid: empty delta sequence, decodes to the literal "a".
+	if got, err := DecodePunycodeLabel("a-"); err != nil || got != "a" {
+		t.Errorf("decode \"a-\" = %q, %v; want \"a\"", got, err)
+	}
+}
+
+func TestDecodeEncodeHost(t *testing.T) {
+	// Homograph of "paypal" with a Cyrillic а.
+	uni := "pаypal"
+	enc := EncodeHost(uni + ".com")
+	if !strings.HasPrefix(enc, ACEPrefix) {
+		t.Fatalf("EncodeHost = %q, want xn-- prefix", enc)
+	}
+	back := DecodeHost(enc)
+	if back != uni+".com" {
+		t.Errorf("DecodeHost(%q) = %q, want %q", enc, back, uni+".com")
+	}
+	// ASCII hosts pass through both ways.
+	if EncodeHost("www.example.com") != "www.example.com" {
+		t.Error("ASCII host changed by EncodeHost")
+	}
+	if DecodeHost("www.example.com") != "www.example.com" {
+		t.Error("ASCII host changed by DecodeHost")
+	}
+}
+
+func TestUnicodeMLDAndRDN(t *testing.T) {
+	enc := EncodeHost("pаypal") // Cyrillic а
+	p := MustParse("http://www." + enc + ".com/login")
+	if p.MLD != enc {
+		t.Fatalf("MLD = %q, want the punycode form %q", p.MLD, enc)
+	}
+	if got := p.UnicodeMLD(); got != "pаypal" {
+		t.Errorf("UnicodeMLD = %q, want the homograph form", got)
+	}
+	if got := p.UnicodeRDN(); got != "pаypal.com" {
+		t.Errorf("UnicodeRDN = %q", got)
+	}
+	// Plain domains return as-is.
+	plain := MustParse("http://example.com/")
+	if plain.UnicodeMLD() != "example" || plain.UnicodeRDN() != "example.com" {
+		t.Error("ASCII mld/rdn altered")
+	}
+}

@@ -1,0 +1,51 @@
+package urlx
+
+// Helpers shared by the testing/quick generators in this package.
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+)
+
+type (
+	quickRand  = rand.Rand
+	quickValue = reflect.Value
+)
+
+// genLabelStr produces a lowercase a-z label with length in [min, max].
+func genLabelStr(r *rand.Rand, min, max int) string {
+	n := min + r.Intn(max-min+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+type domainLabel string
+
+func (domainLabel) Generate(r *quickRand, _ int) quickValue {
+	return reflect.ValueOf(domainLabel(genLabelStr(r, 3, 12)))
+}
+
+type subdomainLabel string
+
+func (subdomainLabel) Generate(r *quickRand, _ int) quickValue {
+	return reflect.ValueOf(subdomainLabel(genLabelStr(r, 1, 8)))
+}
+
+type pathString string
+
+func (pathString) Generate(r *quickRand, _ int) quickValue {
+	n := r.Intn(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte('/')
+		b.WriteString(genLabelStr(r, 1, 6))
+	}
+	if b.Len() == 0 {
+		b.WriteByte('/')
+	}
+	return reflect.ValueOf(pathString(b.String()))
+}

@@ -1,0 +1,148 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BrandCategory is the kind of service a brand operates; it shapes the
+// service vocabulary of its pages and how attractive a phishing target it
+// is.
+type BrandCategory int
+
+// Brand categories, weighted toward the sectors phishing actually targets
+// (APWG reports: financial, payment, webmail, commerce).
+const (
+	CategoryBank BrandCategory = iota + 1
+	CategoryPayment
+	CategoryEmail
+	CategorySocial
+	CategoryCommerce
+	CategoryCloud
+	CategoryTelecom
+	CategoryGaming
+)
+
+func (c BrandCategory) String() string {
+	switch c {
+	case CategoryBank:
+		return "bank"
+	case CategoryPayment:
+		return "payment"
+	case CategoryEmail:
+		return "email"
+	case CategorySocial:
+		return "social"
+	case CategoryCommerce:
+		return "commerce"
+	case CategoryCloud:
+		return "cloud"
+	case CategoryTelecom:
+		return "telecom"
+	case CategoryGaming:
+		return "gaming"
+	default:
+		return "unknown"
+	}
+}
+
+// Brand is a legitimate online service in the synthetic world and a
+// potential phishing target.
+type Brand struct {
+	// Name is the display name, e.g. "Nova Bank".
+	Name string
+	// MLD is the main level domain, e.g. "novabank".
+	MLD string
+	// PS is the public suffix of the registered domain, e.g. "com".
+	PS string
+	// Terms are the brand's name terms after term extraction
+	// ("nova", "bank") — what phishing pages scatter across sources.
+	Terms []string
+	// Category shapes vocabulary and targeting weight.
+	Category BrandCategory
+	// Rank is the brand's position in the synthetic popularity list.
+	Rank int
+
+	indexTerms []string // search-engine document terms, set by buildBrandSite
+}
+
+// RDN returns the brand's registered domain name.
+func (b *Brand) RDN() string { return b.MLD + "." + b.PS }
+
+// HomeURL returns the canonical front-page URL.
+func (b *Brand) HomeURL() string { return "https://www." + b.RDN() + "/" }
+
+// brandStems seed the brand-name generator. They combine into names like
+// "novabank", "paysphere", "mailgrid". All are fictional.
+var brandStems = struct {
+	first, second map[BrandCategory][]string
+}{
+	first: map[BrandCategory][]string{
+		CategoryBank:     {"nova", "northern", "atlas", "sterling", "harbor", "crown", "summit", "pioneer", "meridian", "anchor", "beacon", "granite"},
+		CategoryPayment:  {"pay", "swift", "coin", "fund", "cash", "vault", "mint", "ledger"},
+		CategoryEmail:    {"mail", "post", "inbox", "letter", "courier"},
+		CategorySocial:   {"friend", "link", "share", "buzz", "wave", "circle"},
+		CategoryCommerce: {"shop", "market", "trade", "bazaar", "cart", "store"},
+		CategoryCloud:    {"cloud", "data", "byte", "stack", "node", "grid"},
+		CategoryTelecom:  {"tele", "signal", "connect", "stream", "pulse"},
+		CategoryGaming:   {"game", "play", "quest", "arcade", "pixel"},
+	},
+	second: map[BrandCategory][]string{
+		CategoryBank:     {"bank", "trust", "financial", "savings", "capital", "credit"},
+		CategoryPayment:  {"pal", "sphere", "wallet", "wire", "flow", "point"},
+		CategoryEmail:    {"box", "grid", "hub", "express", "wing"},
+		CategorySocial:   {"book", "space", "net", "gram", "zone"},
+		CategoryCommerce: {"mart", "plaza", "depot", "emporium", "direct"},
+		CategoryCloud:    {"works", "forge", "base", "layer", "core"},
+		CategoryTelecom:  {"com", "line", "net", "wave", "cast"},
+		CategoryGaming:   {"verse", "realm", "arena", "world", "land"},
+	},
+}
+
+var categoryCycle = []BrandCategory{
+	CategoryBank, CategoryPayment, CategoryBank, CategoryEmail,
+	CategoryCommerce, CategoryBank, CategoryPayment, CategorySocial,
+	CategoryCloud, CategoryTelecom, CategoryPayment, CategoryGaming,
+}
+
+var brandSuffixes = []string{"com", "com", "com", "com", "net", "org", "co.uk", "io", "de", "fr", "it", "es", "com.br"}
+
+// generateBrands deterministically creates n distinct brands.
+func generateBrands(rng *rand.Rand, n int) []*Brand {
+	seen := make(map[string]struct{}, n)
+	brands := make([]*Brand, 0, n)
+	for i := 0; len(brands) < n; i++ {
+		cat := categoryCycle[i%len(categoryCycle)]
+		first := pick(rng, brandStems.first[cat])
+		second := pick(rng, brandStems.second[cat])
+		mld := first + second
+		if len(brands) >= len(categoryCycle)*4 && rng.Float64() < 0.35 {
+			// Later brands get a numeric or regional flourish so the
+			// pool stays distinct at scale.
+			mld = fmt.Sprintf("%s%s%d", first, second, 1+rng.Intn(99))
+		}
+		if _, dup := seen[mld]; dup {
+			continue
+		}
+		seen[mld] = struct{}{}
+		name := titleCase(first) + titleCase(second)
+		b := &Brand{
+			Name:     name,
+			MLD:      mld,
+			PS:       pick(rng, brandSuffixes),
+			Category: cat,
+			Rank:     len(brands) + 1,
+		}
+		// Brand terms: what term extraction yields from the name parts.
+		for _, t := range []string{first, second} {
+			if len(t) >= 3 {
+				b.Terms = append(b.Terms, t)
+			}
+		}
+		if len(b.Terms) == 0 {
+			b.Terms = []string{mld}
+		}
+		brands = append(brands, b)
+	}
+	return brands
+}

@@ -1,0 +1,121 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// brandServicePaths lists the path vocabulary of brand sites per category.
+var brandServicePaths = map[BrandCategory][]string{
+	CategoryBank:     {"login", "accounts", "transfers", "cards", "loans", "savings", "support", "security", "branches"},
+	CategoryPayment:  {"signin", "send", "request", "wallet", "business", "fees", "help", "security"},
+	CategoryEmail:    {"inbox", "signin", "compose", "contacts", "settings", "premium", "help"},
+	CategorySocial:   {"login", "profile", "friends", "messages", "photos", "settings", "about"},
+	CategoryCommerce: {"signin", "cart", "orders", "deals", "categories", "returns", "help"},
+	CategoryCloud:    {"login", "console", "storage", "compute", "pricing", "docs", "status"},
+	CategoryTelecom:  {"login", "plans", "devices", "coverage", "billing", "support"},
+	CategoryGaming:   {"login", "store", "library", "community", "support", "news"},
+}
+
+// buildBrandSite creates the persistent pages of one brand: a front page
+// and a login page, plus the brand's search-index terms. The pages live in
+// the world and serve three roles: redirect targets, search-engine corpus,
+// and legitimate dataset members.
+func (w *World) buildBrandSite(rng *rand.Rand, b *Brand) {
+	v := w.vocabFor(English)
+	paths := brandServicePaths[b.Category]
+	rdn := b.RDN()
+	base := "https://www." + rdn
+
+	// Brand copy alternates between the concatenated trade name
+	// ("NovaBank", which term extraction folds to the mld "novabank")
+	// and the spaced phrase ("nova bank"): real sites use both, and the
+	// mld-usage features (f3) rely on the concatenated form appearing.
+	nameTitle := b.Name
+	brandPhrase := strings.Join(b.Terms, " ") + " " + b.Name
+
+	// Front page.
+	var links []hyperlink
+	for _, p := range paths {
+		links = append(links, hyperlink{
+			href:   base + "/" + p,
+			anchor: titleCase(p),
+		})
+	}
+	// A couple of external partner/social links.
+	for i := 0; i < 2; i++ {
+		inf := w.infra[rng.Intn(len(w.infra))]
+		links = append(links, hyperlink{href: "https://" + inf.fqdn + "/" + pick(rng, v.common), anchor: pick(rng, v.common)})
+	}
+	paragraphs := []string{
+		fmt.Sprintf("%s %s %s", titleCase(brandPhrase), v.sentence(rng, 14), pick(rng, v.service)),
+		v.sentence(rng, 18),
+		fmt.Sprintf("%s %s", brandPhrase, v.sentence(rng, 12)),
+	}
+	front := pageSpec{
+		title:    fmt.Sprintf("%s — %s %s", nameTitle, titleCase(pick(rng, v.service)), titleCase(pick(rng, v.service))),
+		headings: []string{fmt.Sprintf("%s %s", titleCase(brandPhrase), titleCase(pick(rng, v.service)))},
+
+		paragraphs: paragraphs,
+		links:      links,
+		scripts:    []string{base + "/static/app.js", "https://" + w.infra[rng.Intn(4)].fqdn + "/lib.js"},
+		styles:     []string{base + "/static/site.css"},
+		images:     []string{base + "/static/logo.png", base + "/static/hero.jpg"},
+		copyright:  fmt.Sprintf("© 2015 %s Inc. All rights reserved.", nameTitle),
+		logoText:   brandPhrase,
+	}
+	frontURL := base + "/"
+	w.pages[frontURL] = &Page{URL: frontURL, HTML: renderHTML(front), ScreenshotText: front.screenshotText()}
+	// The bare-domain URL redirects to the canonical www front page.
+	bare := "https://" + rdn + "/"
+	w.pages[bare] = &Page{URL: bare, RedirectTo: frontURL}
+	httpFront := "http://www." + rdn + "/"
+	w.pages[httpFront] = &Page{URL: httpFront, RedirectTo: frontURL}
+
+	// Login page.
+	loginPath := paths[0]
+	loginURL := base + "/" + loginPath
+	login := pageSpec{
+		title: fmt.Sprintf("%s %s", nameTitle, titleCase(loginPath)),
+		headings: []string{
+			fmt.Sprintf("%s %s %s", titleCase(pick(rng, v.service)), titleCase(brandPhrase), titleCase(pick(rng, v.service))),
+		},
+		paragraphs: []string{
+			fmt.Sprintf("%s %s", brandPhrase, v.sentence(rng, 10)),
+		},
+		links: []hyperlink{
+			{href: base + "/", anchor: nameTitle},
+			{href: base + "/" + paths[len(paths)-1], anchor: titleCase(paths[len(paths)-1])},
+		},
+		scripts:   []string{base + "/static/auth.js"},
+		styles:    []string{base + "/static/site.css"},
+		images:    []string{base + "/static/logo.png"},
+		form:      &formSpec{action: base + "/" + loginPath, inputs: []string{"text", "password"}},
+		copyright: fmt.Sprintf("© 2015 %s Inc.", nameTitle),
+		logoText:  brandPhrase,
+	}
+	w.pages[loginURL] = &Page{URL: loginURL, HTML: renderHTML(login), ScreenshotText: login.screenshotText()}
+
+	// Index terms for the search engine: brand terms + title + service
+	// paths, weighted the way a crawler would see them.
+	b.indexTerms = append(b.indexTerms, b.Terms...)
+	b.indexTerms = append(b.indexTerms, b.Terms...) // brand terms dominate
+	b.indexTerms = append(b.indexTerms, b.MLD)
+	for _, p := range paths {
+		b.indexTerms = append(b.indexTerms, p)
+	}
+	for _, para := range paragraphs {
+		b.indexTerms = append(b.indexTerms, strings.Fields(para)...)
+	}
+}
+
+// BrandSiteURLs returns the canonical URLs of a brand's persistent pages:
+// front page first, then the login page.
+func (w *World) BrandSiteURLs(b *Brand) []string {
+	base := "https://www." + b.RDN()
+	return []string{base + "/", base + "/" + brandServicePaths[b.Category][0]}
+}
+
+// IndexTerms returns the brand's search-engine document terms.
+func (b *Brand) IndexTerms() []string { return b.indexTerms }

@@ -1,0 +1,61 @@
+package webgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"knowphish/internal/terms"
+	"knowphish/internal/urlx"
+)
+
+func TestHomographMLD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	squatted, ok := homographMLD(rng, "novabank")
+	if !ok {
+		t.Fatal("novabank has confusable letters, want ok")
+	}
+	if !strings.HasPrefix(squatted, urlx.ACEPrefix) {
+		t.Fatalf("homograph mld %q not punycode-encoded", squatted)
+	}
+	// Decoding and folding the homograph recovers the brand term — the
+	// §III-B canonicalization contract.
+	decoded := urlx.DecodeHost(squatted)
+	if decoded == "novabank" {
+		t.Fatal("homograph identical to original after decoding")
+	}
+	folded := terms.Extract(decoded)
+	if len(folded) != 1 || folded[0] != "novabank" {
+		t.Fatalf("folded homograph = %v, want [novabank]", folded)
+	}
+
+	if _, ok := homographMLD(rng, "zzz"); ok {
+		t.Error("mld with no confusable letters must return ok=false")
+	}
+}
+
+func TestHomographPhishSiteParses(t *testing.T) {
+	w := testWorld(t)
+	rng := rand.New(rand.NewSource(2))
+	// Force enough typosquats that homographs appear.
+	seen := false
+	for i := 0; i < 80 && !seen; i++ {
+		site := w.NewPhishSite(rng, PhishOptions{Hosting: HostTyposquat})
+		if !strings.Contains(site.RDN, urlx.ACEPrefix) {
+			continue
+		}
+		seen = true
+		p := urlx.MustParse(site.StartURL)
+		if p.RDN != site.RDN {
+			t.Errorf("parsed RDN %q != site RDN %q", p.RDN, site.RDN)
+		}
+		// The unicode mld folds back toward the target's terms.
+		uni := p.UnicodeMLD()
+		if uni == p.MLD {
+			t.Errorf("UnicodeMLD did not decode %q", p.MLD)
+		}
+	}
+	if !seen {
+		t.Skip("no homograph typosquat drawn in 80 tries (rate 0.12 — statistically near-impossible)")
+	}
+}

@@ -1,0 +1,152 @@
+package webgen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Language identifies one of the six evaluation languages of the paper
+// (Table V: English plus French, German, Italian, Portuguese, Spanish).
+type Language string
+
+// The six evaluation languages.
+const (
+	English    Language = "english"
+	French     Language = "french"
+	German     Language = "german"
+	Italian    Language = "italian"
+	Portuguese Language = "portuguese"
+	Spanish    Language = "spanish"
+)
+
+// Languages lists all six evaluation languages in the paper's order.
+var Languages = []Language{English, French, German, Italian, Portuguese, Spanish}
+
+// vocabulary holds the word pools of one language. Common words are
+// synthetic (syllable-generated, so languages have disjoint content
+// vocabularies); service words are fixed real translations so that pages
+// read plausibly and phishing lure terms differ per language.
+type vocabulary struct {
+	lang    Language
+	common  []string // content words
+	service []string // login/account/security vocabulary
+	glue    []string // short function words (mostly dropped by term extraction)
+}
+
+var syllableInventory = map[Language][]string{
+	English:    {"ing", "ter", "con", "pre", "ment", "tion", "ble", "ward", "ly", "ness", "ship", "fold", "stone", "ridge", "brook", "field", "wood", "mark", "light", "dale"},
+	French:     {"eau", "oux", "tion", "ment", "ette", "elle", "oir", "age", "eur", "ais", "champ", "mont", "ville", "fleur", "clair", "roche", "bois", "lune", "plume", "vigne"},
+	German:     {"ung", "keit", "schaft", "lich", "berg", "burg", "stein", "wald", "feld", "bach", "hof", "dorf", "mann", "haus", "werk", "zeug", "kraft", "blick", "grund", "tal"},
+	Italian:    {"zione", "mento", "ella", "ino", "etto", "ante", "issimo", "aggio", "iere", "oso", "monte", "fiore", "valle", "porto", "campo", "torre", "ponte", "stella", "mare", "sole"},
+	Portuguese: {"ção", "mento", "inho", "eira", "ador", "agem", "ista", "oso", "dade", "ual", "campo", "serra", "praia", "ponte", "pedra", "flor", "rio", "mato", "vento", "sol"},
+	Spanish:    {"ción", "miento", "illo", "ero", "ador", "aje", "ista", "oso", "dad", "ual", "campo", "sierra", "playa", "puente", "piedra", "flor", "rio", "monte", "viento", "luz"},
+}
+
+var serviceWords = map[Language][]string{
+	English:    {"login", "account", "secure", "password", "signin", "verify", "update", "bank", "banking", "payment", "card", "credit", "online", "customer", "service", "support", "help", "confirm", "identity", "access", "wallet", "transfer", "statement", "billing"},
+	French:     {"connexion", "compte", "securise", "motdepasse", "verifier", "mise", "jour", "banque", "paiement", "carte", "credit", "ligne", "client", "service", "assistance", "aide", "confirmer", "identite", "acces", "portefeuille", "virement", "releve", "facturation"},
+	German:     {"anmeldung", "konto", "sicher", "passwort", "einloggen", "bestatigen", "aktualisieren", "bank", "zahlung", "karte", "kredit", "online", "kunde", "dienst", "hilfe", "identitat", "zugang", "uberweisung", "kontoauszug", "rechnung", "sicherheit"},
+	Italian:    {"accesso", "conto", "sicuro", "password", "entra", "verifica", "aggiorna", "banca", "pagamento", "carta", "credito", "online", "cliente", "servizio", "assistenza", "aiuto", "conferma", "identita", "portafoglio", "bonifico", "estratto", "fattura"},
+	Portuguese: {"entrar", "conta", "seguro", "senha", "acesso", "verificar", "atualizar", "banco", "pagamento", "cartao", "credito", "online", "cliente", "servico", "suporte", "ajuda", "confirmar", "identidade", "carteira", "transferencia", "extrato", "fatura"},
+	Spanish:    {"ingresar", "cuenta", "seguro", "contrasena", "acceso", "verificar", "actualizar", "banco", "pago", "tarjeta", "credito", "linea", "cliente", "servicio", "soporte", "ayuda", "confirmar", "identidad", "cartera", "transferencia", "extracto", "factura"},
+}
+
+var glueWords = map[Language][]string{
+	English:    {"the", "and", "for", "with", "you", "our", "your", "all", "new", "now", "more", "here", "this", "that", "from"},
+	French:     {"les", "des", "une", "pour", "avec", "vous", "nos", "votre", "tout", "plus", "ici", "cette", "dans", "sur"},
+	German:     {"der", "die", "das", "und", "fur", "mit", "sie", "ihr", "alle", "neu", "mehr", "hier", "diese", "auf"},
+	Italian:    {"gli", "delle", "una", "per", "con", "voi", "nostro", "vostro", "tutto", "piu", "qui", "questa", "nel"},
+	Portuguese: {"dos", "das", "uma", "para", "com", "voce", "nosso", "seu", "tudo", "mais", "aqui", "esta", "sobre"},
+	Spanish:    {"los", "las", "una", "para", "con", "usted", "nuestro", "todo", "mas", "aqui", "esta", "sobre", "del"},
+}
+
+// langSeed gives each language its own deterministic vocabulary stream.
+func langSeed(l Language) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range string(l) {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// newVocabulary deterministically builds the word pools of a language.
+func newVocabulary(l Language, commonWords int) *vocabulary {
+	rng := rand.New(rand.NewSource(langSeed(l)))
+	syl := syllableInventory[l]
+	seen := make(map[string]struct{}, commonWords)
+	common := make([]string, 0, commonWords)
+	for len(common) < commonWords {
+		n := 2 + rng.Intn(2)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(syl[rng.Intn(len(syl))])
+		}
+		w := sanitizeWord(b.String())
+		// Keep word lengths in a band comparable across languages:
+		// long-syllable languages otherwise skew every URL-length
+		// feature relative to the (English) training distribution.
+		if len(w) < 3 || len(w) > 10 {
+			continue
+		}
+		if _, dup := seen[w]; dup {
+			continue
+		}
+		seen[w] = struct{}{}
+		common = append(common, w)
+	}
+	return &vocabulary{
+		lang:    l,
+		common:  common,
+		service: serviceWords[l],
+		glue:    glueWords[l],
+	}
+}
+
+// sanitizeWord lowercases and strips non a–z bytes (the syllable tables
+// contain accented characters to stay language-plausible; domains and some
+// sources need the folded form).
+func sanitizeWord(w string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(w) {
+		switch {
+		case r >= 'a' && r <= 'z':
+			b.WriteRune(r)
+		case r == 'ç':
+			b.WriteByte('c')
+		case r == 'ã' || r == 'á' || r == 'à':
+			b.WriteByte('a')
+		case r == 'õ' || r == 'ó':
+			b.WriteByte('o')
+		case r == 'é' || r == 'ê':
+			b.WriteByte('e')
+		case r == 'í':
+			b.WriteByte('i')
+		case r == 'ú' || r == 'ü':
+			b.WriteByte('u')
+		}
+	}
+	return b.String()
+}
+
+// pick returns a uniformly random element of words.
+func pick(rng *rand.Rand, words []string) string {
+	return words[rng.Intn(len(words))]
+}
+
+// sentence builds a space-separated pseudo-sentence of n words mixing
+// common, glue and occasional service words.
+func (v *vocabulary) sentence(rng *rand.Rand, n int) string {
+	parts := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.18:
+			parts = append(parts, pick(rng, v.glue))
+		case r < 0.30:
+			parts = append(parts, pick(rng, v.service))
+		default:
+			parts = append(parts, pick(rng, v.common))
+		}
+	}
+	return strings.Join(parts, " ")
+}

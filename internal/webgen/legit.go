@@ -1,0 +1,442 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// LegitOptions tunes legitimate-site generation. The zero value asks for a
+// random realistic site.
+type LegitOptions struct {
+	// Lang is the content language (default English).
+	Lang Language
+	// BrandVisit, when true, produces a visit to a real brand page
+	// instead of a generic site.
+	BrandVisit bool
+	// NewsStyle forces the news-site pattern where link anchors repeat
+	// their URLs (a false-positive source the paper discusses in §V-A).
+	NewsStyle bool
+	// LoginPage forces the hard-negative login-page pattern: short
+	// text, credential form, few links — structurally phish-like.
+	LoginPage bool
+	// MerchantCheckout forces the hard-negative checkout pattern: a
+	// small shop embedding a payment brand's content and links — brand
+	// terms on a page that does not own the brand's domain.
+	MerchantCheckout bool
+}
+
+// NewLegitSite generates one legitimate website visit. Roughly 43% of
+// generic sites use a pre-ranked (popular) RDN, mirroring the paper's
+// observation that 43.5% of its legitimate test URLs were in the Alexa
+// top 1M.
+func (w *World) NewLegitSite(rng *rand.Rand, opts LegitOptions) *Site {
+	if opts.Lang == "" {
+		opts.Lang = English
+	}
+	if opts.BrandVisit || (!opts.NewsStyle && rng.Float64() < 0.10) {
+		return w.newBrandVisit(rng, opts.Lang)
+	}
+	return w.newGenericSite(rng, opts)
+}
+
+// newBrandVisit visits one of the world's persistent brand pages.
+func (w *World) newBrandVisit(rng *rand.Rand, lang Language) *Site {
+	b := w.Brands[rng.Intn(len(w.Brands))]
+	urls := w.BrandSiteURLs(b)
+	start := urls[rng.Intn(len(urls))]
+	// Users sometimes arrive via the bare domain or http; those redirect.
+	if rng.Float64() < 0.3 {
+		start = "http://www." + b.RDN() + "/"
+	}
+	site := &Site{
+		StartURL: start,
+		Pages:    map[string]*Page{},
+		Kind:     KindBrand,
+		Lang:     lang,
+		RDN:      b.RDN(),
+	}
+	// Brand pages live in the world; the site needs no own pages, but
+	// Fetch must still resolve them, so the crawler composes fetchers.
+	return site
+}
+
+// newGenericSite generates an ordinary website: blog, shop, forum or news
+// site, with the statistical shape legitimate pages have (mostly internal
+// links, site name reflected in its domain, moderate external content).
+func (w *World) newGenericSite(rng *rand.Rand, opts LegitOptions) *Site {
+	v := w.vocabFor(opts.Lang)
+
+	// Hard-negative variants: real pages that share structure with
+	// phishing pages (the paper's false-positive discussion, §VII-B).
+	loginVariant := opts.LoginPage || (!opts.NewsStyle && rng.Float64() < 0.08)
+	merchantVariant := !loginVariant && (opts.MerchantCheckout || rng.Float64() < 0.03)
+	// Session portals: ugly tokenized landing URLs with perfectly
+	// ordinary content — the legit pages URL-only features misjudge.
+	portalVariant := !loginVariant && !merchantVariant && rng.Float64() < 0.06
+
+	// ~43% of sites use a pre-ranked RDN (Alexa membership of the
+	// paper's test URLs); login pages skew toward small unranked sites.
+	rankedP := 0.43
+	if loginVariant {
+		rankedP = 0.25
+	}
+	var g rankedGeneric
+	if rng.Float64() < rankedP {
+		pool := w.rankedRDN[opts.Lang]
+		g = pool[rng.Intn(len(pool))]
+	} else {
+		g = w.newGenericRDN(rng, v)
+	}
+	rdn := g.rdn
+	siteTerms := g.terms
+	if len(siteTerms) == 0 {
+		// Digit-salad domains still have a human name ("dl4a" is run by
+		// "Premier Financial"): the text talks about the human name, so
+		// the mld never appears in content — the paper's hard case.
+		siteTerms = []string{pick(rng, v.common), pick(rng, v.common)}
+	}
+
+	useWWW := rng.Float64() < 0.6
+	https := rng.Float64() < 0.55
+	if loginVariant {
+		https = rng.Float64() < 0.7
+	}
+	proto := "http"
+	if https {
+		proto = "https"
+	}
+	host := rdn
+	if useWWW {
+		host = "www." + rdn
+	}
+	base := proto + "://" + host
+
+	// Landing path: front page or a content page.
+	landPath := "/"
+	if rng.Float64() < 0.5 {
+		landPath = "/" + pick(rng, v.common)
+		if rng.Float64() < 0.4 {
+			landPath += "/" + pick(rng, v.common)
+		}
+	}
+	if loginVariant || (merchantVariant && rng.Float64() < 0.5) {
+		landPath = "/" + pick(rng, v.service)
+	}
+	if portalVariant {
+		landPath = fmt.Sprintf("/s/%x/%s?session=%x&ts=%d",
+			rng.Int63(), pick(rng, v.service), rng.Int63(), 1400000000+rng.Intn(99999999))
+	}
+	// Session/tracking noise in legitimate URLs, so query strings are
+	// not a phishing tell by themselves.
+	if !portalVariant && rng.Float64() < 0.18 {
+		landPath += fmt.Sprintf("?id=%d&ref=%s", rng.Intn(100000), pick(rng, v.common))
+	}
+	landURL := base + landPath
+	startURL := landURL
+	var chainPages []*Page
+
+	// Sites refer to themselves both by spaced name ("harbor field") and
+	// by their run-together domain name ("harborfield") — the latter is
+	// what the f3 mld-usage features detect on legitimate pages.
+	concatName := strings.Join(siteTerms, "")
+	sitePhrase := strings.Join(siteTerms, " ")
+	if len(siteTerms) > 1 && g.terms != nil {
+		sitePhrase += " " + concatName
+	} else if g.terms != nil && rng.Float64() < 0.9 {
+		sitePhrase = concatName
+	}
+	nameTitle := titleCase(strings.Join(siteTerms, " "))
+	if g.terms != nil && rng.Float64() < 0.75 {
+		nameTitle = titleCase(concatName)
+	}
+
+	// Body text: site name + language content. ~88% of sites mention
+	// their own name in the text (the remainder feed the FP pool).
+	nText := 30 + rng.Intn(160)
+	if loginVariant {
+		nText = 6 + rng.Intn(24) // login pages are terse, like phish
+	}
+	var paras []string
+	mentions := rng.Float64() < 0.88
+	if loginVariant {
+		mentions = rng.Float64() < 0.6
+	}
+	if merchantVariant || portalVariant {
+		// These pages always carry their own identity: that is what
+		// lets the term-consistency features clear them.
+		mentions = true
+	}
+	nPara := 2 + rng.Intn(4)
+	for i := 0; i < nPara; i++ {
+		s := v.sentence(rng, nText/nPara)
+		if mentions && i == 0 {
+			s = sitePhrase + " " + s
+		}
+		if mentions && rng.Float64() < 0.5 {
+			s += " " + sitePhrase
+		}
+		paras = append(paras, s)
+	}
+	// Sites routinely write their own address in prose ("visit us at
+	// dadesol.com"), injecting the RDN's terms — including "com"/"net" —
+	// into the text distribution of legitimate pages.
+	if mentions && rng.Float64() < 0.3 {
+		paras = append(paras, pick(rng, v.common)+" "+rdn+" "+pick(rng, v.common))
+	}
+
+	// Merchant checkout: the page talks about the payment brand and
+	// embeds its content — brand terms without owning the brand domain.
+	var embeddedBrand *Brand
+	if merchantVariant {
+		embeddedBrand = w.Brands[rng.Intn(len(w.Brands))]
+		enV := w.vocabFor(English)
+		if rng.Float64() < 0.3 {
+			// Pure checkout page: terse, payment-focused — the hardest
+			// legitimate case.
+			paras = paras[:1]
+		}
+		paras = append(paras, fmt.Sprintf("%s %s %s %s",
+			pick(rng, enV.service), embeddedBrand.Name,
+			strings.Join(embeddedBrand.Terms, " "), pick(rng, enV.service)))
+	}
+
+	// Title: site name + topic words (82% include the name). A good
+	// fraction of real sites title themselves by their full domain
+	// ("dadesol.com — News"), putting suffix terms in the title.
+	siteTitle := nameTitle
+	if rng.Float64() < 0.25 {
+		siteTitle = rdn
+	}
+	title := titleCase(v.sentence(rng, 2+rng.Intn(3)))
+	if rng.Float64() < 0.82 {
+		title = siteTitle + " — " + title
+	}
+	if loginVariant {
+		title = titleCase(pick(rng, v.service))
+		if rng.Float64() < 0.6 {
+			title = nameTitle + " — " + title
+		}
+	}
+	if embeddedBrand != nil && rng.Float64() < 0.1 {
+		// A few checkout pages name the payment brand in the title
+		// ("Pay with PaySphere — Dadesol").
+		title = embeddedBrand.Name + " — " + nameTitle
+	}
+
+	// Internal links.
+	var links []hyperlink
+	nInt := 4 + rng.Intn(10)
+	if loginVariant {
+		nInt = 1 + rng.Intn(4)
+	}
+	for i := 0; i < nInt; i++ {
+		p := "/" + pick(rng, v.common)
+		if rng.Float64() < 0.35 {
+			p += "/" + pick(rng, v.common)
+		}
+		links = append(links, hyperlink{href: base + p, anchor: titleCase(pick(rng, v.common))})
+	}
+	// External HREF links: other generic sites, brands, social.
+	nExt := rng.Intn(6)
+	if opts.NewsStyle {
+		nExt = 5 + rng.Intn(8)
+	}
+	if loginVariant {
+		nExt = rng.Intn(2)
+	}
+	for i := 0; i < nExt; i++ {
+		target := w.randomExternalSite(rng, opts.Lang)
+		anchor := titleCase(pick(rng, v.common))
+		if opts.NewsStyle {
+			// News practice: anchor text repeats the URL, injecting URL
+			// terms into the text distribution.
+			anchor = target
+		}
+		links = append(links, hyperlink{href: target, anchor: anchor})
+	}
+	if embeddedBrand != nil {
+		// Checkout buttons and terms links point at the payment brand —
+		// external links concentrated on one brand RDN, like a phish.
+		brandBase := "https://www." + embeddedBrand.RDN()
+		paths := brandServicePaths[embeddedBrand.Category]
+		for i := 0; i < 2+rng.Intn(2); i++ {
+			links = append(links, hyperlink{
+				href:   brandBase + "/" + pick(rng, paths),
+				anchor: embeddedBrand.Name,
+			})
+		}
+	}
+
+	// Resources: internal static assets plus infra (analytics, cdn, ads).
+	statics := []string{base + "/static/site.css"}
+	scripts := []string{base + "/static/main.js"}
+	nInfra := rng.Intn(4)
+	for i := 0; i < nInfra; i++ {
+		inf := w.infra[rng.Intn(len(w.infra))]
+		scripts = append(scripts, "https://"+inf.fqdn+"/"+pick(rng, v.common)+".js")
+	}
+	var images []string
+	nImg := 1 + rng.Intn(8)
+	if loginVariant {
+		nImg = rng.Intn(3)
+	}
+	for i := 0; i < nImg; i++ {
+		if rng.Float64() < 0.8 {
+			images = append(images, base+"/img/"+pick(rng, v.common)+".jpg")
+		} else {
+			inf := w.infra[rng.Intn(len(w.infra))]
+			images = append(images, "https://"+inf.fqdn+"/img/"+pick(rng, v.common)+".png")
+		}
+	}
+	if embeddedBrand != nil {
+		images = append(images, "https://www."+embeddedBrand.RDN()+"/static/logo.png")
+	}
+
+	// Forms: most sites have at most a search box; 12% have a login.
+	var form *formSpec
+	switch r := rng.Float64(); {
+	case loginVariant:
+		form = &formSpec{action: base + "/" + pick(rng, v.service), inputs: []string{"text", "password"}}
+		if rng.Float64() < 0.3 {
+			form.inputs = append(form.inputs, "text")
+		}
+	case merchantVariant && r < 0.4:
+		// Checkout card form: several inputs, like a phishing page.
+		form = &formSpec{action: base + "/" + pick(rng, w.vocabFor(English).service), inputs: []string{"text", "text", "tel", "text"}}
+	case r < 0.45:
+		form = &formSpec{action: base + "/search", inputs: []string{"text"}}
+	case r < 0.57:
+		form = &formSpec{action: base + "/login", inputs: []string{"text", "password"}}
+	}
+
+	var iframes []string
+	if rng.Float64() < 0.18 {
+		inf := w.adNetworks[rng.Intn(len(w.adNetworks))]
+		iframes = append(iframes, "https://ads."+inf+"/frame/"+pick(rng, v.common))
+	}
+
+	var copyright string
+	if rng.Float64() < 0.75 {
+		copyright = fmt.Sprintf("© %d %s", 2009+rng.Intn(7), nameTitle)
+	}
+
+	spec := pageSpec{
+		title:      title,
+		headings:   []string{nameTitle},
+		paragraphs: paras,
+		links:      links,
+		scripts:    scripts,
+		styles:     statics,
+		images:     images,
+		iframes:    iframes,
+		form:       form,
+		copyright:  copyright,
+	}
+
+	site := &Site{
+		StartURL:      startURL,
+		Pages:         map[string]*Page{},
+		Kind:          KindGeneric,
+		Lang:          opts.Lang,
+		RDN:           rdn,
+		embeddedBrand: embeddedBrand,
+	}
+	// Occasional on-site redirect (session bounce): start at the bare
+	// path, land at the canonical one.
+	switch bounce := rng.Float64(); {
+	case bounce < 0.12 && landPath != "/":
+		startURL = base + "/"
+		site.StartURL = startURL
+		chainPages = append(chainPages, &Page{URL: startURL, RedirectTo: landURL})
+	case bounce < 0.22:
+		// Newsletter/tracking starting URLs: the messy links real mail
+		// campaigns distribute ("/c/click?u=ab12&m=345&l=67"), which
+		// look phish-like to URL-only features.
+		startURL = fmt.Sprintf("%s/%s/click.php?u=%x&m=%d&l=%d&ref=%s.%s",
+			base, pick(rng, []string{"c", "track", "e", "r"}),
+			rng.Int31(), rng.Intn(10000), rng.Intn(100),
+			pick(rng, v.common), pick(rng, v.common))
+		site.StartURL = startURL
+		chainPages = append(chainPages, &Page{URL: startURL, RedirectTo: landURL})
+	}
+	for _, p := range chainPages {
+		site.Pages[p.URL] = p
+	}
+	site.Pages[landURL] = &Page{
+		URL:            landURL,
+		HTML:           renderHTML(spec),
+		ScreenshotText: spec.screenshotText(),
+	}
+	return site
+}
+
+// randomExternalSite returns a plausible external link target.
+func (w *World) randomExternalSite(rng *rand.Rand, lang Language) string {
+	switch r := rng.Float64(); {
+	case r < 0.25:
+		b := w.Brands[rng.Intn(len(w.Brands))]
+		return b.HomeURL()
+	case r < 0.4:
+		inf := w.infra[rng.Intn(len(w.infra))]
+		return "https://" + inf.fqdn + "/"
+	default:
+		pool := w.rankedRDN[lang]
+		g := pool[rng.Intn(len(pool))]
+		v := w.vocabFor(lang)
+		return "http://www." + g.rdn + "/" + pick(rng, v.common)
+	}
+}
+
+// NewParkedSite generates a parked-domain page: a typosquatted or
+// obfuscated FQDN serving only ad links, which the paper notes is often
+// misclassified as phishing (§VII-B).
+func (w *World) NewParkedSite(rng *rand.Rand) *Site {
+	v := w.vocabFor(English)
+	b := w.Brands[rng.Intn(len(w.Brands))]
+	mld := typosquat(rng, b.MLD)
+	rdn := mld + "." + pick(rng, []string{"com", "net", "info", "xyz"})
+	base := "http://" + rdn
+	landURL := base + "/"
+	var links []hyperlink
+	for i := 0; i < 6+rng.Intn(8); i++ {
+		ad := w.adNetworks[rng.Intn(len(w.adNetworks))]
+		links = append(links, hyperlink{
+			href:   "http://ads." + ad + "/click?kw=" + pick(rng, v.service),
+			anchor: titleCase(pick(rng, v.service) + " " + pick(rng, v.common)),
+		})
+	}
+	spec := pageSpec{
+		title:      rdn + " — domain parked",
+		paragraphs: []string{"this domain is parked free courtesy of the registrar", "related searches"},
+		links:      links,
+		images:     []string{"http://ads." + w.adNetworks[0] + "/banner.png"},
+	}
+	site := &Site{
+		StartURL: landURL,
+		Pages:    map[string]*Page{landURL: {URL: landURL, HTML: renderHTML(spec), ScreenshotText: spec.screenshotText()}},
+		Kind:     KindParked,
+		Lang:     English,
+		RDN:      rdn,
+	}
+	return site
+}
+
+// NewUnavailableSite generates a dead page: empty or near-empty content,
+// the other cleaning-pass case of Table V.
+func (w *World) NewUnavailableSite(rng *rand.Rand) *Site {
+	v := w.vocabFor(English)
+	rdn := pick(rng, v.common) + pick(rng, v.common) + ".com"
+	landURL := "http://" + rdn + "/"
+	html := "<html><head><title></title></head><body>404 not found</body></html>"
+	if rng.Float64() < 0.5 {
+		html = "<html><body></body></html>"
+	}
+	return &Site{
+		StartURL: landURL,
+		Pages:    map[string]*Page{landURL: {URL: landURL, HTML: html}},
+		Kind:     KindUnavailable,
+		Lang:     English,
+		RDN:      rdn,
+	}
+}

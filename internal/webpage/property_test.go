@@ -1,0 +1,154 @@
+package webpage
+
+import (
+	"math/rand"
+	"testing"
+
+	"knowphish/internal/terms"
+)
+
+// randomSnapshot builds structurally varied snapshots for property tests.
+func randomSnapshot(rng *rand.Rand) *Snapshot {
+	word := func() string {
+		n := 3 + rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	domain := func() string { return word() + "." + []string{"com", "net", "org", "co.uk"}[rng.Intn(4)] }
+	url := func(host string) string {
+		u := []string{"http://", "https://"}[rng.Intn(2)] + host
+		for i := 0; i < rng.Intn(3); i++ {
+			u += "/" + word()
+		}
+		return u
+	}
+	land := domain()
+	s := &Snapshot{
+		StartingURL: url(land),
+	}
+	s.LandingURL = s.StartingURL
+	s.RedirectionChain = []string{s.StartingURL}
+	if rng.Float64() < 0.3 {
+		start := url(domain())
+		s.StartingURL = start
+		s.RedirectionChain = []string{start, s.LandingURL}
+	}
+	for i := 0; i < rng.Intn(8); i++ {
+		host := land
+		if rng.Float64() < 0.5 {
+			host = domain()
+		}
+		s.LoggedLinks = append(s.LoggedLinks, url(host))
+	}
+	for i := 0; i < rng.Intn(8); i++ {
+		host := land
+		if rng.Float64() < 0.5 {
+			host = domain()
+		}
+		s.HREFLinks = append(s.HREFLinks, url(host))
+	}
+	var text []string
+	for i := 0; i < rng.Intn(40); i++ {
+		text = append(text, word())
+	}
+	s.Text = joinWords(text)
+	s.Title = word() + " " + word()
+	return s
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+// TestPropertyClassificationPartition: every logged/HREF link lands in
+// exactly one of the internal/external groups, and internal links' RDNs
+// are always in the controlled set.
+func TestPropertyClassificationPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		s := randomSnapshot(rng)
+		a := Analyze(s)
+		if got, want := len(a.IntLog)+len(a.ExtLog), len(s.LoggedLinks); got != want {
+			t.Fatalf("logged links partition: %d classified vs %d input", got, want)
+		}
+		if got, want := len(a.IntLink)+len(a.ExtLink), len(s.HREFLinks); got != want {
+			t.Fatalf("HREF links partition: %d classified vs %d input", got, want)
+		}
+		for _, p := range a.IntLog {
+			if _, ok := a.ControlledRDNs[p.RDN]; !ok && !p.IsIP {
+				t.Fatalf("internal logged link %s has uncontrolled RDN %s", p.Raw, p.RDN)
+			}
+		}
+		for _, p := range a.ExtLink {
+			if _, ok := a.ControlledRDNs[p.RDN]; ok {
+				t.Fatalf("external HREF link %s has controlled RDN %s", p.Raw, p.RDN)
+			}
+		}
+	}
+}
+
+// TestPropertyDistributionsWellFormed: every distribution is a proper
+// probability distribution and every pairwise Hellinger distance is in
+// [0,1] with H(d,d) = 0.
+func TestPropertyDistributionsWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		a := Analyze(randomSnapshot(rng))
+		for _, id := range FeatureDistIDs {
+			d := a.Dist(id)
+			if d.Empty() {
+				continue
+			}
+			var sum float64
+			for _, term := range d.Terms() {
+				sum += d.P(term)
+			}
+			if sum < 0.999999 || sum > 1.000001 {
+				t.Fatalf("%v probabilities sum to %v", id, sum)
+			}
+			if got := terms.Hellinger(d, d); got != 0 {
+				t.Fatalf("H(%v,%v) = %v, want 0", id, id, got)
+			}
+		}
+		for i, idA := range FeatureDistIDs {
+			for _, idB := range FeatureDistIDs[i+1:] {
+				h := terms.Hellinger(a.Dist(idA), a.Dist(idB))
+				if h < 0 || h > 1 {
+					t.Fatalf("H(%v,%v) = %v out of [0,1]", idA, idB, h)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyAnalyzeIdempotent: analyzing the same snapshot twice gives
+// identical distributions (the determinism contract).
+func TestPropertyAnalyzeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		s := randomSnapshot(rng)
+		a1 := Analyze(s)
+		a2 := Analyze(s)
+		for _, id := range FeatureDistIDs {
+			d1, d2 := a1.Dist(id), a2.Dist(id)
+			if d1.Len() != d2.Len() {
+				t.Fatalf("%v support size differs", id)
+			}
+			for _, term := range d1.Terms() {
+				if d1.P(term) != d2.P(term) {
+					t.Fatalf("%v P(%q) differs", id, term)
+				}
+			}
+		}
+	}
+}

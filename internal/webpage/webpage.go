@@ -1,0 +1,368 @@
+// Package webpage models the data sources a browser observes when loading
+// a page (Section II-C of the paper) and derives from them the term
+// distributions of Table I, split by the control/constraint scheme of
+// Section III-A.
+//
+// A Snapshot is what the scraper records for one visit. An Analysis is the
+// derived view: URLs parsed into parts, links classified internal versus
+// external by the redirection-chain RDN set, and the fourteen term
+// distributions.
+package webpage
+
+import (
+	"strings"
+
+	"knowphish/internal/htmlx"
+	"knowphish/internal/terms"
+	"knowphish/internal/urlx"
+)
+
+// Snapshot records the raw data sources gathered while visiting one page.
+// It is the unit of dataset storage and of classification.
+type Snapshot struct {
+	// StartingURL is the URL given to the user (email, message, ...).
+	StartingURL string `json:"starting_url"`
+	// LandingURL is the final URL in the browser address bar.
+	LandingURL string `json:"landing_url"`
+	// RedirectionChain lists every URL crossed from starting to landing,
+	// inclusive of both.
+	RedirectionChain []string `json:"redirection_chain"`
+	// LoggedLinks are URLs the browser loaded embedded content from.
+	LoggedLinks []string `json:"logged_links,omitempty"`
+	// Title is the text of the <title> element.
+	Title string `json:"title"`
+	// Text is the rendered body text.
+	Text string `json:"text"`
+	// Copyright is the copyright notice found in Text, if any.
+	Copyright string `json:"copyright,omitempty"`
+	// HREFLinks are outgoing links of the page, absolute where possible.
+	HREFLinks []string `json:"href_links,omitempty"`
+	// InputCount, ImageCount and IFrameCount are the webpage-content
+	// counts of feature set f5.
+	InputCount  int `json:"input_count"`
+	ImageCount  int `json:"image_count"`
+	IFrameCount int `json:"iframe_count"`
+	// ScreenshotTerms is the text visible on a rendered screenshot of
+	// the page — the layer an OCR pass reads. In the synthetic world the
+	// generator fills it directly; internal/ocr adds recognition noise.
+	ScreenshotTerms []string `json:"screenshot_terms,omitempty"`
+	// Language tags the content language (metadata only; the detector
+	// never reads it).
+	Language string `json:"language,omitempty"`
+}
+
+// FromHTML builds a Snapshot from raw HTML plus visit metadata, resolving
+// relative links against the landing URL. chain must include starting and
+// landing URLs; when empty it defaults to [starting, landing].
+func FromHTML(startingURL, landingURL string, chain []string, html string) Snapshot {
+	doc := htmlx.Parse(html)
+	if len(chain) == 0 {
+		if startingURL == landingURL {
+			chain = []string{startingURL}
+		} else {
+			chain = []string{startingURL, landingURL}
+		}
+	}
+	s := Snapshot{
+		StartingURL:      startingURL,
+		LandingURL:       landingURL,
+		RedirectionChain: chain,
+		Title:            doc.Title,
+		Text:             doc.Text,
+		Copyright:        doc.Copyright,
+		InputCount:       doc.InputCount,
+		ImageCount:       doc.ImageCount,
+		IFrameCount:      doc.IFrameCount,
+	}
+	for _, l := range doc.HREFLinks {
+		s.HREFLinks = append(s.HREFLinks, ResolveRef(landingURL, l))
+	}
+	for _, l := range doc.ResourceLinks {
+		s.LoggedLinks = append(s.LoggedLinks, ResolveRef(landingURL, l))
+	}
+	return s
+}
+
+// ResolveRef resolves a possibly relative reference against base. It
+// handles absolute URLs, scheme-relative (//host/..), absolute paths and
+// relative paths; anything unresolvable is returned unchanged.
+func ResolveRef(base, ref string) string {
+	if ref == "" {
+		return ref
+	}
+	if strings.Contains(ref, "://") {
+		return ref
+	}
+	bp, err := urlx.Parse(base)
+	if err != nil {
+		return ref
+	}
+	proto := bp.Protocol
+	if proto == "" {
+		proto = "http"
+	}
+	switch {
+	case strings.HasPrefix(ref, "//"):
+		return proto + ":" + ref
+	case strings.HasPrefix(ref, "/"):
+		return proto + "://" + bp.FQDN + ref
+	default:
+		dir := bp.Path
+		if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+			dir = dir[:i+1]
+		} else {
+			dir = "/"
+		}
+		return proto + "://" + bp.FQDN + dir + ref
+	}
+}
+
+// DistID identifies one of the term distributions of Table I.
+type DistID int
+
+// The fourteen term distributions of Table I. DistText through DistExtLink
+// (the first twelve in canonical order) are the ones used by feature set
+// f2; DistCopyright and DistImage are used only by target identification.
+const (
+	DistText DistID = iota + 1
+	DistTitle
+	DistStart
+	DistLand
+	DistIntLog
+	DistIntLink
+	DistStartRDN
+	DistLandRDN
+	DistIntRDN
+	DistExtRDN
+	DistExtLog
+	DistExtLink
+	DistCopyright
+	DistImage
+)
+
+// FeatureDistIDs lists, in canonical order, the twelve distributions used
+// by feature set f2 (Table I minus copyright and image).
+var FeatureDistIDs = []DistID{
+	DistText, DistTitle, DistStart, DistLand,
+	DistIntLog, DistIntLink, DistStartRDN, DistLandRDN,
+	DistIntRDN, DistExtRDN, DistExtLog, DistExtLink,
+}
+
+// String returns the paper's name for the distribution (e.g. "Dtext").
+func (d DistID) String() string {
+	switch d {
+	case DistText:
+		return "Dtext"
+	case DistTitle:
+		return "Dtitle"
+	case DistStart:
+		return "Dstart"
+	case DistLand:
+		return "Dland"
+	case DistIntLog:
+		return "Dintlog"
+	case DistIntLink:
+		return "Dintlink"
+	case DistStartRDN:
+		return "Dstartrdn"
+	case DistLandRDN:
+		return "Dlandrdn"
+	case DistIntRDN:
+		return "Dintrdn"
+	case DistExtRDN:
+		return "Dextrdn"
+	case DistExtLog:
+		return "Dextlog"
+	case DistExtLink:
+		return "Dextlink"
+	case DistCopyright:
+		return "Dcopyright"
+	case DistImage:
+		return "Dimage"
+	default:
+		return "Dunknown"
+	}
+}
+
+// Analysis is the derived, feature-ready view of a Snapshot.
+type Analysis struct {
+	// Snap is the analyzed snapshot.
+	Snap *Snapshot
+	// Start and Land are the parsed starting and landing URLs.
+	Start, Land urlx.Parts
+	// Chain holds the parsed redirection chain.
+	Chain []urlx.Parts
+	// ControlledRDNs is the set of RDNs appearing in the redirection
+	// chain — assumed under the control of the page owner (§III-A).
+	ControlledRDNs map[string]struct{}
+	// IntLog/ExtLog are logged links classified internal/external;
+	// IntLink/ExtLink likewise for HREF links.
+	IntLog, ExtLog, IntLink, ExtLink []urlx.Parts
+
+	dists map[DistID]terms.Distribution
+}
+
+// Analyze parses and classifies every URL of the snapshot and computes all
+// fourteen term distributions.
+func Analyze(s *Snapshot) *Analysis {
+	a := &Analysis{
+		Snap:           s,
+		ControlledRDNs: make(map[string]struct{}),
+		dists:          make(map[DistID]terms.Distribution, 14),
+	}
+	a.Start, _ = urlx.Parse(s.StartingURL)
+	a.Land, _ = urlx.Parse(s.LandingURL)
+	for _, u := range s.RedirectionChain {
+		p, err := urlx.Parse(u)
+		if err != nil {
+			continue
+		}
+		a.Chain = append(a.Chain, p)
+		if p.RDN != "" {
+			a.ControlledRDNs[p.RDN] = struct{}{}
+		}
+	}
+	// Defensive: the starting/landing RDNs are controlled even when the
+	// chain omits them.
+	if a.Start.RDN != "" {
+		a.ControlledRDNs[a.Start.RDN] = struct{}{}
+	}
+	if a.Land.RDN != "" {
+		a.ControlledRDNs[a.Land.RDN] = struct{}{}
+	}
+
+	for _, u := range s.LoggedLinks {
+		p, err := urlx.Parse(u)
+		if err != nil {
+			continue
+		}
+		if a.isInternal(p) {
+			a.IntLog = append(a.IntLog, p)
+		} else {
+			a.ExtLog = append(a.ExtLog, p)
+		}
+	}
+	for _, u := range s.HREFLinks {
+		p, err := urlx.Parse(u)
+		if err != nil {
+			continue
+		}
+		if a.isInternal(p) {
+			a.IntLink = append(a.IntLink, p)
+		} else {
+			a.ExtLink = append(a.ExtLink, p)
+		}
+	}
+	a.buildDistributions()
+	return a
+}
+
+// isInternal classifies a URL as internal when its RDN belongs to the
+// controlled set. IP-literal links are internal only when the landing URL
+// uses the same host.
+func (a *Analysis) isInternal(p urlx.Parts) bool {
+	if p.IsIP {
+		return p.FQDN == a.Land.FQDN
+	}
+	if p.RDN == "" {
+		return false
+	}
+	_, ok := a.ControlledRDNs[p.RDN]
+	return ok
+}
+
+// Dist returns the term distribution identified by id.
+func (a *Analysis) Dist(id DistID) terms.Distribution { return a.dists[id] }
+
+func (a *Analysis) buildDistributions() {
+	a.dists[DistText] = terms.FromText(a.Snap.Text)
+	a.dists[DistTitle] = terms.FromText(a.Snap.Title)
+	a.dists[DistCopyright] = terms.FromText(a.Snap.Copyright)
+	a.dists[DistImage] = terms.FromStrings(a.Snap.ScreenshotTerms)
+
+	a.dists[DistStart] = terms.FromText(a.Start.FreeURL())
+	a.dists[DistLand] = terms.FromText(a.Land.FreeURL())
+	// RDN distributions decode punycode first: an IDN homograph domain
+	// ("xn--pypal-…") contributes the terms of its unicode form, which
+	// the §III-B canonicalization folds back to base letters —
+	// recovering the brand term the homograph hides.
+	a.dists[DistStartRDN] = terms.FromText(a.Start.UnicodeRDN())
+	a.dists[DistLandRDN] = terms.FromText(a.Land.UnicodeRDN())
+
+	a.dists[DistIntLog] = freeURLDist(a.IntLog)
+	a.dists[DistIntLink] = freeURLDist(a.IntLink)
+	a.dists[DistExtLog] = freeURLDist(a.ExtLog)
+	a.dists[DistExtLink] = freeURLDist(a.ExtLink)
+
+	// Dintrdn: RDNs of internal links, both HREF and logged (Table I).
+	var intRDNs []string
+	for _, p := range a.IntLog {
+		intRDNs = append(intRDNs, terms.Extract(p.RDN)...)
+	}
+	for _, p := range a.IntLink {
+		intRDNs = append(intRDNs, terms.Extract(p.RDN)...)
+	}
+	a.dists[DistIntRDN] = terms.NewDistribution(intRDNs)
+
+	// Dextrdn: RDNs of external logged links (Table I).
+	var extRDNs []string
+	for _, p := range a.ExtLog {
+		extRDNs = append(extRDNs, terms.Extract(p.RDN)...)
+	}
+	a.dists[DistExtRDN] = terms.NewDistribution(extRDNs)
+}
+
+func freeURLDist(ps []urlx.Parts) terms.Distribution {
+	var occ []string
+	for _, p := range ps {
+		occ = append(occ, terms.Extract(p.FreeURL())...)
+	}
+	return terms.NewDistribution(occ)
+}
+
+// AllRDNs returns every distinct RDN observed anywhere in the snapshot
+// (chain, logged links, HREF links), used by target identification.
+func (a *Analysis) AllRDNs() []string {
+	set := make(map[string]struct{})
+	add := func(ps []urlx.Parts) {
+		for _, p := range ps {
+			if p.RDN != "" {
+				set[p.RDN] = struct{}{}
+			}
+		}
+	}
+	add(a.Chain)
+	add(a.IntLog)
+	add(a.ExtLog)
+	add(a.IntLink)
+	add(a.ExtLink)
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	return out
+}
+
+// AllMLDs returns every distinct mld observed in the snapshot's URLs
+// (starting, landing, logged and HREF links), used by target
+// identification step 1.
+func (a *Analysis) AllMLDs() []string {
+	set := make(map[string]struct{})
+	addOne := func(p urlx.Parts) {
+		if p.MLD != "" {
+			set[p.MLD] = struct{}{}
+		}
+	}
+	addOne(a.Start)
+	addOne(a.Land)
+	for _, group := range [][]urlx.Parts{a.IntLog, a.ExtLog, a.IntLink, a.ExtLink} {
+		for _, p := range group {
+			addOne(p)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	return out
+}

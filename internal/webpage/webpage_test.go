@@ -1,0 +1,243 @@
+package webpage
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"knowphish/internal/terms"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		StartingURL:      "http://bit.example/r/xyz",
+		LandingURL:       "https://www.examplebank.com/login",
+		RedirectionChain: []string{"http://bit.example/r/xyz", "https://www.examplebank.com/login"},
+		LoggedLinks: []string{
+			"https://static.examplebank.com/app.js",
+			"https://cdn.thirdparty.net/lib.js",
+			"https://www.examplebank.com/logo.png",
+		},
+		Title: "Example Bank Login",
+		Text:  "Welcome to Example Bank. Please enter your credentials to sign in.",
+		HREFLinks: []string{
+			"https://www.examplebank.com/help",
+			"https://partner.example.org/offers",
+		},
+		Copyright:       "© 2015 Example Bank Inc.",
+		InputCount:      2,
+		ImageCount:      1,
+		ScreenshotTerms: []string{"example bank login secure"},
+	}
+}
+
+func TestAnalyzeClassification(t *testing.T) {
+	a := Analyze(sampleSnapshot())
+	if a.Start.RDN != "bit.example" {
+		t.Errorf("Start.RDN = %q", a.Start.RDN)
+	}
+	if a.Land.RDN != "examplebank.com" {
+		t.Errorf("Land.RDN = %q", a.Land.RDN)
+	}
+	// Controlled RDNs: both chain RDNs.
+	for _, rdn := range []string{"bit.example", "examplebank.com"} {
+		if _, ok := a.ControlledRDNs[rdn]; !ok {
+			t.Errorf("ControlledRDNs missing %q", rdn)
+		}
+	}
+	// static.examplebank.com and www.examplebank.com are internal;
+	// cdn.thirdparty.net is external.
+	if len(a.IntLog) != 2 {
+		t.Errorf("IntLog = %d entries, want 2", len(a.IntLog))
+	}
+	if len(a.ExtLog) != 1 || a.ExtLog[0].RDN != "thirdparty.net" {
+		t.Errorf("ExtLog = %+v", a.ExtLog)
+	}
+	if len(a.IntLink) != 1 || a.IntLink[0].Path != "/help" {
+		t.Errorf("IntLink = %+v", a.IntLink)
+	}
+	if len(a.ExtLink) != 1 || a.ExtLink[0].RDN != "example.org" {
+		t.Errorf("ExtLink = %+v", a.ExtLink)
+	}
+}
+
+func TestAnalyzeDistributions(t *testing.T) {
+	a := Analyze(sampleSnapshot())
+	if !a.Dist(DistText).Contains("credentials") {
+		t.Error("Dtext missing 'credentials'")
+	}
+	if !a.Dist(DistTitle).Contains("bank") {
+		t.Error("Dtitle missing 'bank'")
+	}
+	if !a.Dist(DistLandRDN).Contains("examplebank") {
+		t.Error("Dlandrdn missing 'examplebank'")
+	}
+	if !a.Dist(DistStartRDN).Contains("bit") {
+		t.Error("Dstartrdn missing 'bit' (3 chars, kept by the length filter)")
+	}
+	if !a.Dist(DistExtRDN).Contains("thirdparty") {
+		t.Error("Dextrdn missing 'thirdparty'")
+	}
+	if !a.Dist(DistCopyright).Contains("bank") {
+		t.Error("Dcopyright missing 'bank'")
+	}
+	if !a.Dist(DistImage).Contains("secure") {
+		t.Error("Dimage missing 'secure'")
+	}
+	// Internal logged FreeURL contains "static", "app" and "logo", "png"...
+	if !a.Dist(DistIntLog).Contains("static") {
+		t.Error("Dintlog missing 'static'")
+	}
+	// External link FreeURL contains "offers".
+	if !a.Dist(DistExtLink).Contains("offers") {
+		t.Error("Dextlink missing 'offers'")
+	}
+}
+
+func TestFeatureDistIDsCount(t *testing.T) {
+	if len(FeatureDistIDs) != 12 {
+		t.Fatalf("FeatureDistIDs = %d entries, want 12 (Table I minus copyright+image)", len(FeatureDistIDs))
+	}
+	seen := map[DistID]bool{}
+	for _, id := range FeatureDistIDs {
+		if seen[id] {
+			t.Errorf("duplicate DistID %v", id)
+		}
+		seen[id] = true
+		if id == DistCopyright || id == DistImage {
+			t.Errorf("feature distributions must exclude %v", id)
+		}
+	}
+}
+
+func TestDistIDString(t *testing.T) {
+	want := map[DistID]string{
+		DistText: "Dtext", DistTitle: "Dtitle", DistStart: "Dstart",
+		DistLand: "Dland", DistIntLog: "Dintlog", DistIntLink: "Dintlink",
+		DistStartRDN: "Dstartrdn", DistLandRDN: "Dlandrdn",
+		DistIntRDN: "Dintrdn", DistExtRDN: "Dextrdn",
+		DistExtLog: "Dextlog", DistExtLink: "Dextlink",
+		DistCopyright: "Dcopyright", DistImage: "Dimage",
+		DistID(0): "Dunknown",
+	}
+	for id, name := range want {
+		if got := id.String(); got != name {
+			t.Errorf("DistID(%d).String() = %q, want %q", id, got, name)
+		}
+	}
+}
+
+func TestFromHTMLResolvesLinks(t *testing.T) {
+	html := `<title>T</title><body>
+	<a href="/abs">a</a>
+	<a href="rel/page">b</a>
+	<a href="//other.example.net/x">c</a>
+	<a href="https://full.example.org/y">d</a>
+	<img src="/img.png">
+	</body>`
+	s := FromHTML("https://www.site.example.com/dir/start", "https://www.site.example.com/dir/index", nil, html)
+	want := []string{
+		"https://www.site.example.com/abs",
+		"https://www.site.example.com/dir/rel/page",
+		"https://other.example.net/x",
+		"https://full.example.org/y",
+	}
+	if !reflect.DeepEqual(s.HREFLinks, want) {
+		t.Errorf("HREFLinks =\n%v\nwant\n%v", s.HREFLinks, want)
+	}
+	if len(s.LoggedLinks) != 1 || s.LoggedLinks[0] != "https://www.site.example.com/img.png" {
+		t.Errorf("LoggedLinks = %v", s.LoggedLinks)
+	}
+	if len(s.RedirectionChain) != 2 {
+		t.Errorf("default chain = %v", s.RedirectionChain)
+	}
+}
+
+func TestFromHTMLSameStartLand(t *testing.T) {
+	s := FromHTML("http://a.example/", "http://a.example/", nil, "<body>x</body>")
+	if len(s.RedirectionChain) != 1 {
+		t.Errorf("chain = %v, want single entry", s.RedirectionChain)
+	}
+}
+
+func TestResolveRef(t *testing.T) {
+	base := "https://www.example.com/a/b"
+	tests := []struct{ ref, want string }{
+		{"https://x.example/y", "https://x.example/y"},
+		{"//h.example/z", "https://h.example/z"},
+		{"/root", "https://www.example.com/root"},
+		{"leaf", "https://www.example.com/a/leaf"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := ResolveRef(base, tt.ref); got != tt.want {
+			t.Errorf("ResolveRef(%q) = %q, want %q", tt.ref, got, tt.want)
+		}
+	}
+}
+
+func TestIPLiteralLinksClassification(t *testing.T) {
+	s := &Snapshot{
+		StartingURL:      "http://192.0.2.10/login",
+		LandingURL:       "http://192.0.2.10/login",
+		RedirectionChain: []string{"http://192.0.2.10/login"},
+		LoggedLinks:      []string{"http://192.0.2.10/a.js", "http://203.0.113.5/b.js"},
+	}
+	a := Analyze(s)
+	if len(a.IntLog) != 1 || len(a.ExtLog) != 1 {
+		t.Errorf("IP classification: int=%d ext=%d, want 1/1", len(a.IntLog), len(a.ExtLog))
+	}
+	// IP URLs yield empty RDN distributions (paper §VII-B).
+	if !a.Dist(DistLandRDN).Empty() {
+		t.Error("Dlandrdn should be empty for IP landing URL")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", back, *s)
+	}
+}
+
+func TestAllRDNsAndMLDs(t *testing.T) {
+	a := Analyze(sampleSnapshot())
+	rdns := a.AllRDNs()
+	sort.Strings(rdns)
+	joined := strings.Join(rdns, " ")
+	for _, want := range []string{"bit.example", "examplebank.com", "thirdparty.net", "example.org"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("AllRDNs missing %q: %v", want, rdns)
+		}
+	}
+	mlds := a.AllMLDs()
+	sort.Strings(mlds)
+	joinedM := strings.Join(mlds, " ")
+	for _, want := range []string{"bit", "examplebank", "thirdparty", "example"} {
+		if !strings.Contains(joinedM, want) {
+			t.Errorf("AllMLDs missing %q: %v", want, mlds)
+		}
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	a := Analyze(&Snapshot{})
+	for _, id := range FeatureDistIDs {
+		if !a.Dist(id).Empty() {
+			t.Errorf("distribution %v not empty for empty snapshot", id)
+		}
+	}
+	if got := terms.Hellinger(a.Dist(DistText), a.Dist(DistTitle)); got != 0 {
+		t.Errorf("H²(empty,empty) = %v, want 0", got)
+	}
+}

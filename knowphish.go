@@ -1,0 +1,146 @@
+// Package knowphish is a Go reproduction of "Know Your Phish: Novel
+// Techniques for Detecting Phishing Sites and their Targets" (Marchal,
+// Saari, Singh, Asokan — ICDCS 2016).
+//
+// It exposes the paper's two systems behind a small API:
+//
+//   - a phishing Detector: 212 hand-designed, language-independent
+//     features over the data sources a browser observes, classified by
+//     gradient-boosted trees with a 0.7 discrimination threshold;
+//   - a TargetIdentifier that extracts keyterms from a page and uses a
+//     search engine to either confirm the page as legitimate or name the
+//     brand a phishing page is mimicking;
+//   - a Pipeline chaining both, using target identification to discard
+//     detector false positives.
+//
+// The heavy lifting lives in internal packages; this package re-exports
+// the stable surface a downstream user needs. Experiments against the
+// paper's tables and figures are driven by cmd/kpexperiments; see
+// DESIGN.md and EXPERIMENTS.md.
+package knowphish
+
+import (
+	"io"
+
+	"knowphish/internal/core"
+	"knowphish/internal/crawl"
+	"knowphish/internal/dataset"
+	"knowphish/internal/features"
+	"knowphish/internal/ml"
+	"knowphish/internal/ocr"
+	"knowphish/internal/ranking"
+	"knowphish/internal/search"
+	"knowphish/internal/target"
+	"knowphish/internal/webgen"
+	"knowphish/internal/webpage"
+)
+
+// Re-exported core types. A Snapshot is what a scraper records when
+// visiting one page (the paper's Section II-C data sources); everything
+// in the library consumes Snapshots.
+type (
+	// Snapshot is one recorded page visit.
+	Snapshot = webpage.Snapshot
+	// Detector is the trained phishing classifier (Section IV).
+	Detector = core.Detector
+	// TrainConfig tunes detector training.
+	TrainConfig = core.TrainConfig
+	// Pipeline chains detection with target identification (Section
+	// III-C).
+	Pipeline = core.Pipeline
+	// Outcome is a pipeline verdict.
+	Outcome = core.Outcome
+	// TargetIdentifier names the brand a phish mimics (Section V).
+	TargetIdentifier = target.Identifier
+	// TargetResult is a target identification outcome.
+	TargetResult = target.Result
+	// SearchEngine is the legitimate-web index used by target
+	// identification.
+	SearchEngine = search.Engine
+	// RankList is the offline popularity list (feature 9 of Table IV).
+	RankList = ranking.List
+	// FeatureSet selects feature groups f1..f5.
+	FeatureSet = features.Set
+	// GBMConfig tunes the gradient-boosting classifier.
+	GBMConfig = ml.GBMConfig
+)
+
+// Target identification verdicts.
+const (
+	VerdictLegitimate = target.VerdictLegitimate
+	VerdictPhish      = target.VerdictPhish
+	VerdictSuspicious = target.VerdictSuspicious
+)
+
+// DefaultThreshold is the paper's discrimination threshold (0.7).
+const DefaultThreshold = core.DefaultThreshold
+
+// Feature groups of Table III.
+const (
+	F1      = features.F1
+	F2      = features.F2
+	F3      = features.F3
+	F4      = features.F4
+	F5      = features.F5
+	AllSets = features.All
+)
+
+// SnapshotFromHTML builds a Snapshot from raw page HTML plus visit
+// metadata, resolving relative links against the landing URL. Use it to
+// feed real scraped pages into the detector.
+func SnapshotFromHTML(startingURL, landingURL string, redirectionChain []string, html string) Snapshot {
+	return webpage.FromHTML(startingURL, landingURL, redirectionChain, html)
+}
+
+// Train fits a detector on labeled snapshots (label 1 = phishing).
+func Train(snaps []*Snapshot, labels []int, cfg TrainConfig) (*Detector, error) {
+	return core.Train(snaps, labels, cfg)
+}
+
+// LoadDetector restores a detector saved with Detector.Save. rank may be
+// nil (all domains treated as unranked).
+func LoadDetector(r io.Reader, rank *RankList) (*Detector, error) {
+	return core.Load(r, rank)
+}
+
+// NewTargetIdentifier builds a target identifier over a search engine
+// with the paper's defaults (top-5 keyterms, OCR fallback enabled).
+func NewTargetIdentifier(engine *SearchEngine) *TargetIdentifier {
+	return target.New(engine)
+}
+
+// NewSearchEngine returns an empty legitimate-web index.
+func NewSearchEngine() *SearchEngine { return search.NewEngine() }
+
+// NewOCR returns the default simulated OCR recognizer.
+func NewOCR() *ocr.Recognizer { return ocr.Default() }
+
+// ReadRankList parses a popularity list in Alexa CSV format
+// ("rank,domain" per line).
+func ReadRankList(r io.Reader) (*RankList, error) { return ranking.Read(r) }
+
+// Synthetic-world helpers: the evaluation substrate of this reproduction.
+// They let examples and downstream experiments generate realistic
+// labeled corpora without live crawling.
+type (
+	// World is the synthetic web (brands, hosting, languages).
+	World = webgen.World
+	// WorldConfig tunes world generation.
+	WorldConfig = webgen.Config
+	// Corpus bundles the Table V evaluation campaigns.
+	Corpus = dataset.Corpus
+	// CorpusConfig tunes corpus generation.
+	CorpusConfig = dataset.Config
+)
+
+// NewWorld generates a synthetic web.
+func NewWorld(cfg WorldConfig) *World { return webgen.New(cfg) }
+
+// BuildCorpus generates the Table V evaluation campaigns over a fresh
+// world.
+func BuildCorpus(cfg CorpusConfig) (*Corpus, error) { return dataset.Build(cfg) }
+
+// VisitSite crawls a generated site into a Snapshot.
+func VisitSite(w *World, site *webgen.Site) (*Snapshot, error) {
+	return crawl.VisitSite(w, site)
+}
