@@ -1,0 +1,41 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet serve ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (slow). CI runs `bench-smoke` instead.
+bench:
+	$(GO) test -run='^$$' -bench=. ./...
+
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Self-contained demo server: trains on the synthetic world, serves on
+# :8080. See README.md for curl examples.
+serve:
+	$(GO) run ./cmd/kpserve -addr :8080
+
+ci: fmt-check vet build race bench-smoke

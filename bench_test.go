@@ -11,7 +11,13 @@
 package knowphish_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +26,7 @@ import (
 	"knowphish/internal/experiments"
 	"knowphish/internal/features"
 	"knowphish/internal/ml"
+	"knowphish/internal/serve"
 	"knowphish/internal/target"
 	"knowphish/internal/terms"
 	"knowphish/internal/webgen"
@@ -329,6 +336,65 @@ func BenchmarkTargetIdentification(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = id.Identify(a)
+	}
+}
+
+// BenchmarkServeScore drives the HTTP serving path end to end: one batch
+// request of mixed phish/legit pages through Server.ServeHTTP, with the
+// verdict cache disabled so every iteration does the full pipeline. The
+// workers sub-benchmarks show batch scoring scaling from serial to
+// GOMAXPROCS fan-out.
+func BenchmarkServeScore(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var pages []serve.PageRequest
+	for i := 0; i < 32; i++ {
+		var site *webgen.Site
+		if i%2 == 0 {
+			site = r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+		} else {
+			site = r.Corpus.World.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
+		}
+		snap, err := crawl.VisitSite(r.Corpus.World, site)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pages = append(pages, serve.PageRequest{Snapshot: snap})
+	}
+
+	workerCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srv, err := serve.New(serve.Config{
+				Detector:   d,
+				Identifier: target.New(r.Corpus.Engine),
+				Workers:    workers,
+				CacheSize:  -1, // measure scoring, not cache hits
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			body, err := json.Marshal(serve.BatchRequest{Pages: pages, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/score/batch", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
 	}
 }
 

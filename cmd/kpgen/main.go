@@ -95,5 +95,21 @@ func run() error {
 		return err
 	}
 	fmt.Printf("wrote %s: %d domains\n", rankPath, corpus.World.Ranking().Len())
+
+	// The legitimate-web search index, which kpserve loads for target
+	// identification.
+	indexPath := filepath.Join(*out, "index.json")
+	f, err = os.Create(indexPath)
+	if err != nil {
+		return err
+	}
+	if err := corpus.Engine.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d documents\n", indexPath, corpus.Engine.Len())
 	return nil
 }

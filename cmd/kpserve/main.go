@@ -1,0 +1,200 @@
+// Command kpserve runs the concurrent phishing-scoring service: it loads
+// a trained detector (kptrain), the offline popularity ranking (kpgen)
+// and the legitimate-web search index, then serves the detection →
+// target-identification pipeline over HTTP until interrupted.
+//
+// With no -model, kpserve bootstraps itself: it builds a synthetic
+// corpus, trains a detector and serves against the corpus search index —
+// a one-command demo of the whole system.
+//
+// Usage:
+//
+//	kpserve -addr :8080                                  # self-contained demo
+//	kpserve -addr :8080 -model model.json -ranking data/ranking.csv -index index.json
+//
+// Endpoints: POST /v1/score, POST /v1/score/batch, POST /v1/target,
+// GET /healthz, GET /metrics. See README.md for request formats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"knowphish/internal/core"
+	"knowphish/internal/dataset"
+	"knowphish/internal/ml"
+	"knowphish/internal/ranking"
+	"knowphish/internal/search"
+	"knowphish/internal/serve"
+	"knowphish/internal/target"
+	"knowphish/internal/webgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath = flag.String("model", "", "detector JSON from kptrain (empty: train a fresh one)")
+		rankPath  = flag.String("ranking", "", "popularity list CSV from kpgen (optional)")
+		indexPath = flag.String("index", "", "search index JSON (optional; required with -model for target identification)")
+		workers   = flag.Int("workers", 0, "batch fan-out cap (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", serve.DefaultCacheSize, "verdict cache entries (negative disables)")
+		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max pages per batch request")
+		scale     = flag.Int("scale", 25, "corpus scale for the self-train path")
+		seed      = flag.Int64("seed", 1, "seed for the self-train path")
+	)
+	flag.Parse()
+
+	det, engine, err := loadArtifacts(*modelPath, *rankPath, *indexPath, *scale, *seed)
+	if err != nil {
+		return err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Detector:   det,
+		Identifier: target.New(engine),
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		MaxBatch:   *maxBatch,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Full timeout set: without Read/Write/Idle timeouts a client that
+	// trickles a request body (or never reads the response) pins a
+	// goroutine and its buffers indefinitely.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then drain
+	// in-flight requests before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("kpserve: listening on %s (index: %d docs)\n", *addr, engine.Len())
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("kpserve: shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("kpserve: served %d requests, %d pages scored, cache hit rate %.2f\n",
+		m.Requests, m.PagesScored, m.CacheHitRate)
+	return <-errc
+}
+
+// loadArtifacts assembles the detector and search index, either from the
+// saved artifacts or by training a fresh stack on the synthetic world.
+func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64) (*core.Detector, *search.Engine, error) {
+	if modelPath == "" {
+		if rankPath != "" || indexPath != "" {
+			return nil, nil, errors.New("-ranking/-index require -model; the self-train path would silently ignore them")
+		}
+		return selfTrain(scale, seed)
+	}
+
+	var rank *ranking.List
+	if rankPath == "" {
+		// The ranking is not embedded in the model (see Detector.Save);
+		// without it the popularity feature sees every domain as
+		// unranked — a distribution the model never trained on.
+		fmt.Println("kpserve: warning: no -ranking; popularity feature will treat all domains as unranked")
+	}
+	if rankPath != "" {
+		f, err := os.Open(rankPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		rank, err = ranking.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading ranking %s: %w", rankPath, err)
+		}
+	}
+
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	det, err := core.Load(f, rank)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading model %s: %w", modelPath, err)
+	}
+
+	engine := search.NewEngine()
+	if indexPath != "" {
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		engine, err = search.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading index %s: %w", indexPath, err)
+		}
+	} else {
+		fmt.Println("kpserve: warning: no -index; target identification will mostly report suspicious")
+	}
+	return det, engine, nil
+}
+
+// selfTrain builds a corpus and trains a detector — the zero-artifact
+// demo path.
+func selfTrain(scale int, seed int64) (*core.Detector, *search.Engine, error) {
+	fmt.Printf("kpserve: no -model given; building corpus and training (scale 1/%d)...\n", scale)
+	corpus, err := dataset.Build(dataset.Config{
+		Seed:              seed,
+		Scale:             scale,
+		World:             webgen.Config{Seed: seed + 1},
+		SkipLanguageTests: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	snaps := append(corpus.LegTrain.Snapshots(), corpus.PhishTrain.Snapshots()...)
+	labels := append(corpus.LegTrain.Labels(), corpus.PhishTrain.Labels()...)
+	det, err := core.Train(snaps, labels, core.TrainConfig{
+		GBM:  ml.GBMConfig{Trees: 100, MaxDepth: 4, Subsample: 0.8, MinLeaf: 5, Seed: seed + 2},
+		Rank: corpus.World.Ranking(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return det, corpus.Engine, nil
+}

@@ -1,0 +1,3 @@
+module knowphish
+
+go 1.24

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"knowphish/internal/pool"
+	"knowphish/internal/webpage"
+)
+
+// ScoreBatch scores many snapshots concurrently over the shared bounded
+// worker pool. Scoring is per-snapshot independent and deterministic, so
+// the result is identical to calling Score in a loop — only faster.
+// Order is preserved. workers <= 0 uses GOMAXPROCS.
+func (d *Detector) ScoreBatch(snaps []*webpage.Snapshot, workers int) []float64 {
+	n := len(snaps)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	pool.ForEachIndex(n, workers, func(i int) {
+		out[i] = d.Score(snaps[i])
+	})
+	return out
+}
+
+// AnalyzeBatch runs the full detection → target-identification pipeline
+// on many snapshots concurrently — the fan-out path the serving
+// subsystem uses for batch requests. Results are order-preserving and
+// identical to calling Analyze in a loop. workers <= 0 uses GOMAXPROCS.
+func (p *Pipeline) AnalyzeBatch(snaps []*webpage.Snapshot, workers int) []Outcome {
+	n := len(snaps)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Outcome, n)
+	pool.ForEachIndex(n, workers, func(i int) {
+		out[i] = p.Analyze(snaps[i])
+	})
+	return out
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"knowphish/internal/target"
+	"knowphish/internal/webpage"
+)
+
+// batchSnapshots returns a deterministic phish/legit mix for batch tests.
+func batchSnapshots(t *testing.T) []*webpage.Snapshot {
+	t.Helper()
+	c := corpus(t)
+	snaps := append([]*webpage.Snapshot(nil), c.PhishTest.Snapshots()...)
+	for i, ex := range c.LegTrain.Examples {
+		if i == len(snaps) {
+			break
+		}
+		snaps = append(snaps, ex.Snapshot)
+	}
+	return snaps
+}
+
+func TestScoreBatchMatchesSequential(t *testing.T) {
+	c := corpus(t)
+	d := trainDetector(t, c, 0)
+	snaps := batchSnapshots(t)
+
+	sequential := make([]float64, len(snaps))
+	for i, s := range snaps {
+		sequential[i] = d.Score(s)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0), 0} {
+		got := d.ScoreBatch(snaps, workers)
+		if !reflect.DeepEqual(sequential, got) {
+			t.Fatalf("workers=%d: batch scores differ from sequential", workers)
+		}
+	}
+}
+
+func TestAnalyzeBatchMatchesSequential(t *testing.T) {
+	c := corpus(t)
+	d := trainDetector(t, c, 0)
+	p := &Pipeline{Detector: d, Identifier: target.New(c.Engine)}
+	snaps := batchSnapshots(t)
+
+	sequential := make([]Outcome, len(snaps))
+	for i, s := range snaps {
+		sequential[i] = p.Analyze(s)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0), 0} {
+		got := p.AnalyzeBatch(snaps, workers)
+		if !reflect.DeepEqual(sequential, got) {
+			t.Fatalf("workers=%d: batch outcomes differ from sequential", workers)
+		}
+	}
+}
+
+func TestBatchEmptyAndEdge(t *testing.T) {
+	c := corpus(t)
+	d := trainDetector(t, c, 0)
+	if got := d.ScoreBatch(nil, 4); got != nil {
+		t.Errorf("empty ScoreBatch: got %v", got)
+	}
+	p := &Pipeline{Detector: d, Identifier: target.New(c.Engine)}
+	if got := p.AnalyzeBatch(nil, 4); got != nil {
+		t.Errorf("empty AnalyzeBatch: got %v", got)
+	}
+	// More workers than items must not deadlock or skip entries.
+	snaps := batchSnapshots(t)[:3]
+	if got := d.ScoreBatch(snaps, 64); len(got) != 3 {
+		t.Errorf("3-item batch with 64 workers: %d results", len(got))
+	}
+}

@@ -248,8 +248,10 @@ type Outcome struct {
 	// TargetRun reports whether target identification ran (only for
 	// detector positives).
 	TargetRun bool `json:"target_run"`
-	// Target is the identification result when TargetRun.
-	Target target.Result `json:"target,omitempty"`
+	// Target is the identification result when TargetRun. omitzero
+	// keeps the zero-value Result (whose verdict reads "suspicious")
+	// out of API responses for pages where identification never ran.
+	Target target.Result `json:"target,omitzero"`
 	// FinalPhish is the pipeline's verdict after FP removal.
 	FinalPhish bool `json:"final_phish"`
 }

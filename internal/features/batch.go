@@ -1,49 +1,23 @@
 package features
 
 import (
-	"runtime"
-	"sync"
-
+	"knowphish/internal/pool"
 	"knowphish/internal/webpage"
 )
 
-// ExtractBatch extracts feature vectors for many snapshots concurrently.
-// Extraction is per-snapshot independent and deterministic, so the result
-// equals calling ExtractSnapshot in a loop — only faster. Order is
-// preserved. workers <= 0 uses GOMAXPROCS.
+// ExtractBatch extracts feature vectors for many snapshots concurrently
+// over the shared bounded worker pool. Extraction is per-snapshot
+// independent and deterministic, so the result equals calling
+// ExtractSnapshot in a loop — only faster. Order is preserved.
+// workers <= 0 uses GOMAXPROCS.
 func (e *Extractor) ExtractBatch(snaps []*webpage.Snapshot, workers int) [][]float64 {
 	n := len(snaps)
 	if n == 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
 	out := make([][]float64, n)
-	if workers == 1 {
-		for i, s := range snaps {
-			out[i] = e.ExtractSnapshot(s)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = e.ExtractSnapshot(snaps[i])
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	pool.ForEachIndex(n, workers, func(i int) {
+		out[i] = e.ExtractSnapshot(snaps[i])
+	})
 	return out
 }

@@ -3,6 +3,7 @@ package features
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"knowphish/internal/crawl"
@@ -29,7 +30,7 @@ func TestExtractBatchMatchesSequential(t *testing.T) {
 		snaps = append(snaps, snap)
 	}
 	sequential := e.ExtractBatch(snaps, 1)
-	for _, workers := range []int{0, 2, 4, 16, 100} {
+	for _, workers := range []int{0, 2, 4, runtime.GOMAXPROCS(0), 16, 100} {
 		parallel := e.ExtractBatch(snaps, workers)
 		if !reflect.DeepEqual(sequential, parallel) {
 			t.Fatalf("workers=%d: parallel extraction differs from sequential", workers)

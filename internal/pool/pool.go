@@ -1,0 +1,74 @@
+// Package pool provides the worker-pool primitive used by every batch
+// entry point in the repository: parallel feature extraction
+// (features.ExtractBatch), the library batch methods
+// (core.Detector.ScoreBatch, core.Pipeline.AnalyzeBatch) and the HTTP
+// server's own fan-out (internal/serve). One implementation means one
+// place for pool semantics: order preservation, inline execution at
+// workers==1, GOMAXPROCS defaulting, panic propagation.
+//
+// Each call spins up its own short-lived workers; the bound is
+// per-call. Callers that need a process-wide concurrency limit across
+// many concurrent batches (the HTTP server) layer a semaphore on top.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEachIndex runs fn for every index in [0, n) across a bounded
+// worker pool. fn must be safe to call concurrently for distinct
+// indexes; each index is processed exactly once. workers <= 0 uses
+// GOMAXPROCS; workers == 1 runs inline with zero goroutine overhead.
+//
+// A panic in fn is always raised on the caller's goroutine, so
+// net/http's per-handler recover contains it — a worker-goroutine panic
+// must never take down a whole serving process. Inline execution
+// (workers == 1) propagates it immediately; parallel execution re-raises
+// the first panic after the batch drains, so remaining indexes may
+// still run first.
+func ForEachIndex(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,59 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, runtime.GOMAXPROCS(0), 64} {
+		const n = 100
+		var counts [n]atomic.Int32
+		ForEachIndex(n, workers, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachIndexPropagatesPanic(t *testing.T) {
+	var processed atomic.Int32
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("worker panic not re-raised on caller")
+			} else if r != "boom" {
+				t.Errorf("panic value = %v, want boom", r)
+			}
+		}()
+		ForEachIndex(50, 4, func(i int) {
+			if i == 7 {
+				panic("boom")
+			}
+			processed.Add(1)
+		})
+	}()
+	if got := processed.Load(); got != 49 {
+		t.Errorf("processed %d indexes, want 49 (all but the panicking one)", got)
+	}
+}
+
+func TestForEachIndexEdgeCases(t *testing.T) {
+	called := false
+	ForEachIndex(0, 4, func(int) { called = true })
+	ForEachIndex(-1, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+	// More workers than items must not deadlock.
+	var sum atomic.Int32
+	ForEachIndex(3, 100, func(i int) { sum.Add(int32(i)) })
+	if sum.Load() != 3 {
+		t.Errorf("sum = %d, want 3", sum.Load())
+	}
+}

@@ -7,6 +7,9 @@
 package search
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -159,6 +162,46 @@ func (e *Engine) Query(queryTerms []string, k int) []Result {
 		}
 	}
 	return out
+}
+
+// Docs returns a copy of every indexed document in insertion order.
+func (e *Engine) Docs() []Doc {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]Doc, len(e.docs))
+	for i, d := range e.docs {
+		out[i] = d.doc
+	}
+	return out
+}
+
+// engineFile is the JSON persistence envelope of an index.
+type engineFile struct {
+	Docs []Doc `json:"docs"`
+}
+
+// Save persists the index as JSON so a serving process can load the
+// legitimate-web index a corpus build produced. Documents are written in
+// insertion order; Load rebuilds an identical index.
+func (e *Engine) Save(w io.Writer) error {
+	env := engineFile{Docs: e.Docs()}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("search: saving index: %w", err)
+	}
+	return nil
+}
+
+// Load restores an index saved with Save.
+func Load(r io.Reader) (*Engine, error) {
+	var env engineFile
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("search: loading index: %w", err)
+	}
+	e := NewEngine()
+	for _, d := range env.Docs {
+		e.Add(d)
+	}
+	return e, nil
 }
 
 // ContainsRDN reports whether rdn appears in results.

@@ -1,7 +1,10 @@
 package search
 
 import (
+	"bytes"
 	"fmt"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -107,6 +110,35 @@ func TestQueryDeterministicTieBreak(t *testing.T) {
 		if res[0].RDN != "aaa.example" {
 			t.Fatalf("tie-break not lexicographic: %v", res)
 		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := engineWithDocs()
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Len() != e.Len() {
+		t.Fatalf("doc count %d, want %d", back.Len(), e.Len())
+	}
+	if !reflect.DeepEqual(back.Docs(), e.Docs()) {
+		t.Error("documents lost in roundtrip")
+	}
+	for _, q := range [][]string{{"nova", "bank"}, {"harbor", "login"}, {"wallet"}} {
+		if a, b := e.Query(q, 5), back.Query(q, 5); !reflect.DeepEqual(a, b) {
+			t.Errorf("query %v differs after roundtrip:\n%v\nvs\n%v", q, a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage index: want error")
 	}
 }
 

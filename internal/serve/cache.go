@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+
+	"knowphish/internal/core"
+	"knowphish/internal/webpage"
+)
+
+// cacheKey identifies a snapshot for verdict reuse: the landing URL
+// plus a fingerprint of every content field. Keying on the URL alone
+// would let any client poison the verdict for a URL it does not own by
+// submitting different content under it; with the fingerprint, a reused
+// verdict always comes from an identical page. The fingerprint is
+// sha256 — collision-resistant, so the guarantee holds even against a
+// client crafting content to collide — and its cost is negligible next
+// to the pipeline run it gates. Snapshots without a landing URL are not
+// cacheable (empty key).
+func cacheKey(snap *webpage.Snapshot) string {
+	if snap.LandingURL == "" {
+		return ""
+	}
+	h := sha256.New()
+	ws := func(s string) {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	wl := func(ss []string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(ss)))
+		_, _ = h.Write(n[:])
+		for _, s := range ss {
+			ws(s)
+		}
+	}
+	ws(snap.StartingURL)
+	wl(snap.RedirectionChain)
+	wl(snap.LoggedLinks)
+	wl(snap.HREFLinks)
+	wl(snap.ScreenshotTerms)
+	ws(snap.Title)
+	ws(snap.Text)
+	ws(snap.Copyright)
+	ws(snap.Language)
+	var counts [24]byte
+	binary.LittleEndian.PutUint64(counts[0:], uint64(snap.InputCount))
+	binary.LittleEndian.PutUint64(counts[8:], uint64(snap.ImageCount))
+	binary.LittleEndian.PutUint64(counts[16:], uint64(snap.IFrameCount))
+	_, _ = h.Write(counts[:])
+	return snap.LandingURL + "\x00" + hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheShards is the shard count of the verdict cache. Sharding keeps
+// lock contention off the hot path when many connections score pages
+// concurrently; 16 shards is ample for the handler pool sizes a single
+// process runs.
+const cacheShards = 16
+
+// verdictCache is a sharded LRU cache of pipeline outcomes keyed by
+// landing URL. Phishing campaigns hit the same landing pages from many
+// lures, so a small cache absorbs a large share of production traffic.
+type verdictCache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	outcome core.Outcome
+}
+
+// newVerdictCache builds a cache holding about capacity entries in
+// total. capacity < cacheShards still yields one entry per shard.
+func newVerdictCache(capacity int) *verdictCache {
+	perShard := capacity / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &verdictCache{}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].m = make(map[string]*list.Element, perShard)
+	}
+	return c
+}
+
+func (c *verdictCache) shard(key string) *cacheShard {
+	// Inline FNV-1a: this runs on every Get/Put and must not allocate.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached outcome for key and whether it was present,
+// promoting hits to most-recently-used.
+func (c *verdictCache) Get(key string) (core.Outcome, bool) {
+	if key == "" {
+		return core.Outcome{}, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return core.Outcome{}, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).outcome, true
+}
+
+// Put stores an outcome, evicting the least-recently-used entry of the
+// shard when full. Empty keys are not cached.
+func (c *verdictCache) Put(key string, out core.Outcome) {
+	if key == "" {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).outcome = out
+		s.ll.MoveToFront(el)
+		return
+	}
+	for s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest == nil {
+			break
+		}
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, outcome: out})
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *verdictCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

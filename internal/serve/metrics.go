@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of exponential histogram buckets. Bucket
+// i covers latencies in [2^i, 2^(i+1)) microseconds; the last bucket is
+// open-ended, reaching past one minute — far beyond any sane request.
+const latencyBuckets = 26
+
+// latencyHist is a lock-free exponential histogram of request latencies.
+// Percentiles read from bucket counts are approximate (within a factor
+// of two, the bucket width), which is what operational dashboards need.
+type latencyHist struct {
+	buckets [latencyBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := 0
+	for v := us; v > 1 && b < latencyBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// percentile returns the upper bound (µs) of the bucket containing the
+// p-th percentile observation, 0 when empty. p in [0, 100].
+func (h *latencyHist) percentile(p float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for b := 0; b < latencyBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen > rank {
+			return int64(1) << uint(b+1)
+		}
+	}
+	return int64(1) << latencyBuckets
+}
+
+func (h *latencyHist) mean() int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sumUS.Load() / n
+}
+
+// Metrics aggregates the serving counters exposed at /metrics. All
+// fields are updated atomically; reading while serving is safe.
+type Metrics struct {
+	start time.Time
+
+	requests   atomic.Int64 // all HTTP requests
+	scored     atomic.Int64 // pages scored (batch items counted singly)
+	phish      atomic.Int64 // pages with a final phishing verdict
+	errors     atomic.Int64 // 4xx/5xx responses
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	inFlight   atomic.Int64
+	latency    latencyHist // scoring-endpoint (POST /v1/*) request latency
+	scoreBatch latencyHist // per-batch latency
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// MetricsSnapshot is the JSON document served at /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	PagesScored   int64   `json:"pages_scored"`
+	PhishVerdicts int64   `json:"phish_verdicts"`
+	Errors        int64   `json:"errors"`
+	InFlight      int64   `json:"in_flight"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+
+	LatencyMeanUS int64 `json:"latency_mean_us"`
+	LatencyP50US  int64 `json:"latency_p50_us"`
+	LatencyP90US  int64 `json:"latency_p90_us"`
+	LatencyP99US  int64 `json:"latency_p99_us"`
+
+	BatchLatencyMeanUS int64 `json:"batch_latency_mean_us"`
+	BatchLatencyP99US  int64 `json:"batch_latency_p99_us"`
+}
+
+// Snapshot captures the current counters.
+func (m *Metrics) Snapshot(cacheEntries int) MetricsSnapshot {
+	hits, miss := m.cacheHits.Load(), m.cacheMiss.Load()
+	rate := 0.0
+	if hits+miss > 0 {
+		rate = float64(hits) / float64(hits+miss)
+	}
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests.Load(),
+		PagesScored:   m.scored.Load(),
+		PhishVerdicts: m.phish.Load(),
+		Errors:        m.errors.Load(),
+		InFlight:      m.inFlight.Load(),
+
+		CacheHits:    hits,
+		CacheMisses:  miss,
+		CacheHitRate: rate,
+		CacheEntries: cacheEntries,
+
+		LatencyMeanUS: m.latency.mean(),
+		LatencyP50US:  m.latency.percentile(50),
+		LatencyP90US:  m.latency.percentile(90),
+		LatencyP99US:  m.latency.percentile(99),
+
+		BatchLatencyMeanUS: m.scoreBatch.mean(),
+		BatchLatencyP99US:  m.scoreBatch.percentile(99),
+	}
+}

@@ -1,0 +1,570 @@
+// Package serve exposes the detection → target-identification pipeline
+// as a concurrent HTTP JSON service — the paper's system as production
+// infrastructure rather than a batch experiment. One process loads a
+// trained detector, the popularity ranking and the legitimate-web search
+// index, then answers:
+//
+//	POST /v1/score        score one page (snapshot or raw HTML)
+//	POST /v1/score/batch  score many pages over a bounded worker pool
+//	POST /v1/target       run target identification only
+//	GET  /healthz         liveness and model metadata
+//	GET  /metrics         request counts, latency percentiles, cache stats
+//
+// Scoring fans out over the shared worker-pool primitive
+// (internal/pool, the same machinery behind features.ExtractBatch and
+// core's batch paths) under a server-wide concurrency bound, so a burst
+// of concurrent batches cannot oversubscribe the cores. A sharded LRU
+// cache keyed by landing URL plus a content fingerprint absorbs
+// repeated lookups of the same page — phishing campaigns funnel many
+// lures to one landing page — without letting one client's submission
+// define the verdict for a URL it does not own.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"knowphish/internal/core"
+	"knowphish/internal/pool"
+	"knowphish/internal/target"
+	"knowphish/internal/webpage"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultCacheSize is the total verdict-cache capacity in entries.
+	DefaultCacheSize = 4096
+	// DefaultMaxBatch bounds the page count of one batch request.
+	DefaultMaxBatch = 1024
+	// DefaultMaxBodyBytes bounds request body size.
+	DefaultMaxBodyBytes = 16 << 20
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Detector is the trained classifier. Required.
+	Detector *core.Detector
+	// Identifier is the target identification system. Required.
+	Identifier *target.Identifier
+	// Workers bounds concurrent pipeline executions across the whole
+	// server and caps the per-batch fan-out (0 → GOMAXPROCS).
+	Workers int
+	// CacheSize is the verdict-cache capacity in entries
+	// (0 → DefaultCacheSize, negative → caching disabled).
+	CacheSize int
+	// MaxBatch bounds pages per batch request (0 → DefaultMaxBatch).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (0 → DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP scoring service. It is an http.Handler; wire it
+// into any mux or server. All handlers are safe for concurrent use.
+type Server struct {
+	pipe     *core.Pipeline
+	workers  int
+	maxBatch int
+	maxBody  int64
+	cache    *verdictCache
+	metrics  *Metrics
+	mux      *http.ServeMux
+	// scoreSem bounds CPU-heavy work (parsing, hashing, scoring,
+	// identification) server-wide: per-request fan-out alone would let
+	// B concurrent batches run B × workers goroutines and oversubscribe
+	// the cores. See bounded.
+	scoreSem chan struct{}
+}
+
+// New validates the configuration and builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Detector == nil {
+		return nil, errors.New("serve: Config.Detector is required")
+	}
+	if cfg.Identifier == nil {
+		return nil, errors.New("serve: Config.Identifier is required")
+	}
+	s := &Server{
+		pipe:     &core.Pipeline{Detector: cfg.Detector, Identifier: cfg.Identifier},
+		workers:  cfg.Workers,
+		maxBatch: cfg.MaxBatch,
+		maxBody:  cfg.MaxBodyBytes,
+		metrics:  newMetrics(),
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	s.scoreSem = make(chan struct{}, s.workers)
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		s.cache = newVerdictCache(size)
+	}
+	s.mux = http.NewServeMux()
+	// The latency histogram tracks the scoring endpoints only; healthz
+	// and metrics probes are counted but excluded so liveness polling
+	// cannot dilute the percentiles operators alert on.
+	s.mux.HandleFunc("/v1/score", s.instrument(s.post(s.handleScore), &s.metrics.latency))
+	s.mux.HandleFunc("/v1/score/batch", s.instrument(s.post(s.handleScoreBatch), &s.metrics.latency))
+	s.mux.HandleFunc("/v1/target", s.instrument(s.post(s.handleTarget), &s.metrics.latency))
+	s.mux.HandleFunc("/healthz", s.instrument(s.get(s.handleHealthz), nil))
+	s.mux.HandleFunc("/metrics", s.instrument(s.get(s.handleMetrics), nil))
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns a snapshot of the serving counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.metrics.Snapshot(s.cacheLen())
+}
+
+func (s *Server) cacheLen() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Len()
+}
+
+// ---------------------------------------------------------------------
+// Request / response documents.
+
+// PageRequest describes one page to score: either a full snapshot, or
+// raw HTML plus visit metadata (converted with webpage.FromHTML).
+type PageRequest struct {
+	Snapshot *webpage.Snapshot `json:"snapshot,omitempty"`
+
+	HTML             string   `json:"html,omitempty"`
+	StartingURL      string   `json:"starting_url,omitempty"`
+	LandingURL       string   `json:"landing_url,omitempty"`
+	RedirectionChain []string `json:"redirection_chain,omitempty"`
+}
+
+// snapshot resolves the request to a Snapshot.
+func (p *PageRequest) snapshot() (*webpage.Snapshot, error) {
+	if p.Snapshot != nil {
+		if p.HTML != "" || p.StartingURL != "" || p.LandingURL != "" || len(p.RedirectionChain) > 0 {
+			// The URLs would be silently ignored in favor of the
+			// snapshot's embedded ones; reject rather than mislead.
+			return nil, errors.New("snapshot requests must not also set html, starting_url, landing_url or redirection_chain")
+		}
+		if p.Snapshot.StartingURL == "" && p.Snapshot.LandingURL == "" {
+			return nil, errors.New("snapshot missing starting_url and landing_url")
+		}
+		return p.Snapshot, nil
+	}
+	if p.HTML == "" {
+		return nil, errors.New("missing snapshot or html")
+	}
+	start := p.StartingURL
+	land := p.LandingURL
+	if land == "" {
+		land = start
+	}
+	if start == "" {
+		start = land
+	}
+	if land == "" {
+		return nil, errors.New("html requests need starting_url or landing_url")
+	}
+	snap := webpage.FromHTML(start, land, p.RedirectionChain, p.HTML)
+	return &snap, nil
+}
+
+// ScoreResponse is the verdict for one page.
+type ScoreResponse struct {
+	core.Outcome
+	// LandingURL identifies the scored page.
+	LandingURL string `json:"landing_url,omitempty"`
+	// Cached reports whether the verdict was reused — from the verdict
+	// cache, or from an identical landing URL earlier in the same batch
+	// — rather than freshly computed.
+	Cached bool `json:"cached"`
+}
+
+// BatchRequest scores many pages in one call.
+type BatchRequest struct {
+	Pages []PageRequest `json:"pages"`
+	// Workers optionally lowers the fan-out for this request; it is
+	// capped by the server's worker limit.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchResponse carries per-page verdicts in request order.
+type BatchResponse struct {
+	Results   []ScoreResponse `json:"results"`
+	Count     int             `json:"count"`
+	ElapsedUS int64           `json:"elapsed_us"`
+}
+
+// TargetResponse is the target identification result for one page.
+type TargetResponse struct {
+	LandingURL string        `json:"landing_url,omitempty"`
+	Result     target.Result `json:"result"`
+}
+
+// HealthResponse is the /healthz document.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Threshold     float64 `json:"threshold"`
+	Workers       int     `json:"workers"`
+	CacheEnabled  bool    `json:"cache_enabled"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---------------------------------------------------------------------
+// Handlers.
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	var req PageRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	// Snapshot resolution parses HTML; like every CPU-heavy stage it
+	// runs under the server-wide bound.
+	var snap *webpage.Snapshot
+	var err error
+	s.bounded(func() { snap, err = req.snapshot() })
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := s.scoreOne(snap)
+	s.reply(w, http.StatusOK, resp)
+}
+
+// bounded runs fn under the server-wide CPU-work bound. Every
+// CPU-heavy stage — HTML parsing, cache-key hashing, pipeline scoring,
+// target identification — goes through it, so a burst of concurrent
+// requests cannot run more than Workers heavy executions at once. The
+// deferred release survives a panic in fn.
+func (s *Server) bounded(fn func()) {
+	s.scoreSem <- struct{}{}
+	defer func() { <-s.scoreSem }()
+	fn()
+}
+
+// analyze runs one snapshot through the pipeline under the server-wide
+// bound.
+func (s *Server) analyze(snap *webpage.Snapshot) (out core.Outcome) {
+	s.bounded(func() { out = s.pipe.Analyze(snap) })
+	return out
+}
+
+// analyzeBatch fans snapshots out over the worker pool; every execution
+// still passes through the server-wide scoring bound.
+func (s *Server) analyzeBatch(snaps []*webpage.Snapshot, workers int) []core.Outcome {
+	out := make([]core.Outcome, len(snaps))
+	pool.ForEachIndex(len(snaps), workers, func(i int) {
+		out[i] = s.analyze(snaps[i])
+	})
+	return out
+}
+
+// scoreOne scores a single snapshot through the cache.
+func (s *Server) scoreOne(snap *webpage.Snapshot) ScoreResponse {
+	var key string
+	if s.cache != nil {
+		s.bounded(func() { key = cacheKey(snap) })
+		// Uncacheable pages (empty key) touch no counters — see the
+		// batch dedupe loop.
+		if key != "" {
+			if out, ok := s.cache.Get(key); ok {
+				s.metrics.cacheHits.Add(1)
+				return ScoreResponse{Outcome: out, LandingURL: snap.LandingURL, Cached: true}
+			}
+			s.metrics.cacheMiss.Add(1)
+		}
+	}
+	out := s.analyze(snap)
+	s.recordOutcome(out)
+	if s.cache != nil {
+		s.cache.Put(key, out)
+	}
+	return ScoreResponse{Outcome: out, LandingURL: snap.LandingURL}
+}
+
+func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Pages) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Pages) > s.maxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds limit %d", len(req.Pages), s.maxBatch))
+		return
+	}
+	// One fan-out width for the whole request: the client's workers
+	// field caps every stage, not just scoring.
+	workers := s.workers
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+
+	// Snapshot resolution parses HTML and is the dominant pre-scoring
+	// cost of a raw-HTML batch; doing it serially would bound batch
+	// throughput no matter how many workers score. Fan it out too.
+	snaps := make([]*webpage.Snapshot, len(req.Pages))
+	pageErrs := make([]error, len(req.Pages))
+	pool.ForEachIndex(len(req.Pages), workers, func(i int) {
+		s.bounded(func() { snaps[i], pageErrs[i] = req.Pages[i].snapshot() })
+	})
+	for i, err := range pageErrs {
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("page %d: %w", i, err))
+			return
+		}
+	}
+
+	results := make([]ScoreResponse, len(snaps))
+	// Cache keys are only needed — and only computed — when caching is
+	// enabled; with it disabled there is nothing to look up or dedupe.
+	var keys []string
+	if s.cache != nil {
+		keys = make([]string, len(snaps))
+		pool.ForEachIndex(len(snaps), workers, func(i int) {
+			s.bounded(func() { keys[i] = cacheKey(snaps[i]) })
+		})
+	}
+	// Serve cache hits first, then fan the misses out over the worker
+	// pool under the server-wide scoring bound. Within-batch duplicates
+	// count as cache hits below, so cache_hit_rate matches the reuse
+	// the client observes in the cached response flags.
+	var missIdx []int
+	if s.cache != nil {
+		for i, snap := range snaps {
+			if out, ok := s.cache.Get(keys[i]); ok {
+				s.metrics.cacheHits.Add(1)
+				results[i] = ScoreResponse{Outcome: out, LandingURL: snap.LandingURL, Cached: true}
+			} else {
+				missIdx = append(missIdx, i)
+			}
+		}
+	} else {
+		missIdx = make([]int, len(snaps))
+		for i := range snaps {
+			missIdx[i] = i
+		}
+	}
+	if len(missIdx) > 0 {
+		// Dedupe misses sharing a cache key — identical pages, since
+		// the key fingerprints the content: campaigns funnel many lures
+		// to one landing page, and scoring it once per batch is the
+		// same verdict-reuse assumption the cache makes. It therefore
+		// only applies while caching is enabled; with the cache
+		// disabled every page scores individually (uniq is missIdx
+		// itself, no bookkeeping), and uncacheable pages always do.
+		uniq := missIdx
+		var resultAt []int // per missIdx entry: position in uniq; nil = identity
+		if s.cache != nil {
+			firstAt := make(map[string]int, len(missIdx))
+			resultAt = make([]int, 0, len(missIdx))
+			uniq = make([]int, 0, len(missIdx))
+			for _, i := range missIdx {
+				// Uncacheable pages (empty key) touch no counters: they
+				// can never hit, and counting them as misses would
+				// depress a hit rate no cache sizing could fix.
+				if key := keys[i]; key != "" {
+					if j, ok := firstAt[key]; ok {
+						resultAt = append(resultAt, j)
+						s.metrics.cacheHits.Add(1)
+						continue
+					}
+					firstAt[key] = len(uniq)
+					s.metrics.cacheMiss.Add(1)
+				}
+				resultAt = append(resultAt, len(uniq))
+				uniq = append(uniq, i)
+			}
+		}
+		missSnaps := make([]*webpage.Snapshot, len(uniq))
+		for j, i := range uniq {
+			missSnaps[j] = snaps[i]
+		}
+		outcomes := s.analyzeBatch(missSnaps, workers)
+		for _, out := range outcomes {
+			s.recordOutcome(out)
+		}
+		if s.cache != nil {
+			for j, i := range uniq {
+				s.cache.Put(keys[i], outcomes[j])
+			}
+		}
+		for k, i := range missIdx {
+			j := k
+			if resultAt != nil {
+				j = resultAt[k]
+			}
+			results[i] = ScoreResponse{
+				Outcome:    outcomes[j],
+				LandingURL: snaps[i].LandingURL,
+				// A within-batch duplicate reused an identical page's
+				// verdict and reports so, like a verdict-cache hit.
+				Cached: uniq[j] != i,
+			}
+		}
+	}
+	s.metrics.scoreBatch.observe(time.Since(t0))
+	s.reply(w, http.StatusOK, BatchResponse{
+		Results:   results,
+		Count:     len(results),
+		ElapsedUS: time.Since(t0).Microseconds(),
+	})
+}
+
+func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
+	var req PageRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	// Resolution and identification are both pipeline-weight work; they
+	// respect the same server-wide bound as scoring.
+	var snap *webpage.Snapshot
+	var err error
+	s.bounded(func() { snap, err = req.snapshot() })
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var res target.Result
+	s.bounded(func() { res = s.pipe.Identifier.Identify(webpage.Analyze(snap)) })
+	s.reply(w, http.StatusOK, TargetResponse{LandingURL: snap.LandingURL, Result: res})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Threshold:     s.pipe.Detector.Threshold(),
+		Workers:       s.workers,
+		CacheEnabled:  s.cache != nil,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, s.Metrics())
+}
+
+// ---------------------------------------------------------------------
+// Plumbing.
+
+func (s *Server) recordOutcome(out core.Outcome) {
+	s.metrics.scored.Add(1)
+	if out.FinalPhish {
+		s.metrics.phish.Add(1)
+	}
+}
+
+// decode parses the JSON body into v, replying with 400 on malformed
+// JSON and 413 on bodies over the size limit.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.maxBody))
+			return false
+		}
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	// One JSON document per request: trailing content means a garbled
+	// or concatenated body that would otherwise be silently truncated.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		s.fail(w, http.StatusBadRequest, errors.New("decoding request: trailing data after JSON document"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing to do but count it.
+		s.metrics.errors.Add(1)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Add(1)
+	s.reply(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusRecorder captures the response status so instrumentation can
+// tell successful work apart from cheap rejections.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with request counting and, when hist is
+// non-nil, latency capture into that histogram. Only successful
+// responses are observed: microsecond-cheap 4xx rejections would
+// otherwise drag the percentiles operators alert on toward zero.
+func (s *Server) instrument(h http.HandlerFunc, hist *latencyHist) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		s.metrics.requests.Add(1)
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		if hist != nil && rec.status < 400 {
+			hist.observe(time.Since(t0))
+		}
+	}
+}
+
+// post restricts a handler to POST requests.
+func (s *Server) post(h http.HandlerFunc) http.HandlerFunc {
+	return s.allowMethod(http.MethodPost, h)
+}
+
+// get restricts a handler to GET (and HEAD) requests.
+func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {
+	return s.allowMethod(http.MethodGet, h)
+}
+
+func (s *Server) allowMethod(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method && !(method == http.MethodGet && r.Method == http.MethodHead) {
+			w.Header().Set("Allow", method)
+			s.fail(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+			return
+		}
+		h(w, r)
+	}
+}

@@ -1,0 +1,430 @@
+// Package target implements the target identification system of Section V
+// of the paper: given an analyzed page, it extracts keyterms from the
+// data sources the page owner freely controls, queries a search engine
+// with them, and either confirms the page as legitimate (its own
+// registered domain appears in the results) or names the brands the page
+// most plausibly mimics, ranked by evidence. Image-only pages fall back
+// to OCR-extracted screenshot terms (step 4 of the process).
+//
+// The process mirrors the paper's steps:
+//
+//  1. Query with the boosted prominent terms. Own RDN returned →
+//     legitimate.
+//  2. Query with the prominent terms plus the landing mld terms. Own RDN
+//     returned → legitimate.
+//  3. Rank the returned domains as target candidates, keeping only those
+//     the page actually references (a page term matching the candidate
+//     mld, or an external link to the candidate). Candidates found →
+//     phish with a target list.
+//  4. If nothing was decided, repeat with OCR prominent terms from the
+//     screenshot layer. Still nothing → suspicious (target unknown).
+//
+// An Identifier is safe for concurrent use: identification only reads
+// its configuration and the search engine's read-locked index.
+package target
+
+import (
+	"sort"
+	"strings"
+
+	"knowphish/internal/ocr"
+	"knowphish/internal/search"
+	"knowphish/internal/terms"
+	"knowphish/internal/webpage"
+)
+
+// Verdict is the outcome of target identification.
+type Verdict int
+
+// The three possible verdicts. The zero value is VerdictSuspicious: a
+// page with no confirmed owner and no identifiable target stays suspect
+// (Section VI-D treats these as "keep the detector's call").
+const (
+	VerdictSuspicious Verdict = iota
+	VerdictLegitimate
+	VerdictPhish
+)
+
+// String returns the verdict name used throughout logs and tables.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSuspicious:
+		return "suspicious"
+	case VerdictLegitimate:
+		return "legitimate"
+	case VerdictPhish:
+		return "phish"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalText encodes the verdict as its name, so JSON payloads carry
+// "phish" rather than an opaque integer.
+func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText decodes a verdict name (unknown names → suspicious).
+func (v *Verdict) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "legitimate":
+		*v = VerdictLegitimate
+	case "phish":
+		*v = VerdictPhish
+	default:
+		*v = VerdictSuspicious
+	}
+	return nil
+}
+
+// DefaultKeyterms is the number of keyterms per search query (the
+// paper's choice of five).
+const DefaultKeyterms = 5
+
+// DefaultResults is how many search results each query examines.
+const DefaultResults = 10
+
+// keytermSources are the term distributions mined for keyterms (Section
+// V-A): the owner-chosen content sources (title, text, copyright) and
+// the URL sources, whose canonicalized terms recover brand references a
+// homograph or typosquat domain tries to hide.
+var keytermSources = []webpage.DistID{
+	webpage.DistTitle,
+	webpage.DistText,
+	webpage.DistCopyright,
+	webpage.DistStart,
+	webpage.DistLand,
+	webpage.DistStartRDN,
+	webpage.DistLandRDN,
+}
+
+// Keyterms are the query terms extracted from a page.
+type Keyterms struct {
+	// Boosted are prominent terms appearing in at least two distinct
+	// sources — the strongest signals of what the page is about.
+	Boosted []string `json:"boosted,omitempty"`
+	// Prominent are the highest-probability terms over all sources.
+	Prominent []string `json:"prominent,omitempty"`
+}
+
+// ExtractKeyterms computes the boosted and prominent keyterms of an
+// analyzed page, at most n of each. Deterministic: ties break
+// lexicographically.
+func ExtractKeyterms(a *webpage.Analysis, n int) Keyterms {
+	score, sources := termStats(a)
+	return keytermsFromStats(score, sources, n)
+}
+
+// keytermsFromStats ranks already-accumulated term statistics, so
+// Identify can reuse one termStats pass for both keyterm extraction and
+// candidate evidence.
+func keytermsFromStats(score map[string]float64, sources map[string]int, n int) Keyterms {
+	if n <= 0 {
+		n = DefaultKeyterms
+	}
+	type scored struct {
+		term    string
+		score   float64
+		sources int
+	}
+	all := make([]scored, 0, len(score))
+	for t, s := range score {
+		all = append(all, scored{term: t, score: s, sources: sources[t]})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].term < all[j].term
+	})
+	var kt Keyterms
+	for _, s := range all {
+		if len(kt.Prominent) == n {
+			break
+		}
+		kt.Prominent = append(kt.Prominent, s.term)
+	}
+	// Boosted: multi-source terms, ranked by source count first — a term
+	// the owner repeats across title, text, copyright and URL is the
+	// page's subject.
+	boosted := make([]scored, 0, len(all))
+	for _, s := range all {
+		if s.sources >= 2 {
+			boosted = append(boosted, s)
+		}
+	}
+	sort.Slice(boosted, func(i, j int) bool {
+		if boosted[i].sources != boosted[j].sources {
+			return boosted[i].sources > boosted[j].sources
+		}
+		if boosted[i].score != boosted[j].score {
+			return boosted[i].score > boosted[j].score
+		}
+		return boosted[i].term < boosted[j].term
+	})
+	for _, s := range boosted {
+		if len(kt.Boosted) == n {
+			break
+		}
+		kt.Boosted = append(kt.Boosted, s.term)
+	}
+	return kt
+}
+
+// termStats accumulates, per term, the summed probability across the
+// keyterm sources and the number of sources containing it. Sources are
+// visited in fixed order and terms in sorted order, so the float
+// accumulation is bit-reproducible.
+func termStats(a *webpage.Analysis) (score map[string]float64, sources map[string]int) {
+	score = make(map[string]float64)
+	sources = make(map[string]int)
+	for _, id := range keytermSources {
+		d := a.Dist(id)
+		for _, t := range d.Terms() {
+			score[t] += d.P(t)
+			sources[t]++
+		}
+	}
+	return score, sources
+}
+
+// Candidate is one potential phishing target.
+type Candidate struct {
+	// RDN is the candidate's registered domain.
+	RDN string `json:"rdn"`
+	// MLD is the candidate's main level domain.
+	MLD string `json:"mld"`
+	// Count is the accumulated evidence weight: page terms matching the
+	// mld, external links to the candidate, appearances across queries.
+	Count int `json:"count"`
+	// Score is the summed search relevance, the tie-breaker.
+	Score float64 `json:"score"`
+}
+
+// Result is the outcome of identifying one page.
+type Result struct {
+	// Verdict is the final call.
+	Verdict Verdict `json:"verdict"`
+	// StepsUsed is the process step (1–4) that produced the verdict.
+	StepsUsed int `json:"steps_used"`
+	// Keyterms are the extracted query terms.
+	Keyterms Keyterms `json:"keyterms"`
+	// Candidates are the ranked candidate targets (phish verdicts only).
+	Candidates []Candidate `json:"candidates,omitempty"`
+	// UsedOCR reports whether the step-4 OCR fallback ran.
+	UsedOCR bool `json:"used_ocr,omitempty"`
+	// OCRProminent are the prominent terms OCR recovered, when UsedOCR.
+	OCRProminent []string `json:"ocr_prominent,omitempty"`
+}
+
+// Identifier runs the Section V process against a search engine.
+type Identifier struct {
+	// Engine is the legitimate-web index. Required.
+	Engine *search.Engine
+	// K is the number of keyterms per query (0 → DefaultKeyterms).
+	K int
+	// Results is the number of search results examined per query
+	// (0 → DefaultResults).
+	Results int
+	// OCR recognizes screenshot text for the step-4 fallback
+	// (nil → a noiseless recognizer).
+	OCR *ocr.Recognizer
+}
+
+// New returns an identifier with the paper's defaults: five keyterms per
+// query and the default OCR noise model.
+func New(engine *search.Engine) *Identifier {
+	return &Identifier{Engine: engine, K: DefaultKeyterms, Results: DefaultResults, OCR: ocr.Default()}
+}
+
+// Identify runs the full process on an analyzed page.
+func (id *Identifier) Identify(a *webpage.Analysis) Result {
+	k := id.K
+	if k <= 0 {
+		k = DefaultKeyterms
+	}
+	nres := id.Results
+	if nres <= 0 {
+		nres = DefaultResults
+	}
+	score, sources := termStats(a)
+	res := Result{Keyterms: keytermsFromStats(score, sources, k)}
+
+	// The page's full term set is the evidence pool for candidate
+	// filtering; external RDNs are strong evidence (the phish links to
+	// its target's real site).
+	pageTerms := make(map[string]struct{}, len(score))
+	for t := range score {
+		pageTerms[t] = struct{}{}
+	}
+	extRDNs := externalRDNs(a)
+
+	// Step 1: boosted prominent terms.
+	q1 := res.Keyterms.Boosted
+	if len(q1) == 0 {
+		q1 = res.Keyterms.Prominent
+	}
+	r1 := id.Engine.Query(q1, nres)
+	if containsOwn(r1, a) {
+		res.Verdict, res.StepsUsed = VerdictLegitimate, 1
+		return res
+	}
+
+	// Step 2: prominent terms plus the landing mld terms, the paper's
+	// second, more site-specific query.
+	q2 := appendUnique(res.Keyterms.Prominent, terms.Extract(a.Land.UnicodeRDN()))
+	r2 := id.Engine.Query(q2, nres)
+	if containsOwn(r2, a) {
+		res.Verdict, res.StepsUsed = VerdictLegitimate, 2
+		return res
+	}
+
+	// Step 3: rank the returned domains as candidate targets.
+	res.Candidates = rankCandidates([][]search.Result{r1, r2}, pageTerms, extRDNs, a)
+	if len(res.Candidates) > 0 {
+		res.Verdict, res.StepsUsed = VerdictPhish, 3
+		return res
+	}
+	res.StepsUsed = 3
+
+	// Step 4: OCR fallback over the screenshot layer, for pages whose
+	// HTML carries no usable terms (image-only phish kits).
+	if len(a.Snap.ScreenshotTerms) > 0 {
+		rec := id.OCR
+		if rec == nil {
+			rec = &ocr.Recognizer{}
+		}
+		dist := terms.FromStrings(rec.Recognize(a.Snap.ScreenshotTerms))
+		res.UsedOCR = true
+		res.OCRProminent = dist.TopN(k)
+		res.StepsUsed = 4
+		if len(res.OCRProminent) > 0 {
+			r3 := id.Engine.Query(res.OCRProminent, nres)
+			if containsOwn(r3, a) {
+				res.Verdict = VerdictLegitimate
+				return res
+			}
+			ocrTerms := make(map[string]struct{}, len(pageTerms)+dist.Len())
+			for t := range pageTerms {
+				ocrTerms[t] = struct{}{}
+			}
+			for _, t := range dist.Terms() {
+				ocrTerms[t] = struct{}{}
+			}
+			res.Candidates = rankCandidates([][]search.Result{r1, r2, r3}, ocrTerms, extRDNs, a)
+			if len(res.Candidates) > 0 {
+				res.Verdict = VerdictPhish
+				return res
+			}
+		}
+	}
+
+	res.Verdict = VerdictSuspicious
+	return res
+}
+
+// externalRDNs collects the RDNs of links leaving the controlled domain
+// set — where a phish points at its target's real site.
+func externalRDNs(a *webpage.Analysis) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, p := range a.ExtLog {
+		if p.RDN != "" {
+			out[p.RDN] = struct{}{}
+		}
+	}
+	for _, p := range a.ExtLink {
+		if p.RDN != "" {
+			out[p.RDN] = struct{}{}
+		}
+	}
+	return out
+}
+
+// containsOwn reports whether any search result names a domain the page
+// owner controls — the "own site found, page is legitimate" test. A
+// matching mld also counts, covering regional variants of one brand.
+func containsOwn(results []search.Result, a *webpage.Analysis) bool {
+	for _, r := range results {
+		if _, ok := a.ControlledRDNs[r.RDN]; ok {
+			return true
+		}
+		if r.MLD != "" && (r.MLD == a.Land.MLD || r.MLD == a.Start.MLD) {
+			return true
+		}
+	}
+	return false
+}
+
+// rankCandidates turns search results into a ranked candidate target
+// list. A returned domain becomes a candidate only when the page shows
+// evidence of referencing it: a page term that is a substring of the
+// candidate's mld (the phish spells its target's name somewhere) or an
+// external link to the candidate. Evidence accumulates across queries;
+// ranking is by evidence count, then search relevance, then RDN.
+func rankCandidates(resultSets [][]search.Result, pageTerms map[string]struct{}, extRDNs map[string]struct{}, a *webpage.Analysis) []Candidate {
+	acc := make(map[string]*Candidate)
+	for _, rs := range resultSets {
+		for _, r := range rs {
+			if _, own := a.ControlledRDNs[r.RDN]; own {
+				continue
+			}
+			evidence := 0
+			if _, linked := extRDNs[r.RDN]; linked {
+				evidence += 2
+			}
+			for t := range pageTerms {
+				if len(t) >= terms.MinTermLength && strings.Contains(r.MLD, t) {
+					evidence++
+				}
+			}
+			if evidence == 0 {
+				continue
+			}
+			c, ok := acc[r.RDN]
+			if !ok {
+				c = &Candidate{RDN: r.RDN, MLD: r.MLD}
+				acc[r.RDN] = c
+			}
+			c.Count += evidence
+			c.Score += r.Score
+		}
+	}
+	if len(acc) == 0 {
+		return nil
+	}
+	out := make([]Candidate, 0, len(acc))
+	for _, c := range acc {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].RDN < out[j].RDN
+	})
+	return out
+}
+
+// appendUnique appends the extras to base, skipping duplicates, without
+// modifying base.
+func appendUnique(base, extras []string) []string {
+	out := make([]string, 0, len(base)+len(extras))
+	seen := make(map[string]struct{}, len(base)+len(extras))
+	for _, t := range base {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	for _, t := range extras {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

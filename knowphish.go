@@ -30,6 +30,7 @@ import (
 	"knowphish/internal/ocr"
 	"knowphish/internal/ranking"
 	"knowphish/internal/search"
+	"knowphish/internal/serve"
 	"knowphish/internal/target"
 	"knowphish/internal/webgen"
 	"knowphish/internal/webpage"
@@ -84,6 +85,40 @@ const (
 	F5      = features.F5
 	AllSets = features.All
 )
+
+// Serving types: the HTTP scoring service of internal/serve. A Server
+// answers /v1/score, /v1/score/batch and /v1/target, fanning work out
+// over the same worker-pool primitive (internal/pool) that backs
+// ExtractBatch and the library batch methods, with a sharded verdict
+// cache and /healthz + /metrics introspection.
+type (
+	// Server is the HTTP scoring service (an http.Handler).
+	Server = serve.Server
+	// ServerConfig assembles a Server.
+	ServerConfig = serve.Config
+	// PageRequest is one page to score (snapshot or raw HTML).
+	PageRequest = serve.PageRequest
+	// BatchRequest scores many pages in one call.
+	BatchRequest = serve.BatchRequest
+	// ScoreResponse is the verdict for one page.
+	ScoreResponse = serve.ScoreResponse
+	// BatchResponse carries per-page verdicts in request order.
+	BatchResponse = serve.BatchResponse
+	// TargetResponse is the /v1/target document.
+	TargetResponse = serve.TargetResponse
+	// HealthResponse is the /healthz document.
+	HealthResponse = serve.HealthResponse
+	// MetricsSnapshot is the /metrics document.
+	MetricsSnapshot = serve.MetricsSnapshot
+)
+
+// NewServer builds the HTTP scoring service over a trained detector and
+// a target identifier.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// LoadSearchEngine restores an index saved with SearchEngine.Save (kpgen
+// writes one as index.json).
+func LoadSearchEngine(r io.Reader) (*SearchEngine, error) { return search.Load(r) }
 
 // SnapshotFromHTML builds a Snapshot from raw page HTML plus visit
 // metadata, resolving relative links against the landing URL. Use it to
