@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet serve ci
+.PHONY: all build test race race-cover bench bench-smoke fuzz-smoke cover fmt fmt-check vet serve ci
 
 all: build
 
@@ -16,12 +16,30 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race + coverage in one pass — what CI runs, so the suite executes
+# once per push instead of once per concern.
+race-cover:
+	$(GO) test -race -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
 # Full benchmark run (slow). CI runs `bench-smoke` instead.
 bench:
 	$(GO) test -run='^$$' -bench=. ./...
 
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Short fuzz pass over the URL decomposition (the most adversarial
+# input surface). Found inputs land in internal/urlx/testdata/fuzz and
+# become permanent regression seeds.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/urlx
+
+# Coverage profile for local inspection and CI artifacts. Reported, not
+# gated: no threshold.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 fmt:
 	gofmt -w .
@@ -38,4 +56,4 @@ vet:
 serve:
 	$(GO) run ./cmd/kpserve -addr :8080
 
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build race-cover bench-smoke fuzz-smoke

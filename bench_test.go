@@ -17,16 +17,21 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
+	"knowphish/internal/core"
 	"knowphish/internal/crawl"
 	"knowphish/internal/dataset"
 	"knowphish/internal/experiments"
 	"knowphish/internal/features"
+	"knowphish/internal/feed"
 	"knowphish/internal/ml"
 	"knowphish/internal/serve"
+	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/terms"
 	"knowphish/internal/webgen"
@@ -394,6 +399,79 @@ func BenchmarkServeScore(b *testing.B) {
 					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkFeedIngest drives the continuous ingestion pipeline end to
+// end: a batch of synthetic-world URLs enters the scheduler, is crawled,
+// scored, target-identified and persisted to the JSONL verdict store.
+// The workers sub-benchmarks show enqueue→persist throughput scaling
+// from a serial worker loop to GOMAXPROCS fan-out. Per-domain rate
+// limiting is disabled — the measurement is pipeline throughput, not
+// politeness.
+func BenchmarkFeedIngest(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	var urls []string
+	fetchers := []crawl.Fetcher{r.Corpus.World}
+	for i := 0; i < 32; i++ {
+		var site *webgen.Site
+		if i%2 == 0 {
+			site = r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+		} else {
+			site = r.Corpus.World.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
+		}
+		fetchers = append(fetchers, site)
+		urls = append(urls, site.StartURL)
+	}
+	fetcher := crawl.Compose(fetchers...)
+
+	workerCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			st, err := store.Open(store.Config{Path: filepath.Join(b.TempDir(), "verdicts.jsonl")})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			sched, err := feed.New(feed.Config{
+				Fetcher:    fetcher,
+				Pipeline:   &core.Pipeline{Detector: d, Identifier: target.New(r.Corpus.Engine)},
+				Store:      st,
+				Workers:    workers,
+				QueueDepth: 2 * len(urls),
+				DomainRate: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, u := range urls {
+					if err := sched.Enqueue(u); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if !sched.Wait(time.Now().Add(time.Minute)) {
+					b.Fatal("ingestion stalled")
+				}
+			}
+			b.StopTimer()
+			if dropped := sched.Drain(time.Now().Add(time.Minute)); dropped != 0 {
+				b.Fatalf("drain dropped %d", dropped)
+			}
+			if stats := sched.Stats(); stats.Failed != 0 {
+				b.Fatalf("feed failures: %+v", stats)
+			}
+			b.ReportMetric(float64(len(urls)), "urls/op")
 		})
 	}
 }

@@ -5,15 +5,19 @@
 //
 // With no -model, kpserve bootstraps itself: it builds a synthetic
 // corpus, trains a detector and serves against the corpus search index —
-// a one-command demo of the whole system.
+// a one-command demo of the whole system. In that mode the synthetic
+// world doubles as the crawl source, so -store also enables the
+// continuous feed-ingestion pipeline (POST /v1/feed → crawl → score →
+// persist, queryable at GET /v1/verdicts).
 //
 // Usage:
 //
-//	kpserve -addr :8080                                  # self-contained demo
+//	kpserve -addr :8080 -store verdicts.jsonl                # demo + feed
 //	kpserve -addr :8080 -model model.json -ranking data/ranking.csv -index index.json
 //
 // Endpoints: POST /v1/score, POST /v1/score/batch, POST /v1/target,
-// GET /healthz, GET /metrics. See README.md for request formats.
+// POST /v1/feed, GET /v1/verdicts, GET /healthz, GET /metrics. See
+// README.md for request formats.
 package main
 
 import (
@@ -29,10 +33,12 @@ import (
 
 	"knowphish/internal/core"
 	"knowphish/internal/dataset"
+	"knowphish/internal/feed"
 	"knowphish/internal/ml"
 	"knowphish/internal/ranking"
 	"knowphish/internal/search"
 	"knowphish/internal/serve"
+	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/webgen"
 )
@@ -55,20 +61,65 @@ func run() error {
 		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max pages per batch request")
 		scale     = flag.Int("scale", 25, "corpus scale for the self-train path")
 		seed      = flag.Int64("seed", 1, "seed for the self-train path")
+
+		storePath    = flag.String("store", "", "verdict store JSONL path (enables GET /v1/verdicts; with the self-train world, also POST /v1/feed)")
+		storeSync    = flag.Bool("store-sync", false, "fsync the verdict store on every append")
+		compactEvery = flag.Int("compact-every", store.DefaultCompactEvery, "appends between verdict-store compactions (negative: never)")
+		feedQueue    = flag.Int("feed-queue", feed.DefaultQueueDepth, "feed queue depth, the backpressure bound")
+		feedWorkers  = flag.Int("feed-workers", 0, "feed crawl/score workers (0 = GOMAXPROCS)")
+		domainRate   = flag.Float64("domain-rate", feed.DefaultDomainRate, "per-registered-domain crawl rate in URLs/sec (negative: unlimited)")
+		domainBurst  = flag.Int("domain-burst", feed.DefaultDomainBurst, "per-domain token-bucket burst")
+		feedRetries  = flag.Int("feed-retries", feed.DefaultMaxAttempts, "fetch attempts per URL before the failure is persisted")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for the feed to drain on shutdown")
 	)
 	flag.Parse()
 
-	det, engine, err := loadArtifacts(*modelPath, *rankPath, *indexPath, *scale, *seed)
+	det, engine, world, err := loadArtifacts(*modelPath, *rankPath, *indexPath, *scale, *seed)
 	if err != nil {
 		return err
+	}
+	identifier := target.New(engine)
+
+	// The durable verdict store and the feed scheduler on top of it.
+	// Feed ingestion needs a crawl source; only the self-train path has
+	// one (the synthetic world). An artifact-mode server still persists
+	// nothing by itself but serves /v1/verdicts over an existing log.
+	var st *store.Store
+	var sched *feed.Scheduler
+	if *storePath != "" {
+		st, err = store.Open(store.Config{Path: *storePath, Sync: *storeSync, CompactEvery: *compactEvery})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		fmt.Printf("kpserve: verdict store %s (%d records)\n", *storePath, st.Len())
+		if world != nil {
+			sched, err = feed.New(feed.Config{
+				Fetcher:     world,
+				Pipeline:    &core.Pipeline{Detector: det, Identifier: identifier},
+				Store:       st,
+				Workers:     *feedWorkers,
+				QueueDepth:  *feedQueue,
+				DomainRate:  *domainRate,
+				DomainBurst: *domainBurst,
+				MaxAttempts: *feedRetries,
+			})
+			if err != nil {
+				return err
+			}
+		} else {
+			fmt.Println("kpserve: warning: no crawl source with -model; POST /v1/feed disabled (GET /v1/verdicts still serves the store)")
+		}
 	}
 
 	srv, err := serve.New(serve.Config{
 		Detector:   det,
-		Identifier: target.New(engine),
+		Identifier: identifier,
 		Workers:    *workers,
 		CacheSize:  *cacheSize,
 		MaxBatch:   *maxBatch,
+		Feed:       sched,
+		Store:      st,
 	})
 	if err != nil {
 		return err
@@ -112,6 +163,18 @@ func run() error {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// Drain the feed after HTTP intake stops: every accepted URL is
+	// either scored-and-persisted or reported dropped.
+	if sched != nil {
+		dropped := sched.Drain(time.Now().Add(*drainWait))
+		fs := sched.Stats()
+		fmt.Printf("kpserve: feed drained: %d processed, %d failed, %d dropped\n",
+			fs.Processed, fs.Failed, dropped)
+	}
+	if st != nil {
+		ss := st.Stats()
+		fmt.Printf("kpserve: store: %d records, %d compactions\n", ss.Records, ss.Compactions)
+	}
 	m := srv.Metrics()
 	fmt.Printf("kpserve: served %d requests, %d pages scored, cache hit rate %.2f\n",
 		m.Requests, m.PagesScored, m.CacheHitRate)
@@ -120,10 +183,12 @@ func run() error {
 
 // loadArtifacts assembles the detector and search index, either from the
 // saved artifacts or by training a fresh stack on the synthetic world.
-func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64) (*core.Detector, *search.Engine, error) {
+// The returned world is non-nil only on the self-train path, where it
+// serves as the feed's crawl source.
+func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64) (*core.Detector, *search.Engine, *webgen.World, error) {
 	if modelPath == "" {
 		if rankPath != "" || indexPath != "" {
-			return nil, nil, errors.New("-ranking/-index require -model; the self-train path would silently ignore them")
+			return nil, nil, nil, errors.New("-ranking/-index require -model; the self-train path would silently ignore them")
 		}
 		return selfTrain(scale, seed)
 	}
@@ -138,45 +203,45 @@ func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64)
 	if rankPath != "" {
 		f, err := os.Open(rankPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		rank, err = ranking.Read(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("reading ranking %s: %w", rankPath, err)
+			return nil, nil, nil, fmt.Errorf("reading ranking %s: %w", rankPath, err)
 		}
 	}
 
 	f, err := os.Open(modelPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	det, err := core.Load(f, rank)
 	f.Close()
 	if err != nil {
-		return nil, nil, fmt.Errorf("loading model %s: %w", modelPath, err)
+		return nil, nil, nil, fmt.Errorf("loading model %s: %w", modelPath, err)
 	}
 
 	engine := search.NewEngine()
 	if indexPath != "" {
 		f, err := os.Open(indexPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		engine, err = search.Load(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("loading index %s: %w", indexPath, err)
+			return nil, nil, nil, fmt.Errorf("loading index %s: %w", indexPath, err)
 		}
 	} else {
 		fmt.Println("kpserve: warning: no -index; target identification will mostly report suspicious")
 	}
-	return det, engine, nil
+	return det, engine, nil, nil
 }
 
 // selfTrain builds a corpus and trains a detector — the zero-artifact
 // demo path.
-func selfTrain(scale int, seed int64) (*core.Detector, *search.Engine, error) {
+func selfTrain(scale int, seed int64) (*core.Detector, *search.Engine, *webgen.World, error) {
 	fmt.Printf("kpserve: no -model given; building corpus and training (scale 1/%d)...\n", scale)
 	corpus, err := dataset.Build(dataset.Config{
 		Seed:              seed,
@@ -185,7 +250,7 @@ func selfTrain(scale int, seed int64) (*core.Detector, *search.Engine, error) {
 		SkipLanguageTests: true,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	snaps := append(corpus.LegTrain.Snapshots(), corpus.PhishTrain.Snapshots()...)
 	labels := append(corpus.LegTrain.Labels(), corpus.PhishTrain.Labels()...)
@@ -194,7 +259,7 @@ func selfTrain(scale int, seed int64) (*core.Detector, *search.Engine, error) {
 		Rank: corpus.World.Ranking(),
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return det, corpus.Engine, nil
+	return det, corpus.Engine, corpus.World, nil
 }

@@ -1,0 +1,51 @@
+package feed
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketBurstThenRefill(t *testing.T) {
+	var b bucket
+	t0 := time.Date(2026, 7, 29, 0, 0, 0, 0, time.UTC)
+	// A fresh bucket starts full: burst tokens available immediately.
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(t0, 10, 3); !ok {
+			t.Fatalf("take %d of burst 3 denied", i)
+		}
+	}
+	ok, wait := b.take(t0, 10, 3)
+	if ok {
+		t.Fatal("4th take within burst 3 allowed")
+	}
+	// Empty bucket at 10 tokens/s: one token 100ms away.
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("wait = %v, want (0, 100ms]", wait)
+	}
+	// After the advertised wait, the take succeeds.
+	if ok, _ := b.take(t0.Add(wait), 10, 3); !ok {
+		t.Error("take after advertised wait denied")
+	}
+	// Refill is capped at burst: a long idle period grants 3, not 100.
+	later := t0.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(later, 10, 3); !ok {
+			t.Fatalf("take %d after long idle denied", i)
+		}
+	}
+	if ok, _ := b.take(later, 10, 3); ok {
+		t.Error("burst cap not enforced after idle refill")
+	}
+}
+
+func TestBucketClockGoingBackwards(t *testing.T) {
+	var b bucket
+	t0 := time.Date(2026, 7, 29, 0, 0, 0, 0, time.UTC)
+	if ok, _ := b.take(t0, 1, 1); !ok {
+		t.Fatal("first take denied")
+	}
+	// A clock step backwards must not mint tokens or panic.
+	if ok, _ := b.take(t0.Add(-time.Minute), 1, 1); ok {
+		t.Error("backwards clock granted a token")
+	}
+}

@@ -3,6 +3,7 @@ package ml
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // StratifiedKFold assigns each sample to one of k folds, preserving the
@@ -18,11 +19,20 @@ func StratifiedKFold(labels []int, k int, seed int64) ([]int, error) {
 	rng := rand.New(rand.NewSource(seed))
 	fold := make([]int, len(labels))
 	// Per class, shuffle indices and deal them round-robin into folds.
+	// Classes are visited in sorted order: ranging over the map would
+	// consume the rng in nondeterministic order and break the
+	// same-seed-same-folds contract.
 	byClass := map[int][]int{}
 	for i, l := range labels {
 		byClass[l] = append(byClass[l], i)
 	}
-	for _, idx := range byClass {
+	classes := make([]int, 0, len(byClass))
+	for l := range byClass {
+		classes = append(classes, l)
+	}
+	sort.Ints(classes)
+	for _, l := range classes {
+		idx := byClass[l]
 		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
 		for j, i := range idx {
 			fold[i] = j % k

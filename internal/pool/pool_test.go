@@ -43,6 +43,59 @@ func TestForEachIndexPropagatesPanic(t *testing.T) {
 	}
 }
 
+// panicPayload is a distinct pointer type so the test can assert the
+// re-raised panic is the very value thrown, not a copy or a wrapper.
+type panicPayload struct{ index int }
+
+func TestForEachIndexParallelPanicValueIdentity(t *testing.T) {
+	// The parallel path (workers > 1) recovers worker panics and
+	// re-raises on the caller's goroutine. Contract under test: the
+	// panic value survives the hand-off with identity intact, and every
+	// non-panicking index still completes before the re-raise.
+	payload := &panicPayload{index: 13}
+	var processed atomic.Int32
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		ForEachIndex(64, 8, func(i int) {
+			if i == 13 {
+				panic(payload)
+			}
+			processed.Add(1)
+		})
+	}()
+	if recovered == nil {
+		t.Fatal("parallel worker panic not re-raised on caller")
+	}
+	if recovered != payload {
+		t.Errorf("re-raised value %#v is not the thrown value %#v (identity lost)", recovered, payload)
+	}
+	if got := processed.Load(); got != 63 {
+		t.Errorf("processed %d indexes, want 63 (batch drains before re-raise)", got)
+	}
+
+	// Multiple concurrent panics: exactly one value is re-raised, and it
+	// is one of the thrown values (first observed wins; no corruption).
+	thrown := map[any]bool{}
+	for i := 0; i < 4; i++ {
+		thrown[&panicPayload{index: i}] = true
+	}
+	var reraised any
+	func() {
+		defer func() { reraised = recover() }()
+		ForEachIndex(4, 4, func(i int) {
+			for p := range thrown {
+				if p.(*panicPayload).index == i {
+					panic(p)
+				}
+			}
+		})
+	}()
+	if reraised == nil || !thrown[reraised] {
+		t.Errorf("re-raised value %#v is not one of the thrown values", reraised)
+	}
+}
+
 func TestForEachIndexEdgeCases(t *testing.T) {
 	called := false
 	ForEachIndex(0, 4, func(int) { called = true })

@@ -2,56 +2,25 @@ package serve
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"sync"
+	"sync/atomic"
 
 	"knowphish/internal/core"
 	"knowphish/internal/webpage"
 )
 
 // cacheKey identifies a snapshot for verdict reuse: the landing URL
-// plus a fingerprint of every content field. Keying on the URL alone
+// plus a fingerprint of every content field (webpage.Fingerprint, the
+// same identity the verdict store compacts on). Keying on the URL alone
 // would let any client poison the verdict for a URL it does not own by
 // submitting different content under it; with the fingerprint, a reused
-// verdict always comes from an identical page. The fingerprint is
-// sha256 — collision-resistant, so the guarantee holds even against a
-// client crafting content to collide — and its cost is negligible next
-// to the pipeline run it gates. Snapshots without a landing URL are not
-// cacheable (empty key).
+// verdict always comes from an identical page. Snapshots without a
+// landing URL are not cacheable (empty key).
 func cacheKey(snap *webpage.Snapshot) string {
 	if snap.LandingURL == "" {
 		return ""
 	}
-	h := sha256.New()
-	ws := func(s string) {
-		_, _ = h.Write([]byte(s))
-		_, _ = h.Write([]byte{0})
-	}
-	wl := func(ss []string) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(ss)))
-		_, _ = h.Write(n[:])
-		for _, s := range ss {
-			ws(s)
-		}
-	}
-	ws(snap.StartingURL)
-	wl(snap.RedirectionChain)
-	wl(snap.LoggedLinks)
-	wl(snap.HREFLinks)
-	wl(snap.ScreenshotTerms)
-	ws(snap.Title)
-	ws(snap.Text)
-	ws(snap.Copyright)
-	ws(snap.Language)
-	var counts [24]byte
-	binary.LittleEndian.PutUint64(counts[0:], uint64(snap.InputCount))
-	binary.LittleEndian.PutUint64(counts[8:], uint64(snap.ImageCount))
-	binary.LittleEndian.PutUint64(counts[16:], uint64(snap.IFrameCount))
-	_, _ = h.Write(counts[:])
-	return snap.LandingURL + "\x00" + hex.EncodeToString(h.Sum(nil))
+	return snap.LandingURL + "\x00" + webpage.Fingerprint(snap)
 }
 
 // cacheShards is the shard count of the verdict cache. Sharding keeps
@@ -65,6 +34,10 @@ const cacheShards = 16
 // lures, so a small cache absorbs a large share of production traffic.
 type verdictCache struct {
 	shards [cacheShards]cacheShard
+	// evictions counts entries dropped by LRU pressure across all
+	// shards — the signal (exported at /metrics) that the cache is
+	// undersized for the traffic it sees.
+	evictions atomic.Int64
 }
 
 type cacheShard struct {
@@ -143,9 +116,13 @@ func (c *verdictCache) Put(key string, out core.Outcome) {
 		}
 		s.ll.Remove(oldest)
 		delete(s.m, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, outcome: out})
 }
+
+// Evictions returns the number of entries dropped by LRU pressure.
+func (c *verdictCache) Evictions() int64 { return c.evictions.Load() }
 
 // Len returns the number of cached entries across all shards.
 func (c *verdictCache) Len() int {

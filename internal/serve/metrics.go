@@ -3,6 +3,9 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"knowphish/internal/feed"
+	"knowphish/internal/store"
 )
 
 // latencyBuckets is the number of exponential histogram buckets. Bucket
@@ -91,10 +94,17 @@ type MetricsSnapshot struct {
 	Errors        int64   `json:"errors"`
 	InFlight      int64   `json:"in_flight"`
 
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	CacheEntries int     `json:"cache_entries"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheEvictions int64   `json:"cache_evictions"`
+
+	// Feed and Store report the ingestion-pipeline counters (queue
+	// depth, throughput, retries; record and compaction counts) when
+	// those subsystems are configured.
+	Feed  *feed.Stats  `json:"feed,omitempty"`
+	Store *store.Stats `json:"store,omitempty"`
 
 	LatencyMeanUS int64 `json:"latency_mean_us"`
 	LatencyP50US  int64 `json:"latency_p50_us"`

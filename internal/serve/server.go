@@ -7,8 +7,11 @@
 //	POST /v1/score        score one page (snapshot or raw HTML)
 //	POST /v1/score/batch  score many pages over a bounded worker pool
 //	POST /v1/target       run target identification only
+//	POST /v1/feed         enqueue URLs into the ingestion pipeline
+//	GET  /v1/verdicts     query the durable verdict store
 //	GET  /healthz         liveness and model metadata
-//	GET  /metrics         request counts, latency percentiles, cache stats
+//	GET  /metrics         request counts, latency percentiles, cache,
+//	                      feed and store stats
 //
 // Scoring fans out over the shared worker-pool primitive
 // (internal/pool, the same machinery behind features.ExtractBatch and
@@ -27,10 +30,13 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"knowphish/internal/core"
+	"knowphish/internal/feed"
 	"knowphish/internal/pool"
+	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/webpage"
 )
@@ -43,6 +49,11 @@ const (
 	DefaultMaxBatch = 1024
 	// DefaultMaxBodyBytes bounds request body size.
 	DefaultMaxBodyBytes = 16 << 20
+	// DefaultVerdictsLimit is the record cap of a /v1/verdicts response
+	// when the request does not set one.
+	DefaultVerdictsLimit = 100
+	// MaxVerdictsLimit is the largest accepted /v1/verdicts limit.
+	MaxVerdictsLimit = 1000
 )
 
 // Config assembles a Server.
@@ -61,6 +72,12 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes bounds request bodies (0 → DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// Feed is the continuous ingestion scheduler backing POST /v1/feed
+	// (optional; without it the endpoint answers 503).
+	Feed *feed.Scheduler
+	// Store is the durable verdict store backing GET /v1/verdicts
+	// (optional; without it the endpoint answers 503).
+	Store *store.Store
 }
 
 // Server is the HTTP scoring service. It is an http.Handler; wire it
@@ -71,6 +88,8 @@ type Server struct {
 	maxBatch int
 	maxBody  int64
 	cache    *verdictCache
+	feed     *feed.Scheduler
+	store    *store.Store
 	metrics  *Metrics
 	mux      *http.ServeMux
 	// scoreSem bounds CPU-heavy work (parsing, hashing, scoring,
@@ -93,6 +112,8 @@ func New(cfg Config) (*Server, error) {
 		workers:  cfg.Workers,
 		maxBatch: cfg.MaxBatch,
 		maxBody:  cfg.MaxBodyBytes,
+		feed:     cfg.Feed,
+		store:    cfg.Store,
 		metrics:  newMetrics(),
 	}
 	if s.workers <= 0 {
@@ -119,6 +140,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/score", s.instrument(s.post(s.handleScore), &s.metrics.latency))
 	s.mux.HandleFunc("/v1/score/batch", s.instrument(s.post(s.handleScoreBatch), &s.metrics.latency))
 	s.mux.HandleFunc("/v1/target", s.instrument(s.post(s.handleTarget), &s.metrics.latency))
+	s.mux.HandleFunc("/v1/feed", s.instrument(s.post(s.handleFeed), &s.metrics.latency))
+	s.mux.HandleFunc("/v1/verdicts", s.instrument(s.get(s.handleVerdicts), &s.metrics.latency))
 	s.mux.HandleFunc("/healthz", s.instrument(s.get(s.handleHealthz), nil))
 	s.mux.HandleFunc("/metrics", s.instrument(s.get(s.handleMetrics), nil))
 	return s, nil
@@ -129,9 +152,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Metrics returns a snapshot of the serving counters.
+// Metrics returns a snapshot of the serving counters, including feed
+// and store stats when those subsystems are wired in.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.metrics.Snapshot(s.cacheLen())
+	snap := s.metrics.Snapshot(s.cacheLen())
+	if s.cache != nil {
+		snap.CacheEvictions = s.cache.Evictions()
+	}
+	if s.feed != nil {
+		fs := s.feed.Stats()
+		snap.Feed = &fs
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		snap.Store = &ss
+	}
+	return snap
 }
 
 func (s *Server) cacheLen() int {
@@ -218,6 +254,35 @@ type TargetResponse struct {
 	Result     target.Result `json:"result"`
 }
 
+// FeedRequest enqueues URLs into the ingestion pipeline.
+type FeedRequest struct {
+	URLs []string `json:"urls"`
+}
+
+// FeedResult is the per-URL acceptance outcome.
+type FeedResult struct {
+	URL      string `json:"url"`
+	Accepted bool   `json:"accepted"`
+	// Reason explains a rejection: "queue_full", "duplicate",
+	// "invalid_url" or "closed".
+	Reason string `json:"reason,omitempty"`
+}
+
+// FeedResponse reports per-URL acceptance in request order. Partial
+// acceptance is normal under backpressure; the response is still 200.
+type FeedResponse struct {
+	Results    []FeedResult `json:"results"`
+	Accepted   int          `json:"accepted"`
+	Rejected   int          `json:"rejected"`
+	QueueDepth int          `json:"queue_depth"`
+}
+
+// VerdictsResponse carries verdict-store records, newest first.
+type VerdictsResponse struct {
+	Records []store.Record `json:"records"`
+	Count   int            `json:"count"`
+}
+
 // HealthResponse is the /healthz document.
 type HealthResponse struct {
 	Status        string  `json:"status"`
@@ -225,6 +290,8 @@ type HealthResponse struct {
 	Threshold     float64 `json:"threshold"`
 	Workers       int     `json:"workers"`
 	CacheEnabled  bool    `json:"cache_enabled"`
+	FeedEnabled   bool    `json:"feed_enabled"`
+	StoreEnabled  bool    `json:"store_enabled"`
 }
 
 type errorResponse struct {
@@ -455,6 +522,102 @@ func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, TargetResponse{LandingURL: snap.LandingURL, Result: res})
 }
 
+// handleFeed enqueues URLs. Each URL is accepted or rejected
+// independently; rejection reasons surface the scheduler's backpressure
+// to the feed producer so it can slow down or retry later.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	if s.feed == nil {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("feed ingestion is not configured on this server"))
+		return
+	}
+	var req FeedRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.URLs) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty urls list"))
+		return
+	}
+	if len(req.URLs) > s.maxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("feed of %d URLs exceeds limit %d", len(req.URLs), s.maxBatch))
+		return
+	}
+	resp := FeedResponse{Results: make([]FeedResult, len(req.URLs))}
+	for i, u := range req.URLs {
+		res := FeedResult{URL: u}
+		if err := s.feed.Enqueue(u); err != nil {
+			res.Reason = feedReason(err)
+			resp.Rejected++
+		} else {
+			res.Accepted = true
+			resp.Accepted++
+		}
+		resp.Results[i] = res
+	}
+	resp.QueueDepth = s.feed.Stats().Depth
+	s.reply(w, http.StatusOK, resp)
+}
+
+// feedReason maps scheduler rejections to stable wire strings.
+func feedReason(err error) string {
+	switch {
+	case errors.Is(err, feed.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, feed.ErrDuplicate):
+		return "duplicate"
+	case errors.Is(err, feed.ErrInvalidURL):
+		return "invalid_url"
+	case errors.Is(err, feed.ErrClosed):
+		return "closed"
+	default:
+		return err.Error()
+	}
+}
+
+// handleVerdicts queries the verdict store:
+//
+//	GET /v1/verdicts?target=brand.com&since=2026-07-29T00:00:00Z
+//	GET /v1/verdicts?url=http://lure.test/&phish_only=true&limit=50
+func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("verdict store is not configured on this server"))
+		return
+	}
+	q := store.Query{
+		Target: r.URL.Query().Get("target"),
+		URL:    r.URL.Query().Get("url"),
+		Limit:  DefaultVerdictsLimit,
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid since %q: want RFC3339", v))
+			return
+		}
+		q.Since = t
+	}
+	if v := r.URL.Query().Get("phish_only"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid phish_only %q", v))
+			return
+		}
+		q.PhishOnly = b
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > MaxVerdictsLimit {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Errorf("invalid limit %q: want 1..%d", v, MaxVerdictsLimit))
+			return
+		}
+		q.Limit = n
+	}
+	recs := s.store.Select(q)
+	s.reply(w, http.StatusOK, VerdictsResponse{Records: recs, Count: len(recs)})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
@@ -462,6 +625,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Threshold:     s.pipe.Detector.Threshold(),
 		Workers:       s.workers,
 		CacheEnabled:  s.cache != nil,
+		FeedEnabled:   s.feed != nil,
+		StoreEnabled:  s.store != nil,
 	})
 }
 

@@ -1,0 +1,474 @@
+// Package store is the durable verdict store of the feed-ingestion
+// pipeline: every scored URL becomes a Record appended to a JSONL log on
+// disk and indexed in memory by URL and by identified target. The log is
+// append-only — one self-contained JSON document per line, written in a
+// single write(2) call — so a crash can at worst truncate the final
+// line, which Reload detects and skips. Compaction periodically rewrites
+// the log dropping superseded verdicts (an older record for the same
+// landing URL + content fingerprint) via a temp-file + rename so a crash
+// mid-compaction leaves either the old log or the new one, never a mix.
+//
+// This is the persistence layer the paper's deployment sketch (Section
+// VI) needs but the batch evaluation never built: verdicts outlive the
+// process, and a restarted service answers queries about everything it
+// ever scored.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"knowphish/internal/core"
+)
+
+// Record is one persisted verdict: the URL as it entered the feed, where
+// it landed, what the pipeline decided, and which brand (if any) target
+// identification named.
+type Record struct {
+	// Seq orders records; later records supersede earlier ones for the
+	// same landing URL + fingerprint. Assigned by Append.
+	Seq uint64 `json:"seq"`
+	// URL is the starting URL as submitted to the feed.
+	URL string `json:"url"`
+	// LandingURL is where the crawl ended up.
+	LandingURL string `json:"landing_url"`
+	// RDN is the registered domain of the landing URL ("" for IP hosts).
+	RDN string `json:"rdn,omitempty"`
+	// Fingerprint is the content fingerprint (webpage.Fingerprint) of
+	// the scored snapshot. Records sharing LandingURL+Fingerprint are
+	// verdicts about the same page; only the newest matters.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Outcome is the pipeline verdict.
+	Outcome core.Outcome `json:"outcome"`
+	// Target is the top identified target RDN for phishing verdicts
+	// ("" when identification did not run or named nothing).
+	Target string `json:"target,omitempty"`
+	// ScoredAt is when the verdict was produced (UTC).
+	ScoredAt time.Time `json:"scored_at"`
+	// Error records a terminal ingestion failure (e.g. unreachable
+	// after retries) instead of an outcome.
+	Error string `json:"error,omitempty"`
+}
+
+// Config assembles a Store.
+type Config struct {
+	// Path is the JSONL log file; created (with parent directories) if
+	// missing. Required.
+	Path string
+	// Sync forces an fsync after every append. Durable against power
+	// loss, but serializes appends on disk latency; leave false when
+	// the OS page cache is trustworthy enough (the default, matching
+	// most log pipelines).
+	Sync bool
+	// CompactEvery triggers compaction after that many appends
+	// (0 → DefaultCompactEvery, negative → never automatically).
+	CompactEvery int
+}
+
+// DefaultCompactEvery is the append count between automatic compactions.
+const DefaultCompactEvery = 4096
+
+// Stats are the store counters exported at /metrics.
+type Stats struct {
+	// Records is the number of live (indexed) verdicts.
+	Records int `json:"records"`
+	// Appends counts records written since Open.
+	Appends int64 `json:"appends"`
+	// Compactions counts log rewrites since Open.
+	Compactions int64 `json:"compactions"`
+	// Superseded counts records dropped by compaction since Open.
+	Superseded int64 `json:"superseded"`
+	// CompactErrors counts automatic compactions that failed (the
+	// triggering append itself was durable; the rewrite is retried at
+	// the next trigger).
+	CompactErrors int64 `json:"compact_errors,omitempty"`
+}
+
+// Store is a durable verdict store. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	sync bool
+	file *os.File
+
+	nextSeq      uint64
+	sinceCompact int
+	compactEvery int
+	// deadOnDisk counts log lines superseded by a later append — what
+	// the next compaction will reclaim.
+	deadOnDisk int64
+
+	// byKey holds the newest record per landing URL + fingerprint — the
+	// identity compaction preserves. byURL and byTarget index into the
+	// same records.
+	byKey    map[string]*Record
+	byURL    map[string][]*Record // landing URL → records, append order
+	byStart  map[string][]*Record // starting URL → records, append order
+	byTarget map[string][]*Record // identified target RDN → records
+
+	appends       int64
+	compactions   int64
+	superseded    int64
+	compactErrors int64
+}
+
+// Open opens (creating if necessary) the store at cfg.Path and replays
+// the existing log into the in-memory index.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Path == "" {
+		return nil, errors.New("store: Config.Path is required")
+	}
+	if dir := filepath.Dir(cfg.Path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+		}
+	}
+	s := &Store{
+		path:         cfg.Path,
+		sync:         cfg.Sync,
+		compactEvery: cfg.CompactEvery,
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = DefaultCompactEvery
+	}
+	if err := s.Reload(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reload closes the log, re-reads it from disk and rebuilds the index —
+// the startup path, also usable to pick up a log replaced underneath the
+// process. Counters (appends, compactions) survive; the index is rebuilt
+// from scratch.
+func (s *Store) Reload() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reloadLocked()
+}
+
+func (s *Store) reloadLocked() error {
+	if s.file != nil {
+		_ = s.file.Close()
+		s.file = nil
+	}
+	s.byKey = make(map[string]*Record)
+	s.byURL = make(map[string][]*Record)
+	s.byStart = make(map[string][]*Record)
+	s.byTarget = make(map[string][]*Record)
+	s.nextSeq = 1
+	s.sinceCompact = 0
+	s.deadOnDisk = 0
+
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening %s: %w", s.path, err)
+	}
+	// Replay line by line, tracking the byte offset of the last cleanly
+	// terminated, parseable line. Anything past it — an unterminated
+	// tail or a corrupt line — is the residue of a torn write (crash
+	// mid-append); truncate it away so new appends start on a clean
+	// line boundary instead of gluing onto the fragment.
+	r := bufio.NewReaderSize(f, 64<<10)
+	var good int64
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil {
+			if rerr == io.EOF {
+				break // any bytes in line are an unterminated torn tail
+			}
+			_ = f.Close()
+			return fmt.Errorf("store: reading %s: %w", s.path, rerr)
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var rec Record
+			if err := json.Unmarshal(trimmed, &rec); err != nil {
+				break // corrupt line; nothing after it can be trusted
+			}
+			s.indexLocked(&rec)
+		}
+		good += int64(len(line))
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("store: truncating torn tail of %s: %w", s.path, err)
+		}
+	}
+	_ = f.Close()
+	s.file, err = os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// indexLocked installs rec into the in-memory maps, superseding any older
+// record with the same landing URL + fingerprint.
+func (s *Store) indexLocked(rec *Record) {
+	if rec.Seq >= s.nextSeq {
+		s.nextSeq = rec.Seq + 1
+	}
+	key := rec.LandingURL + "\x00" + rec.Fingerprint
+	if old, ok := s.byKey[key]; ok {
+		s.dropLocked(old)
+		s.deadOnDisk++
+	}
+	s.byKey[key] = rec
+	s.byURL[rec.LandingURL] = append(s.byURL[rec.LandingURL], rec)
+	if rec.URL != rec.LandingURL {
+		s.byStart[rec.URL] = append(s.byStart[rec.URL], rec)
+	}
+	if rec.Target != "" {
+		s.byTarget[rec.Target] = append(s.byTarget[rec.Target], rec)
+	}
+}
+
+// dropLocked removes a superseded record from the secondary indexes.
+func (s *Store) dropLocked(old *Record) {
+	remove := func(m map[string][]*Record, k string) {
+		rs := m[k]
+		for i, r := range rs {
+			if r == old {
+				m[k] = append(rs[:i], rs[i+1:]...)
+				break
+			}
+		}
+		if len(m[k]) == 0 {
+			delete(m, k)
+		}
+	}
+	remove(s.byURL, old.LandingURL)
+	if old.URL != old.LandingURL {
+		remove(s.byStart, old.URL)
+	}
+	if old.Target != "" {
+		remove(s.byTarget, old.Target)
+	}
+}
+
+// Append assigns the record a sequence number and timestamp (when unset),
+// writes it to the log and indexes it. Triggers compaction when the
+// append budget since the last one is spent.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return errors.New("store: closed")
+	}
+	rec.Seq = s.nextSeq
+	if rec.ScoredAt.IsZero() {
+		rec.ScoredAt = time.Now().UTC()
+	}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	// One write call for line + newline: the log stays line-atomic under
+	// concurrent process crashes (a torn write truncates, never
+	// interleaves).
+	if _, err := s.file.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	if s.sync {
+		if err := s.file.Sync(); err != nil {
+			return fmt.Errorf("store: syncing %s: %w", s.path, err)
+		}
+	}
+	s.indexLocked(&rec)
+	s.appends++
+	s.sinceCompact++
+	if s.compactEvery > 0 && s.sinceCompact >= s.compactEvery {
+		// The append itself is durable at this point; a failed
+		// compaction must not make it look lost. Count the failure (it
+		// surfaces in Stats/metrics) and retry at the next trigger.
+		if err := s.compactLocked(); err != nil {
+			s.compactErrors++
+			s.sinceCompact = 0
+		}
+	}
+	return nil
+}
+
+// Compact rewrites the log keeping only live records (the newest per
+// landing URL + fingerprint), dropping everything superseded.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return errors.New("store: closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	live := make([]*Record, 0, len(s.byKey))
+	for _, rec := range s.byKey {
+		live = append(live, rec)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].Seq < live[j].Seq })
+
+	tmp := s.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmp, err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, rec := range live {
+		if err := enc.Encode(rec); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: syncing compacted log: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing compacted log: %w", err)
+	}
+	// Atomic cutover: rename leaves either the full old log or the full
+	// new one. Swap the write handle only after it succeeds.
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("store: installing compacted log: %w", err)
+	}
+	_ = s.file.Close()
+	s.file, err = os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The data on disk is complete and consistent (the rename
+		// landed); only the write handle is gone. Appends fail until
+		// Reload reopens the log — they must not silently write to the
+		// unlinked pre-compaction inode.
+		return fmt.Errorf("store: reopening compacted log (Reload recovers): %w", err)
+	}
+	s.compactions++
+	s.superseded += s.deadOnDisk
+	s.deadOnDisk = 0
+	s.sinceCompact = 0
+	return nil
+}
+
+// Get returns the newest record whose landing URL or starting URL equals
+// url.
+func (s *Store) Get(url string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Record
+	for _, rec := range s.byURL[url] {
+		if best == nil || rec.Seq > best.Seq {
+			best = rec
+		}
+	}
+	for _, rec := range s.byStart[url] {
+		if best == nil || rec.Seq > best.Seq {
+			best = rec
+		}
+	}
+	if best == nil {
+		return Record{}, false
+	}
+	return *best, true
+}
+
+// Query filters the live records. Zero-valued fields match everything.
+type Query struct {
+	// Target restricts to records whose identified target RDN matches.
+	Target string
+	// URL restricts to records whose landing or starting URL matches.
+	URL string
+	// Since restricts to records scored at or after this time.
+	Since time.Time
+	// PhishOnly restricts to final phishing verdicts.
+	PhishOnly bool
+	// Limit caps the result count (0 → no cap). Newest first.
+	Limit int
+}
+
+// Select returns live records matching q, newest (highest Seq) first.
+func (s *Store) Select(q Query) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var candidates []*Record
+	switch {
+	case q.Target != "":
+		candidates = s.byTarget[q.Target]
+	case q.URL != "":
+		candidates = append(append([]*Record{}, s.byURL[q.URL]...), s.byStart[q.URL]...)
+	default:
+		candidates = make([]*Record, 0, len(s.byKey))
+		for _, rec := range s.byKey {
+			candidates = append(candidates, rec)
+		}
+	}
+	out := make([]Record, 0, len(candidates))
+	for _, rec := range candidates {
+		if q.URL != "" && rec.LandingURL != q.URL && rec.URL != q.URL {
+			continue
+		}
+		if !q.Since.IsZero() && rec.ScoredAt.Before(q.Since) {
+			continue
+		}
+		if q.PhishOnly && !rec.Outcome.FinalPhish {
+			continue
+		}
+		out = append(out, *rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey)
+}
+
+// Stats returns the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Records:       len(s.byKey),
+		Appends:       s.appends,
+		Compactions:   s.compactions,
+		Superseded:    s.superseded,
+		CompactErrors: s.compactErrors,
+	}
+}
+
+// Path returns the log file path.
+func (s *Store) Path() string { return s.path }
+
+// Close flushes and closes the log. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Sync()
+	if cerr := s.file.Close(); err == nil {
+		err = cerr
+	}
+	s.file = nil
+	return err
+}

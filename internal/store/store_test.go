@@ -1,0 +1,262 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"knowphish/internal/core"
+)
+
+func openTemp(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Path == "" {
+		cfg.Path = filepath.Join(t.TempDir(), "verdicts.jsonl")
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func rec(url, landing, fp, target string, phish bool) Record {
+	return Record{
+		URL:         url,
+		LandingURL:  landing,
+		Fingerprint: fp,
+		Target:      target,
+		Outcome:     core.Outcome{FinalPhish: phish, Score: 0.9},
+		ScoredAt:    time.Date(2026, 7, 29, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestAppendGetReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	s := openTemp(t, Config{Path: path})
+	if err := s.Append(rec("http://lure.test/a", "http://land.test/", "fp1", "novabank.com", true)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Append(rec("http://other.test/", "http://other.test/", "fp2", "", false)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+
+	got, ok := s.Get("http://land.test/")
+	if !ok || !got.Outcome.FinalPhish || got.Target != "novabank.com" {
+		t.Fatalf("Get by landing = %+v, ok=%v", got, ok)
+	}
+	if got2, ok := s.Get("http://lure.test/a"); !ok || got2.Seq != got.Seq {
+		t.Errorf("Get by starting URL = %+v, ok=%v, want same record", got2, ok)
+	}
+
+	// Reload from disk rebuilds the same view.
+	if err := s.Reload(); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after Reload = %d, want 2", s.Len())
+	}
+	got, ok = s.Get("http://land.test/")
+	if !ok || got.Target != "novabank.com" || !got.Outcome.FinalPhish {
+		t.Fatalf("after Reload: Get = %+v, ok=%v", got, ok)
+	}
+
+	// A fresh Store over the same file sees the same records, and
+	// appends continue the sequence instead of reusing it.
+	s2 := openTemp(t, Config{Path: path})
+	if s2.Len() != 2 {
+		t.Fatalf("fresh open Len = %d, want 2", s2.Len())
+	}
+	if err := s2.Append(rec("http://third.test/", "http://third.test/", "fp3", "", false)); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	r3, _ := s2.Get("http://third.test/")
+	if r3.Seq <= got.Seq {
+		t.Errorf("seq after reopen = %d, want > %d", r3.Seq, got.Seq)
+	}
+}
+
+func TestSupersedeAndCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	s := openTemp(t, Config{Path: path, CompactEvery: -1})
+	// Three verdicts for the same page (landing URL + fingerprint):
+	// only the newest is live.
+	for i := 0; i < 3; i++ {
+		r := rec("http://lure.test/", "http://land.test/", "fp", "brand.com", i%2 == 0)
+		r.ScoredAt = r.ScoredAt.Add(time.Duration(i) * time.Hour)
+		if err := s.Append(r); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	// Same landing URL, different content: a distinct page, kept.
+	if err := s.Append(rec("http://lure.test/", "http://land.test/", "fp-other", "brand.com", true)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (one live per landing+fingerprint)", s.Len())
+	}
+	if got := len(s.Select(Query{Target: "brand.com"})); got != 2 {
+		t.Fatalf("Select by target = %d records, want 2", got)
+	}
+
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(before), "\n"); n != 4 {
+		t.Fatalf("log lines before compaction = %d, want 4", n)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(after), "\n"); n != 2 {
+		t.Fatalf("log lines after compaction = %d, want 2", n)
+	}
+	st := s.Stats()
+	if st.Compactions != 1 || st.Superseded != 2 {
+		t.Errorf("stats after compaction = %+v, want 1 compaction, 2 superseded", st)
+	}
+
+	// The compacted log replays to the same live view, and the store
+	// still accepts appends (write handle swapped correctly).
+	if err := s.Reload(); err != nil {
+		t.Fatalf("Reload after compaction: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after compacted reload = %d, want 2", s.Len())
+	}
+	got, ok := s.Get("http://land.test/")
+	if !ok {
+		t.Fatal("live record lost by compaction")
+	}
+	if got.Fingerprint != "fp-other" {
+		// Get returns the newest by Seq; the later distinct page wins.
+		t.Errorf("newest fingerprint = %q, want fp-other", got.Fingerprint)
+	}
+	if err := s.Append(rec("http://new.test/", "http://new.test/", "fp9", "", false)); err != nil {
+		t.Fatalf("Append after compaction: %v", err)
+	}
+}
+
+func TestAutomaticCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	s := openTemp(t, Config{Path: path, CompactEvery: 4})
+	for i := 0; i < 8; i++ {
+		if err := s.Append(rec("http://l.test/", "http://l.test/", "fp", "", true)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st.Compactions < 2 {
+		t.Errorf("compactions = %d, want >= 2 (every 4 appends)", st.Compactions)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 1 {
+		t.Errorf("log lines = %d, want 1 (all superseded records reclaimed)", n)
+	}
+}
+
+func TestReloadSkipsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.jsonl")
+	s := openTemp(t, Config{Path: path})
+	for i := 0; i < 3; i++ {
+		r := rec("http://a.test/", "http://a.test/", "fp", "", true)
+		r.Fingerprint = string(rune('a' + i))
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, non-JSON final line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"url":"http://torn`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	s2 := openTemp(t, Config{Path: path})
+	if s2.Len() != 3 {
+		t.Fatalf("Len after torn tail = %d, want 3 (torn line skipped)", s2.Len())
+	}
+	// The store must still be appendable and the new record must replay.
+	if err := s2.Append(rec("http://b.test/", "http://b.test/", "x", "", false)); err != nil {
+		t.Fatalf("Append after torn reload: %v", err)
+	}
+	if err := s2.Reload(); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if _, ok := s2.Get("http://b.test/"); !ok {
+		t.Error("record appended after torn tail lost on reload")
+	}
+}
+
+func TestSelectFilters(t *testing.T) {
+	s := openTemp(t, Config{})
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		r := rec("http://u.test/"+string(rune('a'+i)), "http://u.test/"+string(rune('a'+i)), "fp", "", i%2 == 0)
+		if i%2 == 0 {
+			r.Target = "brand.com"
+		}
+		r.ScoredAt = base.Add(time.Duration(i) * time.Hour)
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Select(Query{Target: "brand.com"})); got != 3 {
+		t.Errorf("by target = %d, want 3", got)
+	}
+	if got := len(s.Select(Query{Since: base.Add(3 * time.Hour)})); got != 3 {
+		t.Errorf("since +3h = %d, want 3", got)
+	}
+	if got := len(s.Select(Query{PhishOnly: true})); got != 3 {
+		t.Errorf("phish only = %d, want 3", got)
+	}
+	if got := s.Select(Query{Limit: 2}); len(got) != 2 || got[0].Seq < got[1].Seq {
+		t.Errorf("limit 2 newest-first violated: %+v", got)
+	}
+	if got := len(s.Select(Query{URL: "http://u.test/a"})); got != 1 {
+		t.Errorf("by url = %d, want 1", got)
+	}
+	if got := len(s.Select(Query{})); got != 6 {
+		t.Errorf("unfiltered = %d, want 6", got)
+	}
+}
+
+func TestOpenValidates(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Error("empty path: want error")
+	}
+	// Parent directories are created.
+	path := filepath.Join(t.TempDir(), "deep", "nested", "v.jsonl")
+	s, err := Open(Config{Path: path})
+	if err != nil {
+		t.Fatalf("Open with nested path: %v", err)
+	}
+	_ = s.Close()
+	// Appending to a closed store fails rather than panicking.
+	if err := s.Append(Record{URL: "x", LandingURL: "x"}); err == nil {
+		t.Error("Append after Close: want error")
+	}
+}
+
+func TestSyncMode(t *testing.T) {
+	s := openTemp(t, Config{Path: filepath.Join(t.TempDir(), "v.jsonl"), Sync: true})
+	if err := s.Append(rec("http://s.test/", "http://s.test/", "fp", "", false)); err != nil {
+		t.Fatalf("Append with Sync: %v", err)
+	}
+}

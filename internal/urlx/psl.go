@@ -65,7 +65,7 @@ func ReadPSL(r io.Reader) (*PSL, error) {
 // exception rules override wildcards. If no rule matches, the last label
 // is the suffix (the implicit "*" rule).
 func (l *PSL) PublicSuffix(fqdn string) string {
-	fqdn = strings.ToLower(strings.TrimSuffix(fqdn, "."))
+	fqdn = strings.ToLower(strings.TrimRight(fqdn, "."))
 	if fqdn == "" {
 		return ""
 	}

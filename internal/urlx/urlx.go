@@ -105,7 +105,10 @@ func (l *PSL) Parse(raw string) (Parts, error) {
 
 	host, port := splitHostPort(hostport)
 	p.Port = port
-	p.FQDN = strings.ToLower(strings.TrimSuffix(host, "."))
+	// Trim every trailing dot, not just one: "host.." must normalize to
+	// the same FQDN PublicSuffix sees, or the label arithmetic below
+	// misaligns (found by FuzzParse: "0.." yielded RDN "0.0").
+	p.FQDN = strings.ToLower(strings.TrimRight(host, "."))
 
 	switch {
 	case tail == "":

@@ -1,0 +1,45 @@
+package webpage
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint hashes every content field of a snapshot into a stable hex
+// digest. Two snapshots share a fingerprint exactly when a browser
+// recorded identical data sources for them, so a fingerprint plus the
+// landing URL identifies "the same page" for verdict reuse: the serving
+// cache keys on it, and the verdict store uses it to decide when a newer
+// verdict supersedes an older one for the same landing URL. sha256 keeps
+// the identity collision-resistant even against adversarial content.
+func Fingerprint(snap *Snapshot) string {
+	h := sha256.New()
+	ws := func(s string) {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	wl := func(ss []string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(ss)))
+		_, _ = h.Write(n[:])
+		for _, s := range ss {
+			ws(s)
+		}
+	}
+	ws(snap.StartingURL)
+	wl(snap.RedirectionChain)
+	wl(snap.LoggedLinks)
+	wl(snap.HREFLinks)
+	wl(snap.ScreenshotTerms)
+	ws(snap.Title)
+	ws(snap.Text)
+	ws(snap.Copyright)
+	ws(snap.Language)
+	var counts [24]byte
+	binary.LittleEndian.PutUint64(counts[0:], uint64(snap.InputCount))
+	binary.LittleEndian.PutUint64(counts[8:], uint64(snap.ImageCount))
+	binary.LittleEndian.PutUint64(counts[16:], uint64(snap.IFrameCount))
+	_, _ = h.Write(counts[:])
+	return hex.EncodeToString(h.Sum(nil))
+}

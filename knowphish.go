@@ -26,11 +26,13 @@ import (
 	"knowphish/internal/crawl"
 	"knowphish/internal/dataset"
 	"knowphish/internal/features"
+	"knowphish/internal/feed"
 	"knowphish/internal/ml"
 	"knowphish/internal/ocr"
 	"knowphish/internal/ranking"
 	"knowphish/internal/search"
 	"knowphish/internal/serve"
+	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/webgen"
 	"knowphish/internal/webpage"
@@ -110,11 +112,66 @@ type (
 	HealthResponse = serve.HealthResponse
 	// MetricsSnapshot is the /metrics document.
 	MetricsSnapshot = serve.MetricsSnapshot
+	// FeedRequest enqueues URLs via POST /v1/feed.
+	FeedRequest = serve.FeedRequest
+	// FeedResponse reports per-URL acceptance.
+	FeedResponse = serve.FeedResponse
+	// VerdictsResponse is the GET /v1/verdicts document.
+	VerdictsResponse = serve.VerdictsResponse
 )
 
 // NewServer builds the HTTP scoring service over a trained detector and
 // a target identifier.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// Feed-ingestion types: the continuous pipeline of internal/feed (URL
+// feeds → bounded queue → per-domain-rate-limited crawl → score →
+// persist) and the durable verdict store of internal/store backing it.
+type (
+	// FeedScheduler is the continuous ingestion pipeline.
+	FeedScheduler = feed.Scheduler
+	// FeedConfig assembles a FeedScheduler.
+	FeedConfig = feed.Config
+	// FeedStats are the scheduler counters (queue depth, throughput,
+	// retries).
+	FeedStats = feed.Stats
+	// Fetcher resolves URLs to pages; the synthetic World satisfies it.
+	Fetcher = crawl.Fetcher
+	// Page is one fetchable resource of the (synthetic) web.
+	Page = webgen.Page
+
+	// VerdictStore is the durable append-only verdict log with an
+	// in-memory index by URL and identified target.
+	VerdictStore = store.Store
+	// StoreConfig assembles a VerdictStore.
+	StoreConfig = store.Config
+	// VerdictRecord is one persisted verdict.
+	VerdictRecord = store.Record
+	// VerdictQuery filters VerdictStore.Select.
+	VerdictQuery = store.Query
+	// StoreStats are the store counters (records, compactions).
+	StoreStats = store.Stats
+)
+
+// Feed rejection reasons returned by FeedScheduler.Enqueue.
+var (
+	ErrFeedQueueFull  = feed.ErrQueueFull
+	ErrFeedDuplicate  = feed.ErrDuplicate
+	ErrFeedInvalidURL = feed.ErrInvalidURL
+	ErrFeedClosed     = feed.ErrClosed
+)
+
+// NewFeed validates the configuration and starts the ingestion worker
+// loop.
+func NewFeed(cfg FeedConfig) (*FeedScheduler, error) { return feed.New(cfg) }
+
+// OpenStore opens (creating if necessary) a verdict store and replays
+// its log into memory.
+func OpenStore(cfg StoreConfig) (*VerdictStore, error) { return store.Open(cfg) }
+
+// Fingerprint hashes a snapshot's content fields into the stable page
+// identity used by the verdict cache and the store's compaction.
+func Fingerprint(s *Snapshot) string { return webpage.Fingerprint(s) }
 
 // LoadSearchEngine restores an index saved with SearchEngine.Save (kpgen
 // writes one as index.json).
