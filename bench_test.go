@@ -12,6 +12,7 @@ package knowphish_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -506,5 +507,104 @@ func BenchmarkPhishGeneration(b *testing.B) {
 		if !site.IsPhish {
 			b.Fatal("not phish")
 		}
+	}
+}
+
+// BenchmarkAnalyzeCtx measures the v2 pipeline entry point and prices
+// the explanation feature: explain=none is the production fast path,
+// explain=top adds one decision-path walk per tree, explain=full adds
+// the same walk plus full contribution sorting. The delta between
+// sub-benchmarks is the exact cost a client opts into with
+// WithExplain.
+func BenchmarkAnalyzeCtx(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := &core.Pipeline{Detector: d, Identifier: target.New(r.Corpus.Engine)}
+	rng := rand.New(rand.NewSource(12))
+	var snaps []*webpage.Snapshot
+	for i := 0; i < 16; i++ {
+		var site *webgen.Site
+		if i%2 == 0 {
+			site = r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+		} else {
+			site = r.Corpus.World.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
+		}
+		snap, err := crawl.VisitSite(r.Corpus.World, site)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snaps = append(snaps, snap)
+	}
+	ctx := context.Background()
+	for _, lvl := range []struct {
+		name string
+		opts []core.ScoreOption
+	}{
+		{"explain=none", nil},
+		{"explain=top", []core.ScoreOption{core.WithExplain(core.ExplainTop)}},
+		{"explain=full", []core.ScoreOption{core.WithExplain(core.ExplainFull)}},
+	} {
+		b.Run(lvl.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				snap := snaps[i%len(snaps)]
+				v, err := pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snap, lvl.opts...))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.Score < 0 || v.Score > 1 {
+					b.Fatal("score out of range")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeBatchCancelled demonstrates bounded work after
+// cancellation: a pre-cancelled context over batches of very different
+// sizes costs near-constant time — the pool never starts items once
+// ctx is done, so abandoned requests stop consuming CPU. Compare
+// n=64 with n=1024: without cancellation the latter is 16× the work;
+// cancelled, both cost microseconds.
+func BenchmarkAnalyzeBatchCancelled(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := &core.Pipeline{Detector: d, Identifier: target.New(r.Corpus.Engine)}
+	rng := rand.New(rand.NewSource(13))
+	site := r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+	snap, err := crawl.VisitSite(r.Corpus.World, site)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{64, 1024} {
+		reqs := make([]core.ScoreRequest, n)
+		for i := range reqs {
+			reqs[i] = core.NewScoreRequest(snap)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vs, err := pipe.AnalyzeBatchCtx(ctx, reqs, 0)
+				if err == nil {
+					b.Fatal("cancelled batch reported no error")
+				}
+				done := 0
+				for _, v := range vs {
+					if v != nil {
+						done++
+					}
+				}
+				if done > runtime.GOMAXPROCS(0)*4 {
+					b.Fatalf("cancelled batch still ran %d of %d items", done, n)
+				}
+			}
+		})
 	}
 }

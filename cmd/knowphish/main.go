@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -85,7 +86,11 @@ func classifyDemo(pipe *core.Pipeline, corpus *dataset.Corpus, n int, seed int64
 		if err != nil {
 			return err
 		}
-		printOutcome(pipe.Analyze(snap), snap, truth)
+		v, err := pipe.AnalyzeCtx(context.Background(), core.NewScoreRequest(snap))
+		if err != nil {
+			return err
+		}
+		printOutcome(v.Outcome, snap, truth)
 	}
 	return nil
 }
@@ -108,7 +113,11 @@ func classifyFile(pipe *core.Pipeline, path string, limit int) error {
 		if ex.Label == 1 {
 			truth = fmt.Sprintf("phish targeting %s", ex.TargetRDN)
 		}
-		printOutcome(pipe.Analyze(ex.Snapshot), ex.Snapshot, truth)
+		v, err := pipe.AnalyzeCtx(context.Background(), core.NewScoreRequest(ex.Snapshot))
+		if err != nil {
+			return err
+		}
+		printOutcome(v.Outcome, ex.Snapshot, truth)
 	}
 	return nil
 }

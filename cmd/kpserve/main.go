@@ -14,10 +14,12 @@
 //
 //	kpserve -addr :8080 -store verdicts.jsonl                # demo + feed
 //	kpserve -addr :8080 -model model.json -ranking data/ranking.csv -index index.json
+//	kpserve -addr :8080 -deadline 250ms -explain top         # bounded, explainable verdicts
 //
-// Endpoints: POST /v1/score, POST /v1/score/batch, POST /v1/target,
+// Endpoints: POST /v2/score, POST /v2/target, POST /v2/score/stream
+// (NDJSON), POST /v1/score, POST /v1/score/batch, POST /v1/target,
 // POST /v1/feed, GET /v1/verdicts, GET /healthz, GET /metrics. See
-// README.md for request formats.
+// README.md for request formats and the v1 → v2 migration table.
 package main
 
 import (
@@ -58,7 +60,10 @@ func run() error {
 		indexPath = flag.String("index", "", "search index JSON (optional; required with -model for target identification)")
 		workers   = flag.Int("workers", 0, "batch fan-out cap (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cache", serve.DefaultCacheSize, "verdict cache entries (negative disables)")
-		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max pages per batch request")
+		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max pages per batch or stream request")
+		deadline  = flag.Duration("deadline", 0, "default per-request scoring deadline (0 = none; requests may set their own deadline_ms)")
+		explain   = flag.String("explain", "none", "default explain level for v2 requests: none, top or full")
+		topN      = flag.Int("explain-top", 0, "default contribution count of a 'top' explanation (0 = library default)")
 		scale     = flag.Int("scale", 25, "corpus scale for the self-train path")
 		seed      = flag.Int64("seed", 1, "seed for the self-train path")
 
@@ -70,9 +75,20 @@ func run() error {
 		domainRate   = flag.Float64("domain-rate", feed.DefaultDomainRate, "per-registered-domain crawl rate in URLs/sec (negative: unlimited)")
 		domainBurst  = flag.Int("domain-burst", feed.DefaultDomainBurst, "per-domain token-bucket burst")
 		feedRetries  = flag.Int("feed-retries", feed.DefaultMaxAttempts, "fetch attempts per URL before the failure is persisted")
+		feedExplain  = flag.String("feed-explain", "none", "explain level for feed-ingested verdicts (persisted evidence): none, top or full")
+		maxExplain   = flag.Int("store-max-explain", 0, "verdict-store explanation size cap in bytes (0 = default, negative = never persist evidence)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for the feed to drain on shutdown")
 	)
 	flag.Parse()
+
+	explainLevel, err := core.ParseExplainLevel(*explain)
+	if err != nil {
+		return err
+	}
+	feedExplainLevel, err := core.ParseExplainLevel(*feedExplain)
+	if err != nil {
+		return err
+	}
 
 	det, engine, world, err := loadArtifacts(*modelPath, *rankPath, *indexPath, *scale, *seed)
 	if err != nil {
@@ -87,7 +103,7 @@ func run() error {
 	var st *store.Store
 	var sched *feed.Scheduler
 	if *storePath != "" {
-		st, err = store.Open(store.Config{Path: *storePath, Sync: *storeSync, CompactEvery: *compactEvery})
+		st, err = store.Open(store.Config{Path: *storePath, Sync: *storeSync, CompactEvery: *compactEvery, MaxExplainBytes: *maxExplain})
 		if err != nil {
 			return err
 		}
@@ -103,6 +119,7 @@ func run() error {
 				DomainRate:  *domainRate,
 				DomainBurst: *domainBurst,
 				MaxAttempts: *feedRetries,
+				Explain:     feedExplainLevel,
 			})
 			if err != nil {
 				return err
@@ -113,13 +130,16 @@ func run() error {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Detector:   det,
-		Identifier: identifier,
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		MaxBatch:   *maxBatch,
-		Feed:       sched,
-		Store:      st,
+		Detector:        det,
+		Identifier:      identifier,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		MaxBatch:        *maxBatch,
+		DefaultDeadline: *deadline,
+		DefaultExplain:  explainLevel,
+		ExplainTopN:     *topN,
+		Feed:            sched,
+		Store:           st,
 	})
 	if err != nil {
 		return err

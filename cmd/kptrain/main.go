@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,16 +70,25 @@ func run() error {
 		return err
 	}
 
-	// Held-out check on phishTest + the English set.
-	var scores []float64
+	// Held-out check on phishTest + the English set, scored over the
+	// context-aware batch path (all cores).
+	var reqs []core.ScoreRequest
 	var truth []int
 	for _, ex := range corpus.PhishTest.Examples {
-		scores = append(scores, det.Score(ex.Snapshot))
+		reqs = append(reqs, core.NewScoreRequest(ex.Snapshot))
 		truth = append(truth, 1)
 	}
 	for _, ex := range corpus.LangTests[webgen.English].Examples {
-		scores = append(scores, det.Score(ex.Snapshot))
+		reqs = append(reqs, core.NewScoreRequest(ex.Snapshot))
 		truth = append(truth, 0)
+	}
+	verdicts, err := det.ScoreBatchCtx(context.Background(), reqs, 0)
+	if err != nil {
+		return err
+	}
+	scores := make([]float64, len(verdicts))
+	for i, v := range verdicts {
+		scores[i] = v.Score
 	}
 	conf := ml.Evaluate(scores, truth, det.Threshold())
 	fmt.Printf("held-out: precision=%.3f recall=%.3f fpr=%.4f auc=%.4f\n",

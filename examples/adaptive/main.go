@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -65,16 +66,27 @@ func main() {
 	}
 
 	const perTechnique = 60
+	ctx := context.Background()
 	fmt.Printf("%-22s %-8s %s\n", "Evasion technique", "Recall", "(phish caught / generated)")
 	for _, tech := range techniques {
-		caught := 0
+		// Score each technique's cohort over the context-aware batch
+		// path — the v2 entry point a serving deployment uses.
+		reqs := make([]knowphish.ScoreRequest, 0, perTechnique)
 		for i := 0; i < perTechnique; i++ {
 			site := world.NewPhishSite(rng, tech.opts())
 			snap, err := knowphish.VisitSite(world, site)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if detector.IsPhish(snap) {
+			reqs = append(reqs, knowphish.NewScoreRequest(snap))
+		}
+		verdicts, err := detector.ScoreBatchCtx(ctx, reqs, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		caught := 0
+		for _, v := range verdicts {
+			if v.DetectorPhish {
 				caught++
 			}
 		}

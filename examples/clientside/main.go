@@ -10,8 +10,10 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"knowphish"
 )
@@ -67,13 +69,27 @@ func main() {
 </form>
 </body></html>`, brand.Name, brand.Name, brand.Name, brand.RDN(), brand.RDN())
 
+	// A browser add-on wants bounded latency and a reason it can show
+	// the user — the v2 ScoreCtx request carries both.
+	ctx := context.Background()
 	snap := knowphish.SnapshotFromHTML(
 		"http://account-verify-check.top/"+brand.MLD+"/login.php",
 		"http://account-verify-check.top/"+brand.MLD+"/login.php",
 		nil, phishHTML)
-	score := detector.Score(&snap)
-	fmt.Printf("suspicious page score: %.3f -> phish=%v (threshold %.1f)\n",
-		score, score >= detector.Threshold(), detector.Threshold())
+	verdict, err := detector.ScoreCtx(ctx, knowphish.NewScoreRequest(&snap,
+		knowphish.WithDeadline(200*time.Millisecond),
+		knowphish.WithExplain(knowphish.ExplainTop),
+		knowphish.WithTopFeatures(4)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suspicious page score: %.3f -> phish=%v (threshold %.1f, scored in %.1fms)\n",
+		verdict.Score, verdict.DetectorPhish, verdict.Threshold,
+		float64(verdict.Timings.TotalNS)/1e6)
+	fmt.Println("  evidence the add-on can show the user:")
+	for _, ctr := range verdict.Explanation.Contributions {
+		fmt.Printf("    %-34s %+0.3f\n", ctr.Name, ctr.LogOdds)
+	}
 
 	legitHTML := `<html><head><title>Harbor Field — Community Garden News</title></head>
 <body><h1>HarborField</h1>
@@ -86,9 +102,12 @@ from our harborfield community garden plots around town</p>
 		"https://www.harborfield.org/news",
 		"https://www.harborfield.org/news",
 		nil, legitHTML)
-	score = detector.Score(&snap)
-	fmt.Printf("ordinary page score:   %.3f -> phish=%v\n",
-		score, score >= detector.Threshold())
+	verdict, err = detector.ScoreCtx(ctx, knowphish.NewScoreRequest(&snap))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nordinary page score:   %.3f -> phish=%v\n",
+		verdict.Score, verdict.DetectorPhish)
 
 	// What does the model key on? (Section VII-A discussion.)
 	fmt.Println("\ntop model features by ensemble splits:")

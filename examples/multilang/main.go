@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,21 +35,32 @@ func main() {
 	}
 	fmt.Printf("trained on %d pages (legTrain is English-only)\n\n", len(snaps))
 
+	ctx := context.Background()
 	fmt.Printf("%-12s %-6s %-7s %-8s %-7s\n", "Language", "Pre.", "Recall", "FPR", "AUC")
 	for _, lang := range webgen.Languages {
 		camp, ok := corpus.LangTests[lang]
 		if !ok {
 			continue
 		}
-		var scores []float64
+		// One context-aware batch per language: the v2 batch path fans
+		// out over all cores and would stop at ctx cancellation.
+		var reqs []knowphish.ScoreRequest
 		var truth []int
 		for _, ex := range corpus.PhishTest.Examples {
-			scores = append(scores, detector.Score(ex.Snapshot))
+			reqs = append(reqs, knowphish.NewScoreRequest(ex.Snapshot))
 			truth = append(truth, 1)
 		}
 		for _, ex := range camp.Examples {
-			scores = append(scores, detector.Score(ex.Snapshot))
+			reqs = append(reqs, knowphish.NewScoreRequest(ex.Snapshot))
 			truth = append(truth, 0)
+		}
+		verdicts, err := detector.ScoreBatchCtx(ctx, reqs, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scores := make([]float64, len(verdicts))
+		for i, v := range verdicts {
+			scores[i] = v.Score
 		}
 		conf := ml.Evaluate(scores, truth, detector.Threshold())
 		fmt.Printf("%-12s %-6.3f %-7.3f %-8.4f %-7.3f\n",

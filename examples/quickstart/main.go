@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -50,12 +51,13 @@ func main() {
 	rng := rand.New(rand.NewSource(42))
 	world := corpus.World
 
+	ctx := context.Background()
 	legit := world.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
 	legitSnap, err := knowphish.VisitSite(world, legit)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(pipeline.Analyze(legitSnap), legitSnap)
+	report(analyze(ctx, pipeline, legitSnap), legitSnap)
 
 	phish := world.NewPhishSite(rng, world.RandomPhishOptions(rng))
 	phishSnap, err := knowphish.VisitSite(world, phish)
@@ -63,24 +65,38 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("(ground truth: phish mimicking %s)\n", phish.TargetRDN)
-	report(pipeline.Analyze(phishSnap), phishSnap)
+	report(analyze(ctx, pipeline, phishSnap), phishSnap)
 }
 
-func report(out knowphish.Outcome, snap *knowphish.Snapshot) {
-	fmt.Printf("page:    %s\n", snap.StartingURL)
-	fmt.Printf("score:   %.3f\n", out.Score)
-	if out.FinalPhish {
-		fmt.Println("verdict: PHISH")
-	} else {
-		fmt.Println("verdict: legitimate")
+// analyze runs the v2 pipeline entry point: context-aware, with the top
+// per-feature evidence attached to the verdict.
+func analyze(ctx context.Context, p *knowphish.Pipeline, snap *knowphish.Snapshot) knowphish.Verdict {
+	v, err := p.AnalyzeCtx(ctx, knowphish.NewScoreRequest(snap,
+		knowphish.WithExplain(knowphish.ExplainTop),
+		knowphish.WithTopFeatures(3)))
+	if err != nil {
+		log.Fatal(err)
 	}
-	if out.TargetRun {
-		fmt.Printf("target identification: %s\n", out.Target.Verdict)
-		for i, c := range out.Target.Candidates {
+	return v
+}
+
+func report(v knowphish.Verdict, snap *knowphish.Snapshot) {
+	fmt.Printf("page:    %s\n", snap.StartingURL)
+	fmt.Printf("score:   %.3f\n", v.Score)
+	fmt.Printf("verdict: %s (threshold %.1f)\n", v.Label, v.Threshold)
+	if v.TargetRun {
+		fmt.Printf("target identification: %s\n", v.Target.Verdict)
+		for i, c := range v.Target.Candidates {
 			if i == 3 {
 				break
 			}
 			fmt.Printf("  candidate %d: %s (weight %d)\n", i+1, c.RDN, c.Count)
+		}
+	}
+	if v.Explanation != nil {
+		fmt.Println("why (top feature evidence, log-odds):")
+		for _, ctr := range v.Explanation.Contributions {
+			fmt.Printf("  %-34s %+0.3f (value %.2f)\n", ctr.Name, ctr.LogOdds, ctr.Value)
 		}
 	}
 	fmt.Println()

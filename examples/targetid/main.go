@@ -3,6 +3,12 @@
 // target-FQDN guessing, the search-engine steps, and candidate ranking —
 // including the OCR fallback on an image-only phishing page.
 //
+// This example drives the Identifier directly to expose each step. In a
+// full deployment identification runs inside Pipeline.AnalyzeCtx (its
+// outcome lands in Verdict.Target) or over HTTP at POST /v2/target; a
+// request can skip it with knowphish.WithoutTargetID when only the
+// detector score matters.
+//
 //	go run ./examples/targetid
 package main
 

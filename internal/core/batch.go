@@ -1,7 +1,8 @@
 package core
 
 import (
-	"knowphish/internal/pool"
+	"context"
+
 	"knowphish/internal/webpage"
 )
 
@@ -9,30 +10,47 @@ import (
 // worker pool. Scoring is per-snapshot independent and deterministic, so
 // the result is identical to calling Score in a loop — only faster.
 // Order is preserved. workers <= 0 uses GOMAXPROCS.
+//
+// Deprecated: use ScoreBatchCtx, which accepts a context and returns
+// rich Verdicts with a partial-result contract under cancellation.
 func (d *Detector) ScoreBatch(snaps []*webpage.Snapshot, workers int) []float64 {
-	n := len(snaps)
-	if n == 0 {
+	if len(snaps) == 0 {
 		return nil
 	}
-	out := make([]float64, n)
-	pool.ForEachIndex(n, workers, func(i int) {
-		out[i] = d.Score(snaps[i])
-	})
+	// Background context never cancels, so an entry is nil only for a
+	// nil snapshot — which this API has always treated as a caller bug
+	// (it panicked inside analysis before the redesign too).
+	vs, _ := d.ScoreBatchCtx(context.Background(), requests(snaps), workers)
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.Score
+	}
 	return out
 }
 
 // AnalyzeBatch runs the full detection → target-identification pipeline
-// on many snapshots concurrently — the fan-out path the serving
-// subsystem uses for batch requests. Results are order-preserving and
+// on many snapshots concurrently. Results are order-preserving and
 // identical to calling Analyze in a loop. workers <= 0 uses GOMAXPROCS.
+//
+// Deprecated: use AnalyzeBatchCtx, which accepts a context and returns
+// rich Verdicts with a partial-result contract under cancellation.
 func (p *Pipeline) AnalyzeBatch(snaps []*webpage.Snapshot, workers int) []Outcome {
-	n := len(snaps)
-	if n == 0 {
+	if len(snaps) == 0 {
 		return nil
 	}
-	out := make([]Outcome, n)
-	pool.ForEachIndex(n, workers, func(i int) {
-		out[i] = p.Analyze(snaps[i])
-	})
+	vs, _ := p.AnalyzeBatchCtx(context.Background(), requests(snaps), workers)
+	out := make([]Outcome, len(vs))
+	for i, v := range vs {
+		out[i] = v.Outcome
+	}
 	return out
+}
+
+// requests wraps bare snapshots in default ScoreRequests.
+func requests(snaps []*webpage.Snapshot) []ScoreRequest {
+	reqs := make([]ScoreRequest, len(snaps))
+	for i, s := range snaps {
+		reqs[i] = NewScoreRequest(s)
+	}
+	return reqs
 }

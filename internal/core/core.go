@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -120,11 +121,17 @@ func (d *Detector) FeatureSet() features.Set { return d.set }
 func (d *Detector) Model() *ml.GBM { return d.model }
 
 // Score returns the phishing confidence of a snapshot in [0,1].
+//
+// Deprecated: use ScoreCtx, which accepts a context (cancellation,
+// deadlines) and returns a rich Verdict. Score remains as a thin
+// wrapper over it and produces identical confidences.
 func (d *Detector) Score(s *webpage.Snapshot) float64 {
 	return d.ScoreAnalysis(webpage.Analyze(s))
 }
 
-// ScoreAnalysis scores an already-analyzed page.
+// ScoreAnalysis scores an already-analyzed page. It is a low-level
+// building block (the experiment runners share one analysis across
+// models); request-scoped callers want ScoreCtx.
 func (d *Detector) ScoreAnalysis(a *webpage.Analysis) float64 {
 	v := d.extractor.Extract(a)
 	return d.ScoreVector(v)
@@ -132,17 +139,13 @@ func (d *Detector) ScoreAnalysis(a *webpage.Analysis) float64 {
 
 // ScoreVector scores a precomputed full 212-feature vector.
 func (d *Detector) ScoreVector(v []float64) float64 {
-	if d.columns != nil {
-		proj := make([]float64, len(d.columns))
-		for i, c := range d.columns {
-			proj[i] = v[c]
-		}
-		v = proj
-	}
-	return d.model.Score(v)
+	return d.model.Score(d.projected(v))
 }
 
 // IsPhish classifies a snapshot at the detector's threshold.
+//
+// Deprecated: use ScoreCtx and read Verdict.DetectorPhish (or
+// Verdict.FinalPhish after the full pipeline).
 func (d *Detector) IsPhish(s *webpage.Snapshot) bool {
 	return d.Score(s) >= d.threshold
 }
@@ -257,19 +260,16 @@ type Outcome struct {
 }
 
 // Analyze runs the full pipeline on a snapshot.
+//
+// Deprecated: use AnalyzeCtx, which accepts a context (cancellation,
+// deadlines) and returns a rich Verdict. Analyze remains as a thin
+// wrapper over it and produces identical outcomes.
 func (p *Pipeline) Analyze(s *webpage.Snapshot) Outcome {
-	a := webpage.Analyze(s)
-	out := Outcome{Score: p.Detector.ScoreAnalysis(a)}
-	out.DetectorPhish = out.Score >= p.Detector.Threshold()
-	out.FinalPhish = out.DetectorPhish
-	if !out.DetectorPhish {
-		return out
+	v, err := p.AnalyzeCtx(context.Background(), NewScoreRequest(s))
+	if err != nil {
+		// Background context never cancels; the only error is a nil
+		// snapshot, which the historical API surfaced as a panic.
+		panic(err)
 	}
-	out.TargetRun = true
-	out.Target = p.Identifier.Identify(a)
-	if out.Target.Verdict == target.VerdictLegitimate {
-		// Confirmed legitimate: the detector positive was false.
-		out.FinalPhish = false
-	}
-	return out
+	return v.Outcome
 }

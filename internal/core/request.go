@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"knowphish/internal/features"
+	"knowphish/internal/webpage"
+)
+
+// ExplainLevel selects how much per-feature evidence a verdict carries.
+type ExplainLevel int
+
+const (
+	// ExplainNone produces no explanation (the fast default).
+	ExplainNone ExplainLevel = iota
+	// ExplainTop attaches the top feature contributions by |log-odds|
+	// (DefaultTopFeatures unless overridden with WithTopFeatures).
+	ExplainTop
+	// ExplainFull attaches every feature with a nonzero contribution.
+	ExplainFull
+)
+
+// DefaultTopFeatures is the contribution count of an ExplainTop verdict
+// when the request does not set one.
+const DefaultTopFeatures = 10
+
+// String returns the wire name used by the serving layer and CLI flags.
+func (l ExplainLevel) String() string {
+	switch l {
+	case ExplainNone:
+		return "none"
+	case ExplainTop:
+		return "top"
+	case ExplainFull:
+		return "full"
+	default:
+		return fmt.Sprintf("explain(%d)", int(l))
+	}
+}
+
+// ParseExplainLevel parses the wire name of an explain level ("" parses
+// as ExplainNone so absent request fields need no special-casing).
+func ParseExplainLevel(s string) (ExplainLevel, error) {
+	switch s {
+	case "", "none":
+		return ExplainNone, nil
+	case "top":
+		return ExplainTop, nil
+	case "full":
+		return ExplainFull, nil
+	default:
+		return ExplainNone, fmt.Errorf("core: unknown explain level %q (want none, top or full)", s)
+	}
+}
+
+// ScoreRequest describes one page to score plus how to score it. Build
+// one with NewScoreRequest; the zero value scores nothing.
+type ScoreRequest struct {
+	// Snapshot is the page to score. Required.
+	Snapshot *webpage.Snapshot
+
+	deadline   time.Duration
+	explain    ExplainLevel
+	topN       int
+	skipTarget bool
+	featureSet features.Set
+}
+
+// ScoreOption is a functional option of NewScoreRequest.
+type ScoreOption func(*ScoreRequest)
+
+// NewScoreRequest builds a request for one snapshot. With no options it
+// reproduces the classic behavior: no deadline, no explanation, target
+// identification on detector positives.
+func NewScoreRequest(snap *webpage.Snapshot, opts ...ScoreOption) ScoreRequest {
+	req := ScoreRequest{Snapshot: snap}
+	for _, opt := range opts {
+		opt(&req)
+	}
+	return req
+}
+
+// WithDeadline bounds the scoring work: the request's context is capped
+// to d, so a slow page stops consuming CPU once its budget is spent.
+// d <= 0 means no per-request deadline.
+func WithDeadline(d time.Duration) ScoreOption {
+	return func(r *ScoreRequest) { r.deadline = d }
+}
+
+// WithExplain attaches per-feature evidence to the verdict.
+func WithExplain(level ExplainLevel) ScoreOption {
+	return func(r *ScoreRequest) { r.explain = level }
+}
+
+// WithTopFeatures caps an ExplainTop explanation at n contributions
+// (n <= 0 → DefaultTopFeatures).
+func WithTopFeatures(n int) ScoreOption {
+	return func(r *ScoreRequest) { r.topN = n }
+}
+
+// WithoutTargetID skips target identification even for detector
+// positives: the verdict reports the raw detector call without the
+// false-positive-removal pass — cheaper, and what a client wants when
+// it only consumes the score.
+func WithoutTargetID() ScoreOption {
+	return func(r *ScoreRequest) { r.skipTarget = true }
+}
+
+// WithFeatureSet restricts scoring to the feature groups in s by
+// zeroing every other feature before classification — an inference-time
+// ablation ("how would this page score without the f4 evidence?"). The
+// detector's trained projection still applies afterwards; 0 (or the
+// detector's own full set) is a no-op.
+func WithFeatureSet(s features.Set) ScoreOption {
+	return func(r *ScoreRequest) { r.featureSet = s }
+}
+
+// Explains reports whether the request asks for an explanation.
+func (r *ScoreRequest) Explains() bool { return r.explain != ExplainNone }
+
+// SkipsTarget reports whether the request opted out of target
+// identification. Such verdicts are partial — a detector positive was
+// never FP-checked — so verdict caches must not store them as the
+// page's canonical outcome.
+func (r *ScoreRequest) SkipsTarget() bool { return r.skipTarget }
+
+// Deadline returns the per-request deadline (0 = none).
+func (r *ScoreRequest) Deadline() time.Duration { return r.deadline }
+
+// topFeatures resolves the contribution cap for the request's level.
+func (r *ScoreRequest) topFeatures() int {
+	switch r.explain {
+	case ExplainFull:
+		return 0 // everything nonzero
+	default:
+		if r.topN > 0 {
+			return r.topN
+		}
+		return DefaultTopFeatures
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"knowphish/internal/features"
+	"knowphish/internal/pool"
+	"knowphish/internal/target"
+	"knowphish/internal/webpage"
+)
+
+// Verdict labels.
+const (
+	// LabelPhishing is the Label of a final phishing verdict.
+	LabelPhishing = "phishing"
+	// LabelLegitimate is the Label of a final legitimate verdict.
+	LabelLegitimate = "legitimate"
+)
+
+// Explanation is the per-feature evidence behind one verdict: an exact
+// decomposition of the raw score in log-odds space,
+//
+//	sigmoid(Bias + Σ Contributions[i].LogOdds over ALL features)
+//
+// reproduces the verdict's Score (an ExplainTop explanation lists only
+// the largest terms of that sum). This is the paper's Section IV-C
+// feature-importance analysis made per-prediction: not "the model keys
+// on f4 in general" but "THIS page was flagged because of these URLs
+// and these terms".
+type Explanation struct {
+	// Bias is the score's log-odds baseline before any feature evidence.
+	Bias float64 `json:"bias"`
+	// Contributions are the ranked per-feature terms, largest |log-odds|
+	// first.
+	Contributions []features.Contribution `json:"contributions"`
+}
+
+// StageTimings reports where a verdict's latency went, in nanoseconds.
+// A stage that did not run reports 0.
+type StageTimings struct {
+	// AnalyzeNS is snapshot analysis (URL decomposition, term
+	// distributions).
+	AnalyzeNS int64 `json:"analyze_ns"`
+	// FeaturesNS is 212-feature extraction.
+	FeaturesNS int64 `json:"features_ns"`
+	// ScoreNS is GBM classification.
+	ScoreNS int64 `json:"score_ns"`
+	// TargetNS is target identification (detector positives only).
+	TargetNS int64 `json:"target_ns"`
+	// ExplainNS is contribution extraction (explain requests only).
+	ExplainNS int64 `json:"explain_ns"`
+	// TotalNS is the whole request, including option plumbing.
+	TotalNS int64 `json:"total_ns"`
+}
+
+// Verdict is the rich scoring result of the v2 API: the classic Outcome
+// plus a human-readable label, the threshold it was read against,
+// optional per-feature evidence and per-stage timings.
+type Verdict struct {
+	Outcome
+	// Label is "phishing" or "legitimate", the thresholded FinalPhish.
+	Label string `json:"label"`
+	// Threshold is the discrimination threshold the label used.
+	Threshold float64 `json:"threshold"`
+	// FeatureSet names the feature-group restriction applied by
+	// WithFeatureSet ("" when scoring used the detector's full set).
+	FeatureSet string `json:"feature_set,omitempty"`
+	// Explanation is the per-feature evidence (explain requests only).
+	Explanation *Explanation `json:"explanation,omitempty"`
+	// Timings reports per-stage latency.
+	Timings StageTimings `json:"timings"`
+}
+
+// MakeVerdict wraps an already-computed Outcome in the v2 envelope —
+// the rehydration path for cached and stored outcomes, where the
+// scoring stages did not rerun (timings zero, no explanation).
+func MakeVerdict(out Outcome, threshold float64) Verdict {
+	return Verdict{Outcome: out, Label: label(out.FinalPhish), Threshold: threshold}
+}
+
+func label(phish bool) string {
+	if phish {
+		return LabelPhishing
+	}
+	return LabelLegitimate
+}
+
+// ErrNoSnapshot rejects a ScoreRequest without a page.
+var ErrNoSnapshot = errors.New("core: ScoreRequest has no snapshot")
+
+// ctxCause returns the context's cause when it is done, nil otherwise.
+func ctxCause(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// ScoreCtx scores one page with cancellation: ctx (tightened by the
+// request's deadline, if any) is observed between pipeline stages, so a
+// cancelled or expired request stops consuming CPU at the next stage
+// boundary instead of running to completion. Target identification
+// never runs — use Pipeline.AnalyzeCtx for the full system. On
+// cancellation the zero Verdict and context.Cause are returned.
+func (d *Detector) ScoreCtx(ctx context.Context, req ScoreRequest) (Verdict, error) {
+	return d.scoreCtx(ctx, req, nil)
+}
+
+// AnalyzeCtx runs the full detection → target-identification pipeline
+// on one request with cancellation, producing a rich Verdict. It is the
+// context-aware, explainable successor of Analyze: identical scores and
+// final calls, plus label, evidence and timings.
+func (p *Pipeline) AnalyzeCtx(ctx context.Context, req ScoreRequest) (Verdict, error) {
+	return p.Detector.scoreCtx(ctx, req, p.Identifier)
+}
+
+// scoreCtx is the shared stage machine behind ScoreCtx and AnalyzeCtx.
+func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Identifier) (Verdict, error) {
+	t0 := time.Now()
+	if req.Snapshot == nil {
+		return Verdict{}, ErrNoSnapshot
+	}
+	if req.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.deadline)
+		defer cancel()
+	}
+	if err := ctxCause(ctx); err != nil {
+		return Verdict{}, err
+	}
+
+	var v Verdict
+	v.Threshold = d.threshold
+
+	// Stage 1: snapshot analysis.
+	ts := time.Now()
+	a := webpage.Analyze(req.Snapshot)
+	v.Timings.AnalyzeNS = time.Since(ts).Nanoseconds()
+	if err := ctxCause(ctx); err != nil {
+		return Verdict{}, err
+	}
+
+	// Stage 2: feature extraction (plus the optional ablation mask).
+	ts = time.Now()
+	vec := d.extractor.Extract(a)
+	if req.featureSet != 0 && req.featureSet != features.All {
+		vec = features.Mask(vec, req.featureSet)
+		v.FeatureSet = req.featureSet.String()
+	}
+	v.Timings.FeaturesNS = time.Since(ts).Nanoseconds()
+	if err := ctxCause(ctx); err != nil {
+		return Verdict{}, err
+	}
+
+	// Stage 3: classification.
+	ts = time.Now()
+	modelVec := d.projected(vec)
+	v.Score = d.model.Score(modelVec)
+	v.DetectorPhish = v.Score >= d.threshold
+	v.FinalPhish = v.DetectorPhish
+	v.Timings.ScoreNS = time.Since(ts).Nanoseconds()
+
+	// Stage 4: target identification confirms detector positives and
+	// overturns false ones (Section VI-D).
+	if id != nil && v.DetectorPhish && !req.skipTarget {
+		if err := ctxCause(ctx); err != nil {
+			return Verdict{}, err
+		}
+		ts = time.Now()
+		v.TargetRun = true
+		v.Target = id.Identify(a)
+		if v.Target.Verdict == target.VerdictLegitimate {
+			v.FinalPhish = false
+		}
+		v.Timings.TargetNS = time.Since(ts).Nanoseconds()
+	}
+
+	// Stage 5: evidence.
+	if req.Explains() {
+		if err := ctxCause(ctx); err != nil {
+			return Verdict{}, err
+		}
+		ts = time.Now()
+		contribs, bias := d.model.Contributions(modelVec)
+		v.Explanation = &Explanation{
+			Bias:          bias,
+			Contributions: features.TopContributions(vec, contribs, d.columns, req.topFeatures()),
+		}
+		v.Timings.ExplainNS = time.Since(ts).Nanoseconds()
+	}
+
+	v.Label = label(v.FinalPhish)
+	v.Timings.TotalNS = time.Since(t0).Nanoseconds()
+	return v, nil
+}
+
+// projected maps a full feature vector into the detector's trained
+// space (identity for all-features detectors).
+func (d *Detector) projected(v []float64) []float64 {
+	if d.columns == nil {
+		return v
+	}
+	proj := make([]float64, len(d.columns))
+	for i, c := range d.columns {
+		proj[i] = v[c]
+	}
+	return proj
+}
+
+// ScoreBatchCtx scores many requests concurrently over the shared
+// worker pool, observing ctx between items. The returned slice always
+// has len(reqs) entries in request order; an entry is nil when its item
+// did not produce a verdict — cut off by batch cancellation, expired
+// under its own per-item deadline, or invalid (nil snapshot). The error
+// is context.Cause(ctx) when the whole batch was cut short; a nil error
+// therefore means every item was attempted, not that every entry is
+// non-nil. workers <= 0 uses GOMAXPROCS.
+func (d *Detector) ScoreBatchCtx(ctx context.Context, reqs []ScoreRequest, workers int) ([]*Verdict, error) {
+	return batchCtx(ctx, reqs, workers, func(ctx context.Context, r ScoreRequest) (Verdict, error) {
+		return d.ScoreCtx(ctx, r)
+	})
+}
+
+// AnalyzeBatchCtx runs the full pipeline on many requests concurrently
+// with the same partial-result contract as ScoreBatchCtx.
+func (p *Pipeline) AnalyzeBatchCtx(ctx context.Context, reqs []ScoreRequest, workers int) ([]*Verdict, error) {
+	return batchCtx(ctx, reqs, workers, p.AnalyzeCtx)
+}
+
+func batchCtx(ctx context.Context, reqs []ScoreRequest, workers int, one func(context.Context, ScoreRequest) (Verdict, error)) ([]*Verdict, error) {
+	out := make([]*Verdict, len(reqs))
+	err := pool.ForEachIndexCtx(ctx, len(reqs), workers, func(i int) {
+		if v, verr := one(ctx, reqs[i]); verr == nil {
+			out[i] = &v
+		}
+	})
+	return out, err
+}
+
+// StreamResult is one completed item of an AnalyzeStream call.
+type StreamResult struct {
+	// Index is the item's position in the request slice.
+	Index int
+	// Verdict is the result when Err is nil.
+	Verdict Verdict
+	// Err reports a per-item failure (missing snapshot, per-item
+	// deadline) without ending the stream.
+	Err error
+}
+
+// AnalyzeStream runs the pipeline over reqs with workers-wide fan-out
+// and delivers each verdict as it completes — out of order — on the
+// returned channel, which is closed once every item has finished or ctx
+// is done. Cancelling ctx stops undelivered work promptly; the consumer
+// should cancel and then drain. This is the engine behind the serving
+// layer's NDJSON streaming endpoint.
+func (p *Pipeline) AnalyzeStream(ctx context.Context, reqs []ScoreRequest, workers int) <-chan StreamResult {
+	ch := make(chan StreamResult)
+	go func() {
+		defer close(ch)
+		_ = pool.ForEachIndexCtx(ctx, len(reqs), workers, func(i int) {
+			v, err := p.AnalyzeCtx(ctx, reqs[i])
+			select {
+			case ch <- StreamResult{Index: i, Verdict: v, Err: err}:
+			case <-ctx.Done():
+			}
+		})
+	}()
+	return ch
+}

@@ -1,0 +1,67 @@
+package features
+
+import (
+	"math"
+	"sort"
+)
+
+// Contribution is one feature's share of a verdict: the feature's value
+// on the page and its signed log-odds attribution from the model
+// (positive → pushed toward phishing). It is the per-feature evidence
+// unit of the explainable Verdict API — the serving layer returns a
+// ranked list of these so a client can see *why* a page scored the way
+// it did (the paper's Section IV-C feature-importance analysis, made
+// per-prediction).
+type Contribution struct {
+	// Index is the feature's position in the full 212-feature vector.
+	Index int `json:"index"`
+	// Name is the feature's stable name (see Names).
+	Name string `json:"name"`
+	// Value is the extracted feature value for this page.
+	Value float64 `json:"value"`
+	// LogOdds is the feature's signed contribution to the raw score.
+	LogOdds float64 `json:"log_odds"`
+}
+
+// TopContributions ranks model attributions for one prediction.
+//
+// values is the full extracted feature vector; contribs is the model's
+// per-column attribution in its own (possibly projected) space, and
+// columns maps model column → full-vector index (nil = identity, the
+// all-features detector). n > 0 keeps the n largest by |log-odds|;
+// n <= 0 keeps every feature with a nonzero attribution. Ties break by
+// feature index so explanations are deterministic.
+func TopContributions(values, contribs []float64, columns []int, n int) []Contribution {
+	names := Names()
+	out := make([]Contribution, 0, len(contribs))
+	for col, lo := range contribs {
+		if lo == 0 {
+			// The model never split on this feature for this page;
+			// listing it would bury the evidence in 200 zero rows.
+			continue
+		}
+		idx := col
+		if columns != nil {
+			idx = columns[col]
+		}
+		c := Contribution{Index: idx, LogOdds: lo}
+		if idx < len(names) {
+			c.Name = names[idx]
+		}
+		if idx < len(values) {
+			c.Value = values[idx]
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		la, lb := math.Abs(out[a].LogOdds), math.Abs(out[b].LogOdds)
+		if la != lb {
+			return la > lb
+		}
+		return out[a].Index < out[b].Index
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

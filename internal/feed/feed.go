@@ -30,6 +30,7 @@ package feed
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -105,6 +106,11 @@ type Config struct {
 	RetryBackoff time.Duration
 	// MaxBackoff caps the exponential retry delay (0 → DefaultMaxBackoff).
 	MaxBackoff time.Duration
+	// Explain scores with the given explain level so persisted verdicts
+	// carry per-feature evidence (subject to the store's size cap).
+	// Default: core.ExplainNone — evidence costs an extra model walk
+	// per URL and log bytes forever.
+	Explain core.ExplainLevel
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -162,6 +168,13 @@ type Scheduler struct {
 	cfg Config
 	now func() time.Time
 
+	// ctx is the scheduler's lifetime context, threaded into every
+	// pipeline execution; cancel (called when a Drain deadline expires)
+	// cuts off in-flight scoring at the next stage boundary instead of
+	// letting abandoned work run to completion.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	ready    []*item
@@ -211,6 +224,7 @@ func New(cfg Config) (*Scheduler, error) {
 		buckets:  make(map[string]*bucket),
 		done:     make(chan struct{}),
 	}
+	s.ctx, s.cancel = context.WithCancelCause(context.Background())
 	if s.now == nil {
 		s.now = time.Now
 	}
@@ -349,8 +363,10 @@ func (s *Scheduler) takeTokenLocked(domain string, now time.Time) (wait time.Dur
 }
 
 // process runs crawl → score → target-identify → persist for one item,
-// rescheduling it on transient fetch failure. Panics are contained and
-// recorded as failures.
+// rescheduling it on transient fetch failure. Scoring runs under the
+// scheduler's context, so an expired Drain cuts off in-flight pipeline
+// work at the next stage boundary; such items count as dropped, like
+// their queued siblings. Panics are contained and recorded as failures.
 func (s *Scheduler) process(it *item) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -362,12 +378,24 @@ func (s *Scheduler) process(it *item) {
 		s.retryOrFail(it, err)
 		return
 	}
-	out := s.cfg.Pipeline.Analyze(snap)
+	var opts []core.ScoreOption
+	if s.cfg.Explain != core.ExplainNone {
+		opts = append(opts, core.WithExplain(s.cfg.Explain))
+	}
+	v, err := s.cfg.Pipeline.AnalyzeCtx(s.ctx, core.NewScoreRequest(snap, opts...))
+	if err != nil {
+		// The scheduler context was cancelled mid-scoring (expired
+		// drain): abandon the item without a verdict.
+		s.drop(it)
+		return
+	}
+	out := v.Outcome
 	rec := store.Record{
 		URL:         it.url,
 		LandingURL:  snap.LandingURL,
 		Fingerprint: webpage.Fingerprint(snap),
 		Outcome:     out,
+		Explanation: v.Explanation,
 		ScoredAt:    s.now().UTC(),
 	}
 	if p, perr := urlx.Parse(snap.LandingURL); perr == nil {
@@ -377,6 +405,17 @@ func (s *Scheduler) process(it *item) {
 		rec.Target = out.Target.Candidates[0].RDN
 	}
 	s.finish(it, s.persist(rec))
+}
+
+// drop abandons an in-flight item without a verdict, accounting it as
+// dropped like the queued items an expired Drain sweeps.
+func (s *Scheduler) drop(it *item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Dropped++
+	s.active--
+	delete(s.inflight, it.key)
+	s.cond.Broadcast()
 }
 
 // retryOrFail reschedules a transiently failed item with capped
@@ -395,11 +434,8 @@ func (s *Scheduler) retryOrFail(it *item, err error) {
 			// An expired Drain already swept the queues; re-queueing
 			// would strand this item in inflight with no worker left to
 			// take it. Account it as dropped like its queued siblings.
-			s.stats.Dropped++
-			s.active--
-			delete(s.inflight, it.key)
-			s.cond.Broadcast()
 			s.mu.Unlock()
+			s.drop(it)
 			return
 		}
 		s.stats.Retries++
@@ -502,10 +538,16 @@ func (s *Scheduler) Drain(deadline time.Time) (dropped int) {
 		s.ready, s.delayed = nil, nil
 		s.stats.Dropped += int64(n)
 		s.aborted = true
+		// Cut off in-flight pipeline work too: workers observing s.ctx
+		// abandon mid-score items at the next stage boundary instead of
+		// finishing verdicts nobody will wait for.
+		s.cancel(errors.New("feed: drain deadline expired"))
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-s.done
+	// The worker loop has exited; release the lifetime context either way.
+	s.cancel(nil)
 	s.mu.Lock()
 	dropped = int(s.stats.Dropped - before)
 	s.mu.Unlock()

@@ -11,6 +11,7 @@ import (
 	"knowphish/internal/core"
 	"knowphish/internal/crawl"
 	"knowphish/internal/dataset"
+	"knowphish/internal/features"
 	"knowphish/internal/ml"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
@@ -407,14 +408,18 @@ func TestDrainDeadlineDropsRemaining(t *testing.T) {
 	}
 	<-bf.started
 	// The worker is wedged in Fetch; release it right after the drain
-	// deadline forces the queued URLs to be dropped.
+	// deadline forces the queued URLs to be dropped. The released item
+	// then reaches the scoring stage with the scheduler's context
+	// already cancelled, so its in-flight work is cut off too: all
+	// three URLs are dropped — two swept from the queue, one abandoned
+	// mid-flight — and nothing is processed.
 	time.AfterFunc(200*time.Millisecond, func() { close(bf.gate) })
 	dropped := s.Drain(time.Now().Add(50 * time.Millisecond))
-	if dropped != 2 {
-		t.Fatalf("dropped = %d, want 2 (queued URLs abandoned)", dropped)
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3 (2 queued + 1 in-flight abandoned)", dropped)
 	}
-	if st := s.Stats(); st.Dropped != 2 {
-		t.Errorf("stats.Dropped = %d, want 2", st.Dropped)
+	if st := s.Stats(); st.Dropped != 3 || st.Processed != 0 {
+		t.Errorf("stats = %+v, want dropped=3 processed=0", st)
 	}
 }
 
@@ -485,5 +490,108 @@ func TestPanicInPipelineContained(t *testing.T) {
 	drain(t, s)
 	if stats := s.Stats(); stats.Failed != 2 {
 		t.Errorf("stats = %+v, want failed=2 (panics contained per item)", stats)
+	}
+}
+
+// TestFeedExplainPersistsEvidence wires the explain level through the
+// whole ingestion path: scheduler → AnalyzeCtx(WithExplain) → store
+// record, subject to the store's explanation size cap.
+func TestFeedExplainPersistsEvidence(t *testing.T) {
+	c, pipe := fixtures(t)
+	st := newStore(t)
+	s, err := New(Config{
+		Fetcher: c.World, Pipeline: pipe, Store: st,
+		Workers: 2, DomainRate: -1, Explain: core.ExplainTop,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	urls := []string{
+		c.World.BrandSiteURLs(c.World.Brands[0])[0],
+		c.World.BrandSiteURLs(c.World.Brands[1])[0],
+	}
+	for _, u := range urls {
+		if err := s.Enqueue(u); err != nil {
+			t.Fatalf("Enqueue(%s): %v", u, err)
+		}
+	}
+	drain(t, s)
+	withEvidence := 0
+	for _, u := range urls {
+		rec, ok := st.Get(u)
+		if !ok {
+			t.Fatalf("no record for %s", u)
+		}
+		if rec.Explanation != nil {
+			withEvidence++
+			if len(rec.Explanation.Contributions) == 0 {
+				t.Errorf("%s: explanation without contributions", u)
+			}
+		}
+	}
+	if withEvidence == 0 {
+		t.Error("no persisted verdict carries evidence despite Explain: top")
+	}
+	// The evidence survives a reload from disk.
+	if err := st.Reload(); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	rec, ok := st.Get(urls[0])
+	if !ok || rec.Explanation == nil {
+		t.Errorf("evidence lost across reload: %+v ok=%v", rec, ok)
+	}
+}
+
+// TestStoreExplanationSizeCap proves oversized evidence is shed while
+// the verdict itself persists.
+func TestStoreExplanationSizeCap(t *testing.T) {
+	st, err := store.Open(store.Config{
+		Path:            filepath.Join(t.TempDir(), "capped.jsonl"),
+		MaxExplainBytes: 64, // far below any real explanation
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec := store.Record{
+		URL:        "http://x.test/",
+		LandingURL: "http://x.test/",
+		Explanation: &core.Explanation{
+			Bias: 1,
+			Contributions: []features.Contribution{
+				{Index: 1, Name: "f1.start.https_and_some_long_feature_name", Value: 1, LogOdds: 0.5},
+				{Index: 2, Name: "f4.ext_concentration_other_long_name", Value: 2, LogOdds: -0.25},
+			},
+		},
+	}
+	if err := st.Append(rec); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	got, ok := st.Get("http://x.test/")
+	if !ok {
+		t.Fatal("capped record not stored")
+	}
+	if got.Explanation != nil {
+		t.Error("oversized explanation persisted past the cap")
+	}
+	if st.Stats().ExplanationsDropped != 1 {
+		t.Errorf("explanations_dropped = %d, want 1", st.Stats().ExplanationsDropped)
+	}
+	// Negative cap: never persist evidence.
+	st2, err := store.Open(store.Config{
+		Path:            filepath.Join(t.TempDir(), "noexpl.jsonl"),
+		MaxExplainBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	small := rec
+	small.Explanation = &core.Explanation{Bias: 1}
+	if err := st2.Append(small); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st2.Get("http://x.test/"); got.Explanation != nil {
+		t.Error("negative cap still persisted evidence")
 	}
 }

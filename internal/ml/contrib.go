@@ -1,0 +1,105 @@
+package ml
+
+// Per-prediction feature attribution for the boosted ensemble, the
+// model-side half of the explainable Verdict API. The method is the
+// decision-path attribution of Saabas: every internal node carries an
+// expected value (here the mean of its descendant leaves); walking the
+// path root → leaf, the change of expectation at each split is credited
+// to the split feature. The deltas telescope, so per tree
+//
+//	leaf value = root value + Σ path deltas
+//
+// holds exactly, and across the ensemble
+//
+//	raw score F(x) = bias + Σ_j contributions[j]
+//
+// with bias = InitScore + ν·Σ_t rootValue_t. Contributions are therefore
+// exact in log-odds space: sigmoid of the reassembled sum reproduces
+// Score(x) bit-for-bit up to float addition order.
+
+// nodeMeans returns, for one tree, the mean descendant-leaf value of
+// every node reachable from the root (leaves map to their own value;
+// unreachable nodes stay 0, exactly the nodes Predict can never visit).
+// The mean is unweighted: leaf sample counts are not serialized with
+// the model, and for an explanation the unweighted expectation is a
+// deterministic, loadable-model-compatible stand-in.
+//
+// The walk recurses from the root by child index rather than sweeping
+// the slice, so it makes no assumption about node storage order — a
+// model edited or produced outside FitTree explains correctly as long
+// as Predict can walk it. Depth is bounded by the tree's own depth
+// (single digits for boosted stumps).
+func nodeMeans(t *Tree) []float64 {
+	vals := make([]float64, len(t.Nodes))
+	if len(t.Nodes) == 0 {
+		return vals
+	}
+	var walk func(i int) (sum float64, n int)
+	walk = func(i int) (float64, int) {
+		node := t.Nodes[i]
+		if node.Feature < 0 {
+			vals[i] = node.Value
+			return node.Value, 1
+		}
+		ls, ln := walk(node.Left)
+		rs, rn := walk(node.Right)
+		sum, n := ls+rs, ln+rn
+		vals[i] = sum / float64(n)
+		return sum, n
+	}
+	walk(0)
+	return vals
+}
+
+// ensureNodeMeans computes and caches the per-tree node expectations.
+func (m *GBM) ensureNodeMeans() [][]float64 {
+	m.contribOnce.Do(func() {
+		m.nodeVals = make([][]float64, len(m.Trees))
+		for i := range m.Trees {
+			m.nodeVals[i] = nodeMeans(&m.Trees[i])
+		}
+	})
+	return m.nodeVals
+}
+
+// Contributions decomposes the raw (log-odds) score of x into a bias
+// term plus one signed contribution per feature:
+//
+//	sigmoid(bias + Σ contrib[j]) == Score(x)
+//
+// A positive contribution pushed the page toward the phishing class, a
+// negative one toward legitimate. The slice is indexed like x (the
+// model's feature space; callers holding a column projection map it
+// back). Safe for concurrent use.
+func (m *GBM) Contributions(x []float64) (contrib []float64, bias float64) {
+	contrib = make([]float64, m.FeatureCount)
+	bias = m.InitScore
+	means := m.ensureNodeMeans()
+	lr := m.Config.LearningRate
+	for ti := range m.Trees {
+		t := &m.Trees[ti]
+		if len(t.Nodes) == 0 {
+			continue
+		}
+		vals := means[ti]
+		bias += lr * vals[0]
+		i := 0
+		for {
+			n := t.Nodes[i]
+			if n.Feature < 0 {
+				break
+			}
+			var child int
+			if n.Feature < len(x) && x[n.Feature] <= n.Threshold {
+				child = n.Left
+			} else {
+				child = n.Right
+			}
+			if n.Feature < len(contrib) {
+				contrib[n.Feature] += lr * (vals[child] - vals[i])
+			}
+			i = child
+		}
+	}
+	return contrib, bias
+}

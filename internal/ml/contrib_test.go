@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainContribModel fits a small GBM on a synthetic two-feature problem
+// where feature 0 carries the signal and feature 2 is pure noise.
+func trainContribModel(t *testing.T) (*GBM, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	n, dim := 400, 4
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		if row[0]+0.3*row[1] > 0.6 {
+			y[i] = 1
+		}
+	}
+	m, err := TrainGBM(x, y, GBMConfig{Trees: 40, MaxDepth: 3, Seed: 9})
+	if err != nil {
+		t.Fatalf("TrainGBM: %v", err)
+	}
+	return m, x
+}
+
+func TestContributionsReassembleScore(t *testing.T) {
+	m, x := trainContribModel(t)
+	for _, row := range x[:50] {
+		contrib, bias := m.Contributions(row)
+		sum := bias
+		for _, c := range contrib {
+			sum += c
+		}
+		if got, want := sigmoid(sum), m.Score(row); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("sigmoid(bias+Σcontrib) = %v, Score = %v", got, want)
+		}
+	}
+}
+
+func TestContributionsTrackSignalFeature(t *testing.T) {
+	m, x := trainContribModel(t)
+	// Across the sample, the signal feature must accumulate far more
+	// absolute attribution than the noise features.
+	var mass [4]float64
+	for _, row := range x {
+		contrib, _ := m.Contributions(row)
+		for j, c := range contrib {
+			mass[j] += math.Abs(c)
+		}
+	}
+	if mass[0] <= mass[2] || mass[0] <= mass[3] {
+		t.Errorf("signal feature mass %v not dominant over noise %v, %v", mass[0], mass[2], mass[3])
+	}
+}
+
+func TestContributionsConcurrent(t *testing.T) {
+	m, x := trainContribModel(t)
+	// The node-expectation cache initializes lazily; hammer it from
+	// several goroutines (run with -race).
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for _, row := range x[:20] {
+				m.Contributions(row)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+func TestNodeMeansChildBeforeParentOrder(t *testing.T) {
+	// A tree whose children are stored before their parent (legal for
+	// Predict, which follows indices) must still produce correct
+	// expectations — explanations cannot depend on FitTree's storage
+	// order once models round-trip through JSON or external tools.
+	tr := &Tree{Nodes: []TreeNode{
+		{Feature: 0, Threshold: 0.5, Left: 2, Right: 1},
+		{Feature: -1, Value: 4},
+		{Feature: -1, Value: 2},
+	}}
+	vals := nodeMeans(tr)
+	if vals[0] != 3 || vals[1] != 4 || vals[2] != 2 {
+		t.Errorf("nodeMeans = %v, want [3 4 2]", vals)
+	}
+}
+
+func TestNodeMeansSingleLeaf(t *testing.T) {
+	tr := &Tree{Nodes: []TreeNode{{Feature: -1, Value: 2.5}}}
+	vals := nodeMeans(tr)
+	if len(vals) != 1 || vals[0] != 2.5 {
+		t.Errorf("nodeMeans = %v, want [2.5]", vals)
+	}
+	if vals := nodeMeans(&Tree{}); len(vals) != 0 {
+		t.Errorf("empty tree: %v", vals)
+	}
+}

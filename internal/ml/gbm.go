@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // GBMConfig controls gradient-boosting training. The zero value is usable:
@@ -66,6 +67,13 @@ type GBM struct {
 	Trees []Tree `json:"trees"`
 	// FeatureCount records the training dimensionality for validation.
 	FeatureCount int `json:"feature_count"`
+
+	// contribOnce guards the lazily computed per-tree node expectations
+	// Contributions walks (see contrib.go). Models are shared by
+	// pointer; the cache makes per-prediction attribution O(path)
+	// instead of O(nodes).
+	contribOnce sync.Once
+	nodeVals    [][]float64
 }
 
 // TrainGBM fits a boosted ensemble on x (rows = samples) with binary

@@ -4,7 +4,7 @@
 // (core.Detector.ScoreBatch, core.Pipeline.AnalyzeBatch) and the HTTP
 // server's own fan-out (internal/serve). One implementation means one
 // place for pool semantics: order preservation, inline execution at
-// workers==1, GOMAXPROCS defaulting, panic propagation.
+// workers==1, GOMAXPROCS defaulting, panic propagation, cancellation.
 //
 // Each call spins up its own short-lived workers; the bound is
 // per-call. Callers that need a process-wide concurrency limit across
@@ -12,6 +12,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -28,8 +29,25 @@ import (
 // the first panic after the batch drains, so remaining indexes may
 // still run first.
 func ForEachIndex(n, workers int, fn func(i int)) {
+	// context.Background is never done, so every index runs and the
+	// error is statically nil.
+	_ = ForEachIndexCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachIndexCtx is ForEachIndex with cancellation: workers observe
+// ctx between items, so once ctx is done no *new* index is started —
+// in-flight fn calls run to completion (fn receives no context; keep
+// items small enough that item granularity is an acceptable
+// cancellation latency). It returns nil when every index ran, or
+// context.Cause(ctx) when cancellation cut the batch short; the caller
+// learns *which* indexes ran only through fn's own side effects, so
+// batch callers record per-index completion themselves.
+//
+// Panic propagation matches ForEachIndex: the first fn panic re-raises
+// on the caller's goroutine after the pool drains.
+func ForEachIndexCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -37,11 +55,17 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return context.Cause(ctx)
+			default:
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
@@ -51,24 +75,45 @@ func ForEachIndex(n, workers int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panicOnce.Do(func() { panicked = r })
-						}
+			for {
+				select {
+				case <-done:
+					return
+				case i, ok := <-next:
+					if !ok {
+						return
+					}
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								panicOnce.Do(func() { panicked = r })
+							}
+						}()
+						fn(i)
 					}()
-					fn(i)
-				}()
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	// An unbuffered send only completes when a worker has taken the
+	// index, and a taken index always runs fn — so "all n sent" means
+	// "all n ran" even if ctx fires while the last items are in flight.
+	fed := 0
+feed:
+	for ; fed < n; fed++ {
+		select {
+		case next <- fed:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 	if panicked != nil {
 		panic(panicked)
 	}
+	if fed == n {
+		return nil
+	}
+	return context.Cause(ctx)
 }

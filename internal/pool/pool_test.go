@@ -1,9 +1,12 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachIndexCoversEveryIndexOnce(t *testing.T) {
@@ -93,6 +96,113 @@ func TestForEachIndexParallelPanicValueIdentity(t *testing.T) {
 	}()
 	if reraised == nil || !thrown[reraised] {
 		t.Errorf("re-raised value %#v is not one of the thrown values", reraised)
+	}
+}
+
+func TestForEachIndexCtxCompletesWhenNeverCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 64
+		var counts [n]atomic.Int32
+		if err := ForEachIndexCtx(context.Background(), n, workers, func(i int) {
+			counts[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, counts[i].Load())
+			}
+		}
+	}
+}
+
+// TestForEachIndexCtxCancelMidBatch proves the cancellation contract the
+// serving and batch layers rely on: after ctx is cancelled mid-batch, no
+// new index starts, every in-flight fn call still completes (each index
+// runs at most once), the call returns context.Cause, and the workers
+// exit promptly instead of grinding through the remaining items.
+func TestForEachIndexCtxCancelMidBatch(t *testing.T) {
+	cause := errors.New("client walked away")
+	for _, workers := range []int{1, 4} {
+		const n = 10000
+		ctx, cancel := context.WithCancelCause(context.Background())
+		var counts [n]atomic.Int32
+		var started atomic.Int32
+		release := make(chan struct{})
+		err := ForEachIndexCtx(ctx, n, workers, func(i int) {
+			counts[i].Add(1)
+			if started.Add(1) == int32(workers) {
+				// Every worker holds an item: cancel now, mid-batch.
+				cancel(cause)
+				close(release)
+			}
+			<-release
+		})
+		if !errors.Is(err, cause) {
+			t.Fatalf("workers=%d: err = %v, want cause %v", workers, err, cause)
+		}
+		var ran int32
+		for i := range counts {
+			if c := counts[i].Load(); c > 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, c)
+			} else {
+				ran += c
+			}
+		}
+		// In-flight items (≤ workers, plus at most one race-window item
+		// per worker) finish; the rest of the batch never starts.
+		if ran > int32(4*workers) || ran == 0 {
+			t.Errorf("workers=%d: %d of %d indexes ran after mid-batch cancel, want ≈%d", workers, ran, n, workers)
+		}
+		cancel(nil)
+	}
+}
+
+// TestForEachIndexCtxWorkersExitPromptly measures the wall clock of the
+// cancel: a 4-worker pool over items that block until cancellation must
+// return as soon as the in-flight quartet drains — not after n items.
+func TestForEachIndexCtxWorkersExitPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var inflight atomic.Int32
+	go func() {
+		// Cancel once work is demonstrably in flight.
+		for inflight.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	t0 := time.Now()
+	err := ForEachIndexCtx(ctx, 100000, 4, func(i int) {
+		inflight.Add(1)
+		<-ctx.Done()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Generous bound: draining ≤4 blocked items after cancel is
+	// microseconds of work; 100k items at any per-item cost would not be.
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Errorf("pool took %v to exit after cancellation", d)
+	}
+	if n := inflight.Load(); n > 8 {
+		t.Errorf("%d items entered flight, want at most the worker count's race window", n)
+	}
+}
+
+func TestForEachIndexCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEachIndexCtx(ctx, 50, workers, func(int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v", workers, err)
+		}
+		// The parallel path may race one item per worker into flight;
+		// the inline path starts nothing.
+		if limit := int32(workers); ran.Load() > limit {
+			t.Errorf("workers=%d: %d items ran on a pre-cancelled context", workers, ran.Load())
+		}
 	}
 }
 

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate with: go test ./internal/serve -run TestV1Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the v1 golden response files")
+
+// TestV1GoldenResponses pins the v1 wire format byte-for-byte. The v1
+// endpoints are frozen: they must keep answering exactly as they did
+// when clients first integrated, no matter how the scoring internals
+// are redesigned underneath them. Any diff here is a breaking change
+// for deployed clients and needs a v2 endpoint instead.
+func TestV1GoldenResponses(t *testing.T) {
+	c, _ := fixtures(t)
+	phish := c.PhishTest.Examples[0].Snapshot
+	phish2 := c.PhishTest.Examples[1].Snapshot
+	legit := c.LegTrain.Examples[0].Snapshot
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		status int
+	}{
+		{"score_phish", http.MethodPost, "/v1/score", PageRequest{Snapshot: phish}, http.StatusOK},
+		{"score_legit", http.MethodPost, "/v1/score", PageRequest{Snapshot: legit}, http.StatusOK},
+		{"score_bad_request", http.MethodPost, "/v1/score", PageRequest{}, http.StatusBadRequest},
+		// The duplicate page in the batch pins the dedupe/cached wire
+		// behavior; elapsed_us is zeroed below before comparing.
+		{"score_batch", http.MethodPost, "/v1/score/batch",
+			BatchRequest{Pages: []PageRequest{{Snapshot: phish}, {Snapshot: legit}, {Snapshot: phish}, {Snapshot: phish2}}, Workers: 1},
+			http.StatusOK},
+		{"target", http.MethodPost, "/v1/target", PageRequest{Snapshot: phish}, http.StatusOK},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// A fresh server per case: no cache state leaks between cases,
+			// so each golden is reproducible in isolation.
+			s := newServer(t, nil)
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(tc.body); err != nil {
+				t.Fatal(err)
+			}
+			req := httptest.NewRequest(tc.method, tc.path, &buf)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.status, rec.Body.String())
+			}
+			got := rec.Body.Bytes()
+			if tc.name == "score_batch" {
+				got = zeroElapsed(t, got)
+			}
+
+			path := filepath.Join("testdata", "golden_v1_"+tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("v1 response drifted from golden %s:\n got: %s\nwant: %s", path, got, want)
+			}
+		})
+	}
+}
+
+// zeroElapsed rewrites the timing field of a batch response to 0 so the
+// golden comparison pins the verdict bytes, not the wall clock.
+func zeroElapsed(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("batch response not an object: %v", err)
+	}
+	if _, ok := doc["elapsed_us"]; !ok {
+		t.Fatal("batch response lost elapsed_us")
+	}
+	doc["elapsed_us"] = json.RawMessage("0")
+	// Re-encode field-order-stable (Go maps marshal keys sorted).
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -70,15 +70,18 @@ func (h *latencyHist) mean() int64 {
 type Metrics struct {
 	start time.Time
 
-	requests   atomic.Int64 // all HTTP requests
-	scored     atomic.Int64 // pages scored (batch items counted singly)
-	phish      atomic.Int64 // pages with a final phishing verdict
-	errors     atomic.Int64 // 4xx/5xx responses
-	cacheHits  atomic.Int64
-	cacheMiss  atomic.Int64
-	inFlight   atomic.Int64
-	latency    latencyHist // scoring-endpoint (POST /v1/*) request latency
-	scoreBatch latencyHist // per-batch latency
+	requests      atomic.Int64 // all HTTP requests
+	scored        atomic.Int64 // pages scored (batch items counted singly)
+	phish         atomic.Int64 // pages with a final phishing verdict
+	errors        atomic.Int64 // 4xx/5xx responses
+	cacheHits     atomic.Int64
+	cacheMiss     atomic.Int64
+	inFlight      atomic.Int64
+	batchRejected atomic.Int64 // batch/stream/feed requests over the item limit (413)
+	cancelled     atomic.Int64 // requests cut short by client disconnect
+	streamed      atomic.Int64 // stream result lines delivered
+	latency       latencyHist  // scoring-endpoint (POST /v1|v2/*) request latency
+	scoreBatch    latencyHist  // per-batch latency
 }
 
 func newMetrics() *Metrics {
@@ -93,6 +96,17 @@ type MetricsSnapshot struct {
 	PhishVerdicts int64   `json:"phish_verdicts"`
 	Errors        int64   `json:"errors"`
 	InFlight      int64   `json:"in_flight"`
+
+	// BatchRejected counts batch, stream and feed requests refused with
+	// 413 for exceeding the configured item limit — the operator signal
+	// that clients need a bigger MaxBatch or smaller requests.
+	BatchRejected int64 `json:"batch_rejected"`
+	// Cancelled counts requests whose client disconnected (or whose
+	// stream was cut) before the verdict was delivered; their remaining
+	// scoring work was abandoned.
+	Cancelled int64 `json:"cancelled"`
+	// StreamedItems counts result lines delivered on /v2/score/stream.
+	StreamedItems int64 `json:"streamed_items"`
 
 	CacheHits      int64   `json:"cache_hits"`
 	CacheMisses    int64   `json:"cache_misses"`
@@ -129,6 +143,9 @@ func (m *Metrics) Snapshot(cacheEntries int) MetricsSnapshot {
 		PhishVerdicts: m.phish.Load(),
 		Errors:        m.errors.Load(),
 		InFlight:      m.inFlight.Load(),
+		BatchRejected: m.batchRejected.Load(),
+		Cancelled:     m.cancelled.Load(),
+		StreamedItems: m.streamed.Load(),
 
 		CacheHits:    hits,
 		CacheMisses:  miss,

@@ -4,19 +4,33 @@
 // trained detector, the popularity ranking and the legitimate-web search
 // index, then answers:
 //
-//	POST /v1/score        score one page (snapshot or raw HTML)
-//	POST /v1/score/batch  score many pages over a bounded worker pool
-//	POST /v1/target       run target identification only
-//	POST /v1/feed         enqueue URLs into the ingestion pipeline
-//	GET  /v1/verdicts     query the durable verdict store
-//	GET  /healthz         liveness and model metadata
-//	GET  /metrics         request counts, latency percentiles, cache,
-//	                      feed and store stats
+//	POST /v2/score         score one page → rich Verdict (label,
+//	                       evidence, timings; per-request deadline)
+//	POST /v2/target        run target identification only (Verdict-era
+//	                       document with timings)
+//	POST /v2/score/stream  NDJSON in, verdicts streamed back as they
+//	                       complete (per-item deadlines, stops on
+//	                       client disconnect)
+//	POST /v1/score         frozen wire format; adapter over v2
+//	POST /v1/score/batch   frozen wire format; adapter over v2
+//	POST /v1/target        frozen wire format; adapter over v2
+//	POST /v1/feed          enqueue URLs into the ingestion pipeline
+//	GET  /v1/verdicts      query the durable verdict store
+//	GET  /healthz          liveness and model metadata
+//	GET  /metrics          request counts, latency percentiles, cache,
+//	                       feed and store stats
+//
+// Every scoring path is context-aware end to end: the request context
+// (plus an optional per-request deadline) reaches the pipeline through
+// core.AnalyzeCtx, so a disconnected client or an expired budget stops
+// consuming CPU at the next stage boundary instead of burning a worker
+// slot to completion. The v1 endpoints are thin adapters over the same
+// machinery and keep their historical wire format byte for byte (pinned
+// by golden tests).
 //
 // Scoring fans out over the shared worker-pool primitive
-// (internal/pool, the same machinery behind features.ExtractBatch and
-// core's batch paths) under a server-wide concurrency bound, so a burst
-// of concurrent batches cannot oversubscribe the cores. A sharded LRU
+// (internal/pool) under a server-wide concurrency bound, so a burst of
+// concurrent batches cannot oversubscribe the cores. A sharded LRU
 // cache keyed by landing URL plus a content fingerprint absorbs
 // repeated lookups of the same page — phishing campaigns funnel many
 // lures to one landing page — without letting one client's submission
@@ -24,6 +38,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,7 +60,8 @@ import (
 const (
 	// DefaultCacheSize is the total verdict-cache capacity in entries.
 	DefaultCacheSize = 4096
-	// DefaultMaxBatch bounds the page count of one batch request.
+	// DefaultMaxBatch bounds the page count of one batch request and
+	// the item count of one stream request.
 	DefaultMaxBatch = 1024
 	// DefaultMaxBodyBytes bounds request body size.
 	DefaultMaxBodyBytes = 16 << 20
@@ -68,10 +84,22 @@ type Config struct {
 	// CacheSize is the verdict-cache capacity in entries
 	// (0 → DefaultCacheSize, negative → caching disabled).
 	CacheSize int
-	// MaxBatch bounds pages per batch request (0 → DefaultMaxBatch).
+	// MaxBatch bounds pages per batch or stream request
+	// (0 → DefaultMaxBatch).
 	MaxBatch int
 	// MaxBodyBytes bounds request bodies (0 → DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// DefaultDeadline is the per-request scoring budget applied when a
+	// request does not set its own deadline_ms (0 → no deadline). It
+	// bounds pipeline work, not time spent queued for a worker slot.
+	DefaultDeadline time.Duration
+	// DefaultExplain is the explain level applied when a v2 request
+	// does not set one. v1 adapters never explain (their wire format
+	// predates evidence).
+	DefaultExplain core.ExplainLevel
+	// ExplainTopN caps ExplainTop contributions when the request does
+	// not set top_features (0 → core.DefaultTopFeatures).
+	ExplainTopN int
 	// Feed is the continuous ingestion scheduler backing POST /v1/feed
 	// (optional; without it the endpoint answers 503).
 	Feed *feed.Scheduler
@@ -83,19 +111,22 @@ type Config struct {
 // Server is the HTTP scoring service. It is an http.Handler; wire it
 // into any mux or server. All handlers are safe for concurrent use.
 type Server struct {
-	pipe     *core.Pipeline
-	workers  int
-	maxBatch int
-	maxBody  int64
-	cache    *verdictCache
-	feed     *feed.Scheduler
-	store    *store.Store
-	metrics  *Metrics
-	mux      *http.ServeMux
+	pipe            *core.Pipeline
+	workers         int
+	maxBatch        int
+	maxBody         int64
+	defaultDeadline time.Duration
+	defaultExplain  core.ExplainLevel
+	explainTopN     int
+	cache           *verdictCache
+	feed            *feed.Scheduler
+	store           *store.Store
+	metrics         *Metrics
+	mux             *http.ServeMux
 	// scoreSem bounds CPU-heavy work (parsing, hashing, scoring,
 	// identification) server-wide: per-request fan-out alone would let
 	// B concurrent batches run B × workers goroutines and oversubscribe
-	// the cores. See bounded.
+	// the cores. See boundedCtx.
 	scoreSem chan struct{}
 }
 
@@ -108,13 +139,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: Config.Identifier is required")
 	}
 	s := &Server{
-		pipe:     &core.Pipeline{Detector: cfg.Detector, Identifier: cfg.Identifier},
-		workers:  cfg.Workers,
-		maxBatch: cfg.MaxBatch,
-		maxBody:  cfg.MaxBodyBytes,
-		feed:     cfg.Feed,
-		store:    cfg.Store,
-		metrics:  newMetrics(),
+		pipe:            &core.Pipeline{Detector: cfg.Detector, Identifier: cfg.Identifier},
+		workers:         cfg.Workers,
+		maxBatch:        cfg.MaxBatch,
+		maxBody:         cfg.MaxBodyBytes,
+		defaultDeadline: cfg.DefaultDeadline,
+		defaultExplain:  cfg.DefaultExplain,
+		explainTopN:     cfg.ExplainTopN,
+		feed:            cfg.Feed,
+		store:           cfg.Store,
+		metrics:         newMetrics(),
 	}
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
@@ -136,7 +170,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	// The latency histogram tracks the scoring endpoints only; healthz
 	// and metrics probes are counted but excluded so liveness polling
-	// cannot dilute the percentiles operators alert on.
+	// cannot dilute the percentiles operators alert on. The stream
+	// endpoint is likewise excluded: a stream's duration is the
+	// client's item count, not the server's latency.
+	s.mux.HandleFunc("/v2/score", s.instrument(s.post(s.handleScoreV2), &s.metrics.latency))
+	s.mux.HandleFunc("/v2/target", s.instrument(s.post(s.handleTargetV2), &s.metrics.latency))
+	s.mux.HandleFunc("/v2/score/stream", s.instrument(s.post(s.handleScoreStream), nil))
 	s.mux.HandleFunc("/v1/score", s.instrument(s.post(s.handleScore), &s.metrics.latency))
 	s.mux.HandleFunc("/v1/score/batch", s.instrument(s.post(s.handleScoreBatch), &s.metrics.latency))
 	s.mux.HandleFunc("/v1/target", s.instrument(s.post(s.handleTarget), &s.metrics.latency))
@@ -178,7 +217,7 @@ func (s *Server) cacheLen() int {
 }
 
 // ---------------------------------------------------------------------
-// Request / response documents.
+// v1 request / response documents (frozen wire format).
 
 // PageRequest describes one page to score: either a full snapshot, or
 // raw HTML plus visit metadata (converted with webpage.FromHTML).
@@ -222,7 +261,7 @@ func (p *PageRequest) snapshot() (*webpage.Snapshot, error) {
 	return &snap, nil
 }
 
-// ScoreResponse is the verdict for one page.
+// ScoreResponse is the v1 verdict for one page.
 type ScoreResponse struct {
 	core.Outcome
 	// LandingURL identifies the scored page.
@@ -248,7 +287,7 @@ type BatchResponse struct {
 	ElapsedUS int64           `json:"elapsed_us"`
 }
 
-// TargetResponse is the target identification result for one page.
+// TargetResponse is the v1 target identification result for one page.
 type TargetResponse struct {
 	LandingURL string        `json:"landing_url,omitempty"`
 	Result     target.Result `json:"result"`
@@ -299,75 +338,144 @@ type errorResponse struct {
 }
 
 // ---------------------------------------------------------------------
-// Handlers.
+// The shared scoring path. v1 and v2 handlers are adapters over these.
+
+// boundedCtx runs fn under the server-wide CPU-work bound, giving up
+// without running it when ctx is done first — a disconnected client
+// waiting for a slot must not consume one. Every CPU-heavy stage — HTML
+// parsing, cache-key hashing, pipeline scoring, target identification —
+// goes through it, so a burst of concurrent requests cannot run more
+// than Workers heavy executions at once. The deferred release survives
+// a panic in fn.
+func (s *Server) boundedCtx(ctx context.Context, fn func()) error {
+	select {
+	case s.scoreSem <- struct{}{}:
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+	defer func() { <-s.scoreSem }()
+	fn()
+	return nil
+}
+
+// scoreSnap scores one snapshot through the verdict cache with the
+// given request options. It returns the verdict, whether it was served
+// from cache, and a context error (cancellation or deadline) when
+// scoring was cut short.
+//
+// Explain requests always recompute: the cache stores bare outcomes,
+// not per-feature evidence, and explanation cost is exactly what the
+// client opted into. They touch no hit/miss counters (they can never
+// hit, and counting them as misses would depress a rate no cache
+// sizing could fix) but still refresh the cached outcome.
+func (s *Server) scoreSnap(ctx context.Context, snap *webpage.Snapshot, req core.ScoreRequest) (core.Verdict, bool, error) {
+	var key string
+	if s.cache != nil {
+		if err := s.boundedCtx(ctx, func() { key = cacheKey(snap) }); err != nil {
+			return core.Verdict{}, false, err
+		}
+		if key != "" && !req.Explains() {
+			if out, ok := s.cache.Get(key); ok {
+				s.metrics.cacheHits.Add(1)
+				return core.MakeVerdict(out, s.pipe.Detector.Threshold()), true, nil
+			}
+			s.metrics.cacheMiss.Add(1)
+		}
+	}
+	var v core.Verdict
+	var err error
+	if berr := s.boundedCtx(ctx, func() { v, err = s.pipe.AnalyzeCtx(ctx, req) }); berr != nil {
+		return core.Verdict{}, false, berr
+	}
+	if err != nil {
+		return core.Verdict{}, false, err
+	}
+	s.recordOutcome(v.Outcome)
+	// A skip_target verdict is partial (no FP-removal pass); caching it
+	// would hand later full requests a weaker outcome than they asked
+	// for. Such requests may read the cache but never define it.
+	if s.cache != nil && !req.SkipsTarget() {
+		s.cache.Put(key, v.Outcome)
+	}
+	return v, false, nil
+}
+
+// v1Options are the core options of a v1 adapter request: the server's
+// default deadline, never an explanation (the v1 wire format predates
+// evidence).
+func (s *Server) v1Options() []core.ScoreOption {
+	if s.defaultDeadline > 0 {
+		return []core.ScoreOption{core.WithDeadline(s.defaultDeadline)}
+	}
+	return nil
+}
+
+// failCtx converts a scoring context error into a response: an expired
+// per-request deadline is a 504 the client can act on; a cancelled
+// context means the client is gone, so nothing is written and the
+// cancellation is only counted.
+func (s *Server) failCtx(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.fail(w, http.StatusGatewayTimeout, errors.New("scoring deadline exceeded"))
+		return
+	}
+	s.metrics.cancelled.Add(1)
+}
+
+// ---------------------------------------------------------------------
+// v1 handlers (adapters over the v2 core).
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	var req PageRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	ctx := r.Context()
 	// Snapshot resolution parses HTML; like every CPU-heavy stage it
 	// runs under the server-wide bound.
 	var snap *webpage.Snapshot
 	var err error
-	s.bounded(func() { snap, err = req.snapshot() })
+	if berr := s.boundedCtx(ctx, func() { snap, err = req.snapshot() }); berr != nil {
+		s.failCtx(w, berr)
+		return
+	}
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := s.scoreOne(snap)
-	s.reply(w, http.StatusOK, resp)
-}
-
-// bounded runs fn under the server-wide CPU-work bound. Every
-// CPU-heavy stage — HTML parsing, cache-key hashing, pipeline scoring,
-// target identification — goes through it, so a burst of concurrent
-// requests cannot run more than Workers heavy executions at once. The
-// deferred release survives a panic in fn.
-func (s *Server) bounded(fn func()) {
-	s.scoreSem <- struct{}{}
-	defer func() { <-s.scoreSem }()
-	fn()
-}
-
-// analyze runs one snapshot through the pipeline under the server-wide
-// bound.
-func (s *Server) analyze(snap *webpage.Snapshot) (out core.Outcome) {
-	s.bounded(func() { out = s.pipe.Analyze(snap) })
-	return out
+	v, cached, err := s.scoreSnap(ctx, snap, core.NewScoreRequest(snap, s.v1Options()...))
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, ScoreResponse{Outcome: v.Outcome, LandingURL: snap.LandingURL, Cached: cached})
 }
 
 // analyzeBatch fans snapshots out over the worker pool; every execution
-// still passes through the server-wide scoring bound.
-func (s *Server) analyzeBatch(snaps []*webpage.Snapshot, workers int) []core.Outcome {
+// still passes through the server-wide scoring bound and observes ctx
+// between items. It returns the outcomes, or the first context error
+// once the batch was cut short.
+func (s *Server) analyzeBatch(ctx context.Context, snaps []*webpage.Snapshot, workers int) ([]core.Outcome, error) {
 	out := make([]core.Outcome, len(snaps))
-	pool.ForEachIndex(len(snaps), workers, func(i int) {
-		out[i] = s.analyze(snaps[i])
-	})
-	return out
-}
-
-// scoreOne scores a single snapshot through the cache.
-func (s *Server) scoreOne(snap *webpage.Snapshot) ScoreResponse {
-	var key string
-	if s.cache != nil {
-		s.bounded(func() { key = cacheKey(snap) })
-		// Uncacheable pages (empty key) touch no counters — see the
-		// batch dedupe loop.
-		if key != "" {
-			if out, ok := s.cache.Get(key); ok {
-				s.metrics.cacheHits.Add(1)
-				return ScoreResponse{Outcome: out, LandingURL: snap.LandingURL, Cached: true}
+	errs := make([]error, len(snaps))
+	poolErr := pool.ForEachIndexCtx(ctx, len(snaps), workers, func(i int) {
+		if berr := s.boundedCtx(ctx, func() {
+			v, err := s.pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snaps[i], s.v1Options()...))
+			if err != nil {
+				errs[i] = err
+				return
 			}
-			s.metrics.cacheMiss.Add(1)
+			out[i] = v.Outcome
+		}); berr != nil {
+			errs[i] = berr
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
 		}
 	}
-	out := s.analyze(snap)
-	s.recordOutcome(out)
-	if s.cache != nil {
-		s.cache.Put(key, out)
-	}
-	return ScoreResponse{Outcome: out, LandingURL: snap.LandingURL}
+	return out, poolErr
 }
 
 func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
@@ -381,10 +489,12 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Pages) > s.maxBatch {
+		s.metrics.batchRejected.Add(1)
 		s.fail(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("batch of %d exceeds limit %d", len(req.Pages), s.maxBatch))
 		return
 	}
+	ctx := r.Context()
 	// One fan-out width for the whole request: the client's workers
 	// field caps every stage, not just scoring.
 	workers := s.workers
@@ -397,11 +507,20 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	// throughput no matter how many workers score. Fan it out too.
 	snaps := make([]*webpage.Snapshot, len(req.Pages))
 	pageErrs := make([]error, len(req.Pages))
-	pool.ForEachIndex(len(req.Pages), workers, func(i int) {
-		s.bounded(func() { snaps[i], pageErrs[i] = req.Pages[i].snapshot() })
-	})
+	if err := pool.ForEachIndexCtx(ctx, len(req.Pages), workers, func(i int) {
+		if berr := s.boundedCtx(ctx, func() { snaps[i], pageErrs[i] = req.Pages[i].snapshot() }); berr != nil {
+			pageErrs[i] = berr
+		}
+	}); err != nil {
+		s.failCtx(w, err)
+		return
+	}
 	for i, err := range pageErrs {
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.failCtx(w, err)
+				return
+			}
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("page %d: %w", i, err))
 			return
 		}
@@ -413,9 +532,12 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	var keys []string
 	if s.cache != nil {
 		keys = make([]string, len(snaps))
-		pool.ForEachIndex(len(snaps), workers, func(i int) {
-			s.bounded(func() { keys[i] = cacheKey(snaps[i]) })
-		})
+		if err := pool.ForEachIndexCtx(ctx, len(snaps), workers, func(i int) {
+			_ = s.boundedCtx(ctx, func() { keys[i] = cacheKey(snaps[i]) })
+		}); err != nil {
+			s.failCtx(w, err)
+			return
+		}
 	}
 	// Serve cache hits first, then fan the misses out over the worker
 	// pool under the server-wide scoring bound. Within-batch duplicates
@@ -472,7 +594,13 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		for j, i := range uniq {
 			missSnaps[j] = snaps[i]
 		}
-		outcomes := s.analyzeBatch(missSnaps, workers)
+		outcomes, err := s.analyzeBatch(ctx, missSnaps, workers)
+		if err != nil {
+			// v1 has no per-item error slot: a deadline anywhere fails
+			// the batch (504), a disconnect just stops the work.
+			s.failCtx(w, err)
+			return
+		}
 		for _, out := range outcomes {
 			s.recordOutcome(out)
 		}
@@ -508,18 +636,54 @@ func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	ctx := r.Context()
 	// Resolution and identification are both pipeline-weight work; they
 	// respect the same server-wide bound as scoring.
 	var snap *webpage.Snapshot
 	var err error
-	s.bounded(func() { snap, err = req.snapshot() })
+	if berr := s.boundedCtx(ctx, func() { snap, err = req.snapshot() }); berr != nil {
+		s.failCtx(w, berr)
+		return
+	}
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	var res target.Result
-	s.bounded(func() { res = s.pipe.Identifier.Identify(webpage.Analyze(snap)) })
+	res, err := s.identify(ctx, snap, s.defaultDeadline)
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
 	s.reply(w, http.StatusOK, TargetResponse{LandingURL: snap.LandingURL, Result: res})
+}
+
+// identify runs target identification under the server-wide bound with
+// an optional deadline, observing ctx between the analysis and
+// identification stages.
+func (s *Server) identify(ctx context.Context, snap *webpage.Snapshot, deadline time.Duration) (target.Result, error) {
+	var res target.Result
+	var err error
+	if berr := s.boundedCtx(ctx, func() {
+		// The deadline budgets identification work, not time queued for
+		// a worker slot, so it starts only once the slot is held — the
+		// same semantics the score path gets from AnalyzeCtx applying
+		// WithDeadline after boundedCtx.
+		ictx := ctx
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ictx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		a := webpage.Analyze(snap)
+		if ictx.Err() != nil {
+			err = context.Cause(ictx)
+			return
+		}
+		res = s.pipe.Identifier.Identify(a)
+	}); berr != nil {
+		return target.Result{}, berr
+	}
+	return res, err
 }
 
 // handleFeed enqueues URLs. Each URL is accepted or rejected
@@ -539,6 +703,7 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.URLs) > s.maxBatch {
+		s.metrics.batchRejected.Add(1)
 		s.fail(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("feed of %d URLs exceeds limit %d", len(req.URLs), s.maxBatch))
 		return
@@ -695,6 +860,19 @@ func (sr *statusRecorder) WriteHeader(status int) {
 	sr.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards to the underlying writer so the streaming endpoint's
+// per-item flush survives the instrumentation wrapper — embedding only
+// the ResponseWriter interface would otherwise hide the real writer's
+// Flusher from type assertions.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
 // instrument wraps a handler with request counting and, when hist is
 // non-nil, latency capture into that histogram. Only successful
 // responses are observed: microsecond-cheap 4xx rejections would
@@ -707,7 +885,10 @@ func (s *Server) instrument(h http.HandlerFunc, hist *latencyHist) http.HandlerF
 		defer s.metrics.inFlight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
-		if hist != nil && rec.status < 400 {
+		// Cancelled requests wrote nothing (status stays 200) but their
+		// elapsed time is time-until-the-server-noticed, not a service
+		// latency — exclude them like error responses.
+		if hist != nil && rec.status < 400 && r.Context().Err() == nil {
 			hist.observe(time.Since(t0))
 		}
 	}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"knowphish/internal/core"
+	"knowphish/internal/target"
+	"knowphish/internal/webpage"
+)
+
+// ScoreOptions are the per-request knobs of the v2 scoring surface,
+// shared by /v2/score, /v2/target and every /v2/score/stream item.
+type ScoreOptions struct {
+	// DeadlineMS caps the scoring work for this request in
+	// milliseconds (0 → the server's default deadline). The budget
+	// covers pipeline stages, not time queued for a worker slot.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Explain selects evidence: "none", "top" or "full"
+	// ("" → the server's default level).
+	Explain string `json:"explain,omitempty"`
+	// TopFeatures caps a "top" explanation's contribution count
+	// (0 → the server's default).
+	TopFeatures int `json:"top_features,omitempty"`
+	// SkipTarget skips target identification even for detector
+	// positives: cheaper, raw detector call only.
+	SkipTarget bool `json:"skip_target,omitempty"`
+}
+
+// V2ScoreRequest is one page plus its scoring options.
+type V2ScoreRequest struct {
+	PageRequest
+	ScoreOptions
+}
+
+// V2ScoreResponse is the rich verdict document of the v2 surface.
+type V2ScoreResponse struct {
+	core.Verdict
+	// LandingURL identifies the scored page.
+	LandingURL string `json:"landing_url,omitempty"`
+	// Cached reports whether the verdict was reused rather than
+	// freshly computed (cached verdicts carry no timings or evidence;
+	// request an explanation to force a fresh computation).
+	Cached bool `json:"cached"`
+}
+
+// V2TargetResponse is the target identification document of the v2
+// surface.
+type V2TargetResponse struct {
+	LandingURL string        `json:"landing_url,omitempty"`
+	Result     target.Result `json:"result"`
+	// ElapsedUS is the identification wall time.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// resolveDeadline maps a wire deadline_ms onto the server default.
+func (s *Server) resolveDeadline(ms int64) time.Duration {
+	if ms > 0 {
+		return time.Duration(ms) * time.Millisecond
+	}
+	return s.defaultDeadline
+}
+
+// coreOptions validates wire options and resolves them against the
+// server defaults into core functional options. It is the single
+// option-validation path of the v2 surface; /v2/target calls it too
+// (discarding the scoring options) so the endpoints reject the same
+// malformed requests.
+func (s *Server) coreOptions(o ScoreOptions) ([]core.ScoreOption, error) {
+	if o.DeadlineMS < 0 {
+		return nil, fmt.Errorf("negative deadline_ms %d", o.DeadlineMS)
+	}
+	if o.TopFeatures < 0 {
+		return nil, fmt.Errorf("negative top_features %d", o.TopFeatures)
+	}
+	deadline := s.resolveDeadline(o.DeadlineMS)
+	level := s.defaultExplain
+	if o.Explain != "" {
+		var err error
+		if level, err = core.ParseExplainLevel(o.Explain); err != nil {
+			return nil, err
+		}
+	}
+	topN := o.TopFeatures
+	if topN == 0 {
+		topN = s.explainTopN
+	}
+	opts := []core.ScoreOption{
+		core.WithDeadline(deadline),
+		core.WithExplain(level),
+		core.WithTopFeatures(topN),
+	}
+	if o.SkipTarget {
+		opts = append(opts, core.WithoutTargetID())
+	}
+	return opts, nil
+}
+
+func (s *Server) handleScoreV2(w http.ResponseWriter, r *http.Request) {
+	var req V2ScoreRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opts, err := s.coreOptions(req.ScoreOptions)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	var snap *webpage.Snapshot
+	if berr := s.boundedCtx(ctx, func() { snap, err = req.PageRequest.snapshot() }); berr != nil {
+		s.failCtx(w, berr)
+		return
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	v, cached, err := s.scoreSnap(ctx, snap, core.NewScoreRequest(snap, opts...))
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, V2ScoreResponse{Verdict: v, LandingURL: snap.LandingURL, Cached: cached})
+}
+
+func (s *Server) handleTargetV2(w http.ResponseWriter, r *http.Request) {
+	var req V2ScoreRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if _, err := s.coreOptions(req.ScoreOptions); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	var snap *webpage.Snapshot
+	var err error
+	if berr := s.boundedCtx(ctx, func() { snap, err = req.PageRequest.snapshot() }); berr != nil {
+		s.failCtx(w, berr)
+		return
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	t0 := time.Now()
+	res, err := s.identify(ctx, snap, s.resolveDeadline(req.DeadlineMS))
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, V2TargetResponse{
+		LandingURL: snap.LandingURL,
+		Result:     res,
+		ElapsedUS:  time.Since(t0).Microseconds(),
+	})
+}

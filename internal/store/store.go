@@ -49,6 +49,10 @@ type Record struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Outcome is the pipeline verdict.
 	Outcome core.Outcome `json:"outcome"`
+	// Explanation is the per-feature evidence behind the verdict, when
+	// the feed scored with an explain level and the serialized evidence
+	// fit under the store's size cap (Config.MaxExplainBytes).
+	Explanation *core.Explanation `json:"explanation,omitempty"`
 	// Target is the top identified target RDN for phishing verdicts
 	// ("" when identification did not run or named nothing).
 	Target string `json:"target,omitempty"`
@@ -72,10 +76,20 @@ type Config struct {
 	// CompactEvery triggers compaction after that many appends
 	// (0 → DefaultCompactEvery, negative → never automatically).
 	CompactEvery int
+	// MaxExplainBytes caps the serialized size of a record's
+	// Explanation (0 → DefaultMaxExplainBytes, negative → never
+	// persist explanations). Oversized evidence is dropped — the
+	// verdict itself is always kept — and counted in Stats: a full
+	// explanation of a 212-feature model can dwarf the verdict it
+	// explains, and an append-only log amplifies that forever.
+	MaxExplainBytes int
 }
 
 // DefaultCompactEvery is the append count between automatic compactions.
 const DefaultCompactEvery = 4096
+
+// DefaultMaxExplainBytes is the per-record explanation size cap.
+const DefaultMaxExplainBytes = 8192
 
 // Stats are the store counters exported at /metrics.
 type Stats struct {
@@ -91,6 +105,9 @@ type Stats struct {
 	// triggering append itself was durable; the rewrite is retried at
 	// the next trigger).
 	CompactErrors int64 `json:"compact_errors,omitempty"`
+	// ExplanationsDropped counts appended records whose evidence was
+	// discarded for exceeding the explanation size cap.
+	ExplanationsDropped int64 `json:"explanations_dropped,omitempty"`
 }
 
 // Store is a durable verdict store. All methods are safe for concurrent
@@ -116,10 +133,13 @@ type Store struct {
 	byStart  map[string][]*Record // starting URL → records, append order
 	byTarget map[string][]*Record // identified target RDN → records
 
+	maxExplain int
+
 	appends       int64
 	compactions   int64
 	superseded    int64
 	compactErrors int64
+	explDropped   int64
 }
 
 // Open opens (creating if necessary) the store at cfg.Path and replays
@@ -137,9 +157,13 @@ func Open(cfg Config) (*Store, error) {
 		path:         cfg.Path,
 		sync:         cfg.Sync,
 		compactEvery: cfg.CompactEvery,
+		maxExplain:   cfg.MaxExplainBytes,
 	}
 	if s.compactEvery == 0 {
 		s.compactEvery = DefaultCompactEvery
+	}
+	if s.maxExplain == 0 {
+		s.maxExplain = DefaultMaxExplainBytes
 	}
 	if err := s.Reload(); err != nil {
 		return nil, err
@@ -269,6 +293,24 @@ func (s *Store) Append(rec Record) error {
 	rec.Seq = s.nextSeq
 	if rec.ScoredAt.IsZero() {
 		rec.ScoredAt = time.Now().UTC()
+	}
+	if rec.Explanation != nil {
+		drop := s.maxExplain < 0
+		if !drop {
+			// This encodes the explanation once for measurement and the
+			// record marshal below encodes it again — accepted: evidence
+			// persistence is an opt-in diagnostic path, and splicing a
+			// pre-encoded RawMessage would leak wire concerns into the
+			// Record type every reader shares.
+			ej, err := json.Marshal(rec.Explanation)
+			drop = err != nil || len(ej) > s.maxExplain
+		}
+		if drop {
+			// The verdict is the durable fact; oversized evidence is
+			// recomputable on demand and not worth log amplification.
+			rec.Explanation = nil
+			s.explDropped++
+		}
 	}
 	line, err := json.Marshal(&rec)
 	if err != nil {
@@ -447,11 +489,12 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Records:       len(s.byKey),
-		Appends:       s.appends,
-		Compactions:   s.compactions,
-		Superseded:    s.superseded,
-		CompactErrors: s.compactErrors,
+		Records:             len(s.byKey),
+		Appends:             s.appends,
+		Compactions:         s.compactions,
+		Superseded:          s.superseded,
+		CompactErrors:       s.compactErrors,
+		ExplanationsDropped: s.explDropped,
 	}
 }
 

@@ -21,6 +21,7 @@ package knowphish
 
 import (
 	"io"
+	"time"
 
 	"knowphish/internal/core"
 	"knowphish/internal/crawl"
@@ -51,7 +52,7 @@ type (
 	// Pipeline chains detection with target identification (Section
 	// III-C).
 	Pipeline = core.Pipeline
-	// Outcome is a pipeline verdict.
+	// Outcome is a legacy (v1) pipeline verdict, embedded in Verdict.
 	Outcome = core.Outcome
 	// TargetIdentifier names the brand a phish mimics (Section V).
 	TargetIdentifier = target.Identifier
@@ -77,6 +78,71 @@ const (
 
 // DefaultThreshold is the paper's discrimination threshold (0.7).
 const DefaultThreshold = core.DefaultThreshold
+
+// ---------------------------------------------------------------------
+// The v2 scoring API: request/verdict pairs with cancellation end to
+// end. Build a ScoreRequest with NewScoreRequest plus functional
+// options, then call Detector.ScoreCtx or Pipeline.AnalyzeCtx (or the
+// batch/stream variants AnalyzeBatchCtx / AnalyzeStream). The verdict
+// carries a label, per-stage timings and — when requested — the exact
+// per-feature log-odds evidence behind the score. The context-free
+// Score/Analyze methods remain as deprecated wrappers.
+
+type (
+	// ScoreRequest describes one page plus how to score it.
+	ScoreRequest = core.ScoreRequest
+	// ScoreOption is a functional option of NewScoreRequest.
+	ScoreOption = core.ScoreOption
+	// Verdict is the rich scoring result (label, evidence, timings).
+	Verdict = core.Verdict
+	// Explanation is a verdict's per-feature evidence.
+	Explanation = core.Explanation
+	// FeatureContribution is one feature's share of a verdict.
+	FeatureContribution = features.Contribution
+	// StageTimings reports where a verdict's latency went.
+	StageTimings = core.StageTimings
+	// ExplainLevel selects how much evidence a verdict carries.
+	ExplainLevel = core.ExplainLevel
+	// StreamResult is one completed item of Pipeline.AnalyzeStream.
+	StreamResult = core.StreamResult
+)
+
+// Explain levels.
+const (
+	ExplainNone = core.ExplainNone
+	ExplainTop  = core.ExplainTop
+	ExplainFull = core.ExplainFull
+)
+
+// Verdict labels.
+const (
+	LabelPhishing   = core.LabelPhishing
+	LabelLegitimate = core.LabelLegitimate
+)
+
+// NewScoreRequest builds a v2 scoring request for one snapshot.
+func NewScoreRequest(snap *Snapshot, opts ...ScoreOption) ScoreRequest {
+	return core.NewScoreRequest(snap, opts...)
+}
+
+// WithDeadline bounds the scoring work per request.
+func WithDeadline(d time.Duration) ScoreOption { return core.WithDeadline(d) }
+
+// WithExplain attaches per-feature evidence to the verdict.
+func WithExplain(level ExplainLevel) ScoreOption { return core.WithExplain(level) }
+
+// WithTopFeatures caps an ExplainTop explanation at n contributions.
+func WithTopFeatures(n int) ScoreOption { return core.WithTopFeatures(n) }
+
+// WithoutTargetID skips target identification on detector positives.
+func WithoutTargetID() ScoreOption { return core.WithoutTargetID() }
+
+// WithFeatureSet restricts scoring to the given feature groups
+// (inference-time ablation).
+func WithFeatureSet(s FeatureSet) ScoreOption { return core.WithFeatureSet(s) }
+
+// ParseExplainLevel parses "none", "top" or "full".
+func ParseExplainLevel(s string) (ExplainLevel, error) { return core.ParseExplainLevel(s) }
 
 // Feature groups of Table III.
 const (
@@ -118,6 +184,17 @@ type (
 	FeedResponse = serve.FeedResponse
 	// VerdictsResponse is the GET /v1/verdicts document.
 	VerdictsResponse = serve.VerdictsResponse
+
+	// ScoreOptions are the per-request knobs of the v2 HTTP surface.
+	ScoreOptions = serve.ScoreOptions
+	// V2ScoreRequest is the POST /v2/score (and stream item) document.
+	V2ScoreRequest = serve.V2ScoreRequest
+	// V2ScoreResponse is the rich verdict document of /v2/score.
+	V2ScoreResponse = serve.V2ScoreResponse
+	// V2TargetResponse is the POST /v2/target document.
+	V2TargetResponse = serve.V2TargetResponse
+	// V2StreamResult is one NDJSON line of a /v2/score/stream response.
+	V2StreamResult = serve.V2StreamResult
 )
 
 // NewServer builds the HTTP scoring service over a trained detector and

@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench_compare.sh — run a benchmark on a base ref and on the working
+# tree, then print a delta table. The CI job runs it on every pull
+# request so serving-path regressions show up in the log before merge.
+#
+# Usage:
+#   scripts/bench_compare.sh [base-ref]      # default: HEAD~1
+#
+# Environment:
+#   BENCH      benchmark regexp        (default: BenchmarkServeScore)
+#   COUNT      runs per benchmark      (default: 3; best-of is compared)
+#   BENCHTIME  go test -benchtime      (default: 1s)
+set -eu
+
+BASE_REF=${1:-HEAD~1}
+BENCH=${BENCH:-BenchmarkServeScore}
+COUNT=${COUNT:-3}
+BENCHTIME=${BENCHTIME:-1s}
+
+ROOT=$(git rev-parse --show-toplevel)
+cd "$ROOT"
+
+TMP=$(mktemp -d)
+BASE_DIR="$TMP/base"
+trap 'git worktree remove --force "$BASE_DIR" >/dev/null 2>&1 || true; rm -rf "$TMP"' EXIT INT TERM
+
+git worktree add --detach "$BASE_DIR" "$BASE_REF" >/dev/null
+
+run_bench() {
+    # $1 = dir, $2 = output file. Keep the minimum ns/op per benchmark
+    # across COUNT runs — minimum is the standard noise-robust statistic
+    # for CPU-bound microbenchmarks.
+    (cd "$1" && go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" .) |
+        awk '$NF == "ns/op" { if (!($1 in best) || $(NF-1) < best[$1]) best[$1] = $(NF-1) }
+             END { for (b in best) printf "%s %s\n", b, best[b] }' | sort > "$2"
+}
+
+echo "bench-compare: base=$BASE_REF ($(git rev-parse --short "$BASE_REF")) vs HEAD ($(git rev-parse --short HEAD))"
+echo "bench-compare: bench=$BENCH count=$COUNT benchtime=$BENCHTIME"
+
+run_bench "$BASE_DIR" "$TMP/base.txt"
+run_bench "$ROOT" "$TMP/head.txt"
+
+echo
+printf '%-44s %14s %14s %9s\n' "benchmark" "base ns/op" "head ns/op" "delta"
+join "$TMP/base.txt" "$TMP/head.txt" | awk '{
+    delta = ($2 > 0) ? ($3 - $2) / $2 * 100 : 0
+    printf "%-44s %14.0f %14.0f %+8.1f%%\n", $1, $2, $3, delta
+}'
+
+# Benchmarks present on only one side (added or removed by the change).
+cut -d' ' -f1 "$TMP/base.txt" > "$TMP/base.names"
+cut -d' ' -f1 "$TMP/head.txt" > "$TMP/head.names"
+comm -23 "$TMP/base.names" "$TMP/head.names" | sed 's/^/only in base: /'
+comm -13 "$TMP/base.names" "$TMP/head.names" | sed 's/^/only in head: /'
