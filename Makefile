@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-cover bench bench-smoke bench-compare fuzz-smoke cover fmt fmt-check vet staticcheck serve ci
+.PHONY: all build test race race-cover bench bench-smoke bench-compare fuzz-smoke cover fmt fmt-check vet staticcheck serve registry-check ci
 
 all: build
 
@@ -79,4 +79,11 @@ bench-compare:
 serve:
 	$(GO) run ./cmd/kpserve -addr :8080
 
-ci: fmt-check vet staticcheck build race-cover bench-smoke fuzz-smoke
+# Model-registry artifact round trip: train → Save → Load must score a
+# fixture batch identically, and two same-seed trainings must produce
+# the same content hash (the reproducibility the registry's hashes
+# promise). Uncached (-count=1) so the check really runs per CI push.
+registry-check:
+	$(GO) test -count=1 -run 'TestRoundTrip|TestSaveIsDeterministic' ./internal/registry
+
+ci: fmt-check vet staticcheck build race-cover registry-check bench-smoke fuzz-smoke

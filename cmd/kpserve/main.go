@@ -15,11 +15,24 @@
 //	kpserve -addr :8080 -store verdicts.jsonl                # demo + feed
 //	kpserve -addr :8080 -model model.json -ranking data/ranking.csv -index index.json
 //	kpserve -addr :8080 -deadline 250ms -explain top         # bounded, explainable verdicts
+//	kpserve -addr :8080 -registry models/ -store verdicts.jsonl \
+//	        -shadow-frac 0.25 -auto-retrain                  # full model lifecycle
+//
+// With -registry the detector is served from a versioned model registry
+// behind an atomic pointer: GET/POST /v2/models and /v2/models/promote
+// manage versions, and a promotion hot-swaps the champion with zero
+// downtime — no restart, no dropped requests. Combined with -store (and
+// the self-train world as crawl source), the drift monitor watches feed
+// traffic, -auto-retrain closes the loop (drift flag → background
+// retrain from stored verdicts → challenger shadow-scores -shadow-frac
+// of traffic → promotion gate swaps), and every verdict carries the
+// model_version that produced it.
 //
 // Endpoints: POST /v2/score, POST /v2/target, POST /v2/score/stream
-// (NDJSON), POST /v1/score, POST /v1/score/batch, POST /v1/target,
-// POST /v1/feed, GET /v1/verdicts, GET /healthz, GET /metrics. See
-// README.md for request formats and the v1 → v2 migration table.
+// (NDJSON), GET/POST /v2/models, POST /v2/models/promote, POST
+// /v1/score, POST /v1/score/batch, POST /v1/target, POST /v1/feed,
+// GET /v1/verdicts, GET /healthz, GET /metrics. See README.md for
+// request formats and the v1 → v2 migration table.
 package main
 
 import (
@@ -35,9 +48,11 @@ import (
 
 	"knowphish/internal/core"
 	"knowphish/internal/dataset"
+	"knowphish/internal/drift"
 	"knowphish/internal/feed"
 	"knowphish/internal/ml"
 	"knowphish/internal/ranking"
+	"knowphish/internal/registry"
 	"knowphish/internal/search"
 	"knowphish/internal/serve"
 	"knowphish/internal/store"
@@ -78,6 +93,11 @@ func run() error {
 		feedExplain  = flag.String("feed-explain", "none", "explain level for feed-ingested verdicts (persisted evidence): none, top or full")
 		maxExplain   = flag.Int("store-max-explain", 0, "verdict-store explanation size cap in bytes (0 = default, negative = never persist evidence)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for the feed to drain on shutdown")
+
+		registryDir = flag.String("registry", "", "model registry directory (versioned artifacts, /v2/models, zero-downtime champion hot-swap)")
+		shadowFrac  = flag.Float64("shadow-frac", 0.25, "fraction of feed traffic the challenger shadow-scores (with -registry)")
+		driftWindow = flag.Int("drift-window", drift.DefaultWindow, "drift-monitor sliding window in observations (with -registry)")
+		autoRetrain = flag.Bool("auto-retrain", false, "close the loop: drift flag triggers retrain from the store, gated challenger promotion follows")
 	)
 	flag.Parse()
 
@@ -90,9 +110,44 @@ func run() error {
 		return err
 	}
 
-	det, engine, world, err := loadArtifacts(*modelPath, *rankPath, *indexPath, *scale, *seed)
-	if err != nil {
-		return err
+	var (
+		det    *core.Detector
+		engine *search.Engine
+		world  *webgen.World
+		reg    *registry.Registry
+		rank   *ranking.List
+	)
+	if *registryDir != "" {
+		// Registry mode rides the self-train world: the corpus supplies
+		// the search index, the crawl source and the popularity ranking,
+		// while the models come from (or bootstrap into) the registry.
+		if *modelPath != "" {
+			return errors.New("-registry and -model are mutually exclusive; import a model file with kptrain -registry")
+		}
+		corpus, err := buildCorpus(*scale, *seed)
+		if err != nil {
+			return err
+		}
+		engine, world = corpus.Engine, corpus.World
+		rank = corpus.World.Ranking()
+		if reg, err = registry.Open(*registryDir, rank); err != nil {
+			return err
+		}
+		if reg.ChampionVersion() == "" {
+			fmt.Printf("kpserve: registry %s has no champion; training the initial version...\n", *registryDir)
+			if err := bootstrapChampion(reg, corpus, *seed); err != nil {
+				return err
+			}
+		}
+		m, _ := reg.Champion()
+		fmt.Printf("kpserve: serving champion %s (hash %s, %d registered versions)\n",
+			m.Manifest.Version, m.Manifest.Hash[:12], reg.Len())
+	} else {
+		var err error
+		det, engine, world, err = loadArtifacts(*modelPath, *rankPath, *indexPath, *scale, *seed)
+		if err != nil {
+			return err
+		}
 	}
 	identifier := target.New(engine)
 
@@ -102,6 +157,7 @@ func run() error {
 	// nothing by itself but serves /v1/verdicts over an existing log.
 	var st *store.Store
 	var sched *feed.Scheduler
+	var lc *drift.Lifecycle
 	if *storePath != "" {
 		st, err = store.Open(store.Config{Path: *storePath, Sync: *storeSync, CompactEvery: *compactEvery, MaxExplainBytes: *maxExplain})
 		if err != nil {
@@ -110,9 +166,35 @@ func run() error {
 		defer st.Close()
 		fmt.Printf("kpserve: verdict store %s (%d records)\n", *storePath, st.Len())
 		if world != nil {
-			sched, err = feed.New(feed.Config{
+			// The full lifecycle loop needs the registry (models), the
+			// store (retrain corpus) and the world (re-crawl source) —
+			// all present here.
+			if reg != nil {
+				lc, err = drift.NewLifecycle(drift.LifecycleConfig{
+					Registry:       reg,
+					Store:          st,
+					Fetcher:        world,
+					Rank:           rank,
+					Monitor:        drift.Config{Window: *driftWindow},
+					ShadowFraction: *shadowFrac,
+					AutoRetrain:    *autoRetrain,
+					Seed:           *seed,
+				})
+				if err != nil {
+					return err
+				}
+				defer lc.Close()
+				fmt.Printf("kpserve: drift monitor window=%d shadow-frac=%.2f auto-retrain=%v\n",
+					*driftWindow, *shadowFrac, *autoRetrain)
+			}
+			pipeDet := det
+			if reg != nil {
+				pipeDet = reg.Current()
+			}
+			feedCfg := feed.Config{
 				Fetcher:     world,
-				Pipeline:    &core.Pipeline{Detector: det, Identifier: identifier},
+				Pipeline:    &core.Pipeline{Detector: pipeDet, Identifier: identifier},
+				Detectors:   detectorSource(reg),
 				Store:       st,
 				Workers:     *feedWorkers,
 				QueueDepth:  *feedQueue,
@@ -120,17 +202,24 @@ func run() error {
 				DomainBurst: *domainBurst,
 				MaxAttempts: *feedRetries,
 				Explain:     feedExplainLevel,
-			})
-			if err != nil {
+			}
+			if lc != nil {
+				feedCfg.OnVerdict = lc.OnVerdict
+			}
+			if sched, err = feed.New(feedCfg); err != nil {
 				return err
 			}
 		} else {
 			fmt.Println("kpserve: warning: no crawl source with -model; POST /v1/feed disabled (GET /v1/verdicts still serves the store)")
 		}
+	} else if reg != nil && *autoRetrain {
+		fmt.Println("kpserve: warning: -auto-retrain needs -store (the retrain corpus); running registry without the retrain loop")
 	}
 
 	srv, err := serve.New(serve.Config{
 		Detector:        det,
+		Registry:        reg,
+		Lifecycle:       lc,
 		Identifier:      identifier,
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
@@ -194,6 +283,11 @@ func run() error {
 	if st != nil {
 		ss := st.Stats()
 		fmt.Printf("kpserve: store: %d records, %d compactions\n", ss.Records, ss.Compactions)
+	}
+	if lc != nil {
+		ls := lc.Status()
+		fmt.Printf("kpserve: lifecycle: champion %s, %d retrains, %d promotions, drift flagged=%v\n",
+			ls.ChampionVersion, ls.Retrains, ls.Promotions, ls.Drift.Flagged)
 	}
 	m := srv.Metrics()
 	fmt.Printf("kpserve: served %d requests, %d pages scored, cache hit rate %.2f\n",
@@ -259,25 +353,73 @@ func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64)
 	return det, engine, nil, nil
 }
 
-// selfTrain builds a corpus and trains a detector — the zero-artifact
-// demo path.
-func selfTrain(scale int, seed int64) (*core.Detector, *search.Engine, *webgen.World, error) {
-	fmt.Printf("kpserve: no -model given; building corpus and training (scale 1/%d)...\n", scale)
-	corpus, err := dataset.Build(dataset.Config{
+// buildCorpus generates the synthetic world and evaluation campaigns —
+// the substrate of the self-train and registry modes.
+func buildCorpus(scale int, seed int64) (*dataset.Corpus, error) {
+	fmt.Printf("kpserve: building corpus (scale 1/%d)...\n", scale)
+	return dataset.Build(dataset.Config{
 		Seed:              seed,
 		Scale:             scale,
 		World:             webgen.Config{Seed: seed + 1},
 		SkipLanguageTests: true,
 	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
+}
+
+// trainOnCorpus fits the demo detector on the corpus training campaigns.
+func trainOnCorpus(corpus *dataset.Corpus, seed int64) (*core.Detector, int, int, error) {
 	snaps := append(corpus.LegTrain.Snapshots(), corpus.PhishTrain.Snapshots()...)
 	labels := append(corpus.LegTrain.Labels(), corpus.PhishTrain.Labels()...)
 	det, err := core.Train(snaps, labels, core.TrainConfig{
 		GBM:  ml.GBMConfig{Trees: 100, MaxDepth: 4, Subsample: 0.8, MinLeaf: 5, Seed: seed + 2},
 		Rank: corpus.World.Ranking(),
 	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	phish := 0
+	for _, y := range labels {
+		phish += y
+	}
+	return det, phish, len(labels) - phish, nil
+}
+
+// bootstrapChampion trains and promotes the registry's first version.
+func bootstrapChampion(reg *registry.Registry, corpus *dataset.Corpus, seed int64) error {
+	det, phish, legit, err := trainOnCorpus(corpus, seed)
+	if err != nil {
+		return err
+	}
+	man, err := reg.Save(det, registry.TrainingStats{
+		Samples:    phish + legit,
+		Phish:      phish,
+		Legitimate: legit,
+		Source:     "synthetic-corpus",
+	}, "kpserve bootstrap")
+	if err != nil {
+		return err
+	}
+	_, err = reg.SetChampion(man.Version)
+	return err
+}
+
+// detectorSource adapts the registry to the feed's hot-swap seam,
+// avoiding a typed-nil interface when no registry is configured.
+func detectorSource(reg *registry.Registry) core.DetectorSource {
+	if reg == nil {
+		return nil
+	}
+	return reg
+}
+
+// selfTrain builds a corpus and trains a detector — the zero-artifact
+// demo path.
+func selfTrain(scale int, seed int64) (*core.Detector, *search.Engine, *webgen.World, error) {
+	fmt.Println("kpserve: no -model given; self-training...")
+	corpus, err := buildCorpus(scale, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	det, _, _, err := trainOnCorpus(corpus, seed)
 	if err != nil {
 		return nil, nil, nil, err
 	}

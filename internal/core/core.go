@@ -53,14 +53,31 @@ type TrainConfig struct {
 	Rank *ranking.List
 }
 
-// Detector is the trained phishing classifier.
+// Detector is the trained phishing classifier. A Detector is immutable
+// once trained or loaded (SetVersion is called once, before the detector
+// is published), which is what makes lock-free hot-swapping safe: the
+// model registry serves the current champion behind an atomic pointer
+// and scorers read whole detectors, never partially updated ones.
 type Detector struct {
 	extractor features.Extractor
 	model     *ml.GBM
 	threshold float64
 	set       features.Set
 	columns   []int // projection of the full vector, nil when set == All
+	// version is the model-registry version this detector was saved or
+	// loaded as ("" outside a registry). Stamped into every Verdict so
+	// each score is attributable to the exact artifact that produced it.
+	version string
 }
+
+// Version returns the registry version of the detector ("" when it was
+// never registered).
+func (d *Detector) Version() string { return d.version }
+
+// SetVersion labels the detector with its registry version. Call it
+// before publishing the detector to scorers — a Detector is treated as
+// immutable once it is visible to concurrent ScoreCtx calls.
+func (d *Detector) SetVersion(v string) { d.version = v }
 
 // Train fits a detector on labeled snapshots (label 1 = phishing).
 func Train(snaps []*webpage.Snapshot, labels []int, cfg TrainConfig) (*Detector, error) {

@@ -60,11 +60,12 @@ type ScoreRequest struct {
 	// Snapshot is the page to score. Required.
 	Snapshot *webpage.Snapshot
 
-	deadline   time.Duration
-	explain    ExplainLevel
-	topN       int
-	skipTarget bool
-	featureSet features.Set
+	deadline      time.Duration
+	explain       ExplainLevel
+	topN          int
+	skipTarget    bool
+	featureSet    features.Set
+	captureVector bool
 }
 
 // ScoreOption is a functional option of NewScoreRequest.
@@ -114,6 +115,15 @@ func WithoutTargetID() ScoreOption {
 // detector's own full set) is a no-op.
 func WithFeatureSet(s features.Set) ScoreOption {
 	return func(r *ScoreRequest) { r.featureSet = s }
+}
+
+// WithVectorCapture retains the extracted 212-feature vector on the
+// verdict (Verdict.Vector). The vector already exists at scoring time,
+// so capture costs one slice reference, not a re-extraction; drift
+// monitors use it to watch per-feature population shift on live
+// traffic. The vector is never serialized.
+func WithVectorCapture() ScoreOption {
+	return func(r *ScoreRequest) { r.captureVector = true }
 }
 
 // Explains reports whether the request asks for an explanation.

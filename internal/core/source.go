@@ -1,0 +1,58 @@
+package core
+
+import "sync/atomic"
+
+// DetectorSource yields the detector scoring paths should use right
+// now. It is the seam that makes zero-downtime model hot-swaps possible:
+// the serving and ingestion layers resolve the detector through a source
+// once per request instead of capturing one at startup, so a registry
+// promotion is picked up by the very next request with no lock, no
+// restart and no coordination with in-flight work (which keeps the
+// detector it already resolved).
+//
+// Implementations must make Current safe for concurrent use and cheap —
+// it sits on the hot path of every scored page. The model registry
+// implements it with a single atomic pointer load.
+type DetectorSource interface {
+	// Current returns the detector to score with, or nil when none is
+	// available yet.
+	Current() *Detector
+}
+
+// staticSource serves one fixed detector — the source used when no
+// registry is configured, preserving the classic frozen-at-startup
+// behavior.
+type staticSource struct{ d *Detector }
+
+func (s staticSource) Current() *Detector { return s.d }
+
+// StaticSource wraps a fixed detector as a DetectorSource.
+func StaticSource(d *Detector) DetectorSource { return staticSource{d: d} }
+
+// SwappableSource is a DetectorSource whose detector can be replaced at
+// runtime with one atomic store. The model registry embeds one; it is
+// exported for tests and for callers that want hot-swapping without the
+// on-disk registry.
+type SwappableSource struct {
+	ptr atomic.Pointer[Detector]
+}
+
+// NewSwappableSource returns a source initially serving d (which may be
+// nil).
+func NewSwappableSource(d *Detector) *SwappableSource {
+	s := &SwappableSource{}
+	if d != nil {
+		s.ptr.Store(d)
+	}
+	return s
+}
+
+// Current returns the detector last Swap-ed in (nil before the first
+// Swap of a non-nil detector). It is one atomic load — no lock on the
+// hot path.
+func (s *SwappableSource) Current() *Detector { return s.ptr.Load() }
+
+// Swap atomically replaces the served detector and returns the previous
+// one. In-flight scorers keep the detector they already resolved;
+// subsequent Current calls observe the new one.
+func (s *SwappableSource) Swap(d *Detector) *Detector { return s.ptr.Swap(d) }

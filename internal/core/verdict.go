@@ -69,8 +69,19 @@ type Verdict struct {
 	FeatureSet string `json:"feature_set,omitempty"`
 	// Explanation is the per-feature evidence (explain requests only).
 	Explanation *Explanation `json:"explanation,omitempty"`
+	// ModelVersion is the registry version of the detector that produced
+	// this verdict ("" when the detector was never registered). During a
+	// champion/challenger hot-swap it is how a consumer tells which model
+	// answered: verdicts in flight at the swap carry the old version,
+	// verdicts after it the new one.
+	ModelVersion string `json:"model_version,omitempty"`
 	// Timings reports per-stage latency.
 	Timings StageTimings `json:"timings"`
+	// Vector is the full extracted feature vector, retained only for
+	// requests built with WithVectorCapture (drift monitoring reads it to
+	// track per-feature population shift without re-extracting). Never
+	// serialized.
+	Vector []float64 `json:"-"`
 }
 
 // MakeVerdict wraps an already-computed Outcome in the v2 envelope —
@@ -133,6 +144,7 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 
 	var v Verdict
 	v.Threshold = d.threshold
+	v.ModelVersion = d.version
 
 	// Stage 1: snapshot analysis.
 	ts := time.Now()
@@ -150,6 +162,9 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 		v.FeatureSet = req.featureSet.String()
 	}
 	v.Timings.FeaturesNS = time.Since(ts).Nanoseconds()
+	if req.captureVector {
+		v.Vector = vec
+	}
 	if err := ctxCause(ctx); err != nil {
 		return Verdict{}, err
 	}

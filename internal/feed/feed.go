@@ -85,6 +85,22 @@ type Config struct {
 	// Pipeline scores crawled snapshots and identifies targets.
 	// Required.
 	Pipeline *core.Pipeline
+	// Detectors optionally overrides the pipeline's detector per URL —
+	// the model-lifecycle hot-swap seam. When set (the registry
+	// implements it), each item resolves the current champion at scoring
+	// time, so a promotion lands between items with no pause in
+	// ingestion; items already scoring finish on the model they started
+	// with. Nil freezes Pipeline.Detector for the scheduler's lifetime,
+	// the classic behavior.
+	Detectors core.DetectorSource
+	// OnVerdict, when set, observes every successfully scored URL (after
+	// persistence) with its snapshot and verdict — the drift-monitoring
+	// and shadow-scoring hook. It runs on the worker goroutine: a cheap
+	// hook observes, an expensive one (challenger shadow-scoring) charges
+	// its cost to the feed exactly as a promoted model would. Verdicts
+	// delivered to the hook carry the extracted feature vector
+	// (core.WithVectorCapture).
+	OnVerdict func(snap *webpage.Snapshot, v core.Verdict)
 	// Store persists verdicts (optional; without it verdicts are only
 	// observable through Stats).
 	Store *store.Store
@@ -382,7 +398,20 @@ func (s *Scheduler) process(it *item) {
 	if s.cfg.Explain != core.ExplainNone {
 		opts = append(opts, core.WithExplain(s.cfg.Explain))
 	}
-	v, err := s.cfg.Pipeline.AnalyzeCtx(s.ctx, core.NewScoreRequest(snap, opts...))
+	if s.cfg.OnVerdict != nil {
+		// The drift hook reads per-feature populations; capturing the
+		// vector here costs one slice reference, not a re-extraction.
+		opts = append(opts, core.WithVectorCapture())
+	}
+	// Resolve the detector per item: with a hot-swappable source a model
+	// promotion takes effect on the next URL, not the next restart.
+	pipe := s.cfg.Pipeline
+	if s.cfg.Detectors != nil {
+		if det := s.cfg.Detectors.Current(); det != nil {
+			pipe = &core.Pipeline{Detector: det, Identifier: pipe.Identifier}
+		}
+	}
+	v, err := pipe.AnalyzeCtx(s.ctx, core.NewScoreRequest(snap, opts...))
 	if err != nil {
 		// The scheduler context was cancelled mid-scoring (expired
 		// drain): abandon the item without a verdict.
@@ -391,12 +420,13 @@ func (s *Scheduler) process(it *item) {
 	}
 	out := v.Outcome
 	rec := store.Record{
-		URL:         it.url,
-		LandingURL:  snap.LandingURL,
-		Fingerprint: webpage.Fingerprint(snap),
-		Outcome:     out,
-		Explanation: v.Explanation,
-		ScoredAt:    s.now().UTC(),
+		URL:          it.url,
+		LandingURL:   snap.LandingURL,
+		Fingerprint:  webpage.Fingerprint(snap),
+		Outcome:      out,
+		ModelVersion: v.ModelVersion,
+		Explanation:  v.Explanation,
+		ScoredAt:     s.now().UTC(),
 	}
 	if p, perr := urlx.Parse(snap.LandingURL); perr == nil {
 		rec.RDN = p.RDN
@@ -404,7 +434,15 @@ func (s *Scheduler) process(it *item) {
 	if out.TargetRun && out.Target.Verdict == target.VerdictPhish && len(out.Target.Candidates) > 0 {
 		rec.Target = out.Target.Candidates[0].RDN
 	}
-	s.finish(it, s.persist(rec))
+	err = s.persist(rec)
+	if s.cfg.OnVerdict != nil {
+		// After persistence: the hook may trigger a retrain that reads
+		// the store, and this verdict should be part of what it learns
+		// from. Hook panics are contained by process()'s recover and
+		// accounted as failures like any other per-item panic.
+		s.cfg.OnVerdict(snap, v)
+	}
+	s.finish(it, err)
 }
 
 // drop abandons an in-flight item without a verdict, accounting it as

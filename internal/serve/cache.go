@@ -50,6 +50,12 @@ type cacheShard struct {
 type cacheEntry struct {
 	key     string
 	outcome core.Outcome
+	// version is the model version that produced the outcome. A hit is
+	// only served while it matches the current detector: a promotion
+	// makes every older entry stale, so swapped-in models take effect on
+	// cached pages too instead of being shadowed by their predecessor's
+	// verdicts.
+	version string
 }
 
 // newVerdictCache builds a cache holding about capacity entries in
@@ -78,9 +84,12 @@ func (c *verdictCache) shard(key string) *cacheShard {
 	return &c.shards[h%cacheShards]
 }
 
-// Get returns the cached outcome for key and whether it was present,
-// promoting hits to most-recently-used.
-func (c *verdictCache) Get(key string) (core.Outcome, bool) {
+// Get returns the cached outcome for key when it was produced by the
+// given model version, promoting hits to most-recently-used. A version
+// mismatch reads as a miss: the entry stays put (an in-flight old-model
+// scorer may still refresh it) but the caller re-scores with the
+// current model, whose Put then overwrites it.
+func (c *verdictCache) Get(key, version string) (core.Outcome, bool) {
 	if key == "" {
 		return core.Outcome{}, false
 	}
@@ -91,13 +100,18 @@ func (c *verdictCache) Get(key string) (core.Outcome, bool) {
 	if !ok {
 		return core.Outcome{}, false
 	}
+	e := el.Value.(*cacheEntry)
+	if e.version != version {
+		return core.Outcome{}, false
+	}
 	s.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).outcome, true
+	return e.outcome, true
 }
 
-// Put stores an outcome, evicting the least-recently-used entry of the
-// shard when full. Empty keys are not cached.
-func (c *verdictCache) Put(key string, out core.Outcome) {
+// Put stores an outcome under the model version that produced it,
+// evicting the least-recently-used entry of the shard when full. Empty
+// keys are not cached.
+func (c *verdictCache) Put(key string, out core.Outcome, version string) {
 	if key == "" {
 		return
 	}
@@ -105,7 +119,8 @@ func (c *verdictCache) Put(key string, out core.Outcome) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
-		el.Value.(*cacheEntry).outcome = out
+		e := el.Value.(*cacheEntry)
+		e.outcome, e.version = out, version
 		s.ll.MoveToFront(el)
 		return
 	}
@@ -118,7 +133,7 @@ func (c *verdictCache) Put(key string, out core.Outcome) {
 		delete(s.m, oldest.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
 	}
-	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, outcome: out})
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, outcome: out, version: version})
 }
 
 // Evictions returns the number of entries dropped by LRU pressure.

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"knowphish/internal/drift"
 	"knowphish/internal/feed"
 	"knowphish/internal/store"
 )
@@ -114,11 +115,20 @@ type MetricsSnapshot struct {
 	CacheEntries   int     `json:"cache_entries"`
 	CacheEvictions int64   `json:"cache_evictions"`
 
+	// ModelVersion is the registry version currently serving traffic
+	// ("" for a detector loaded outside a registry). During a
+	// champion/challenger swap it flips atomically with the swap.
+	ModelVersion string `json:"model_version,omitempty"`
+
 	// Feed and Store report the ingestion-pipeline counters (queue
 	// depth, throughput, retries; record and compaction counts) when
 	// those subsystems are configured.
 	Feed  *feed.Stats  `json:"feed,omitempty"`
 	Store *store.Stats `json:"store,omitempty"`
+	// Lifecycle reports the model-lifecycle gauges (drift PSI values,
+	// phish-rate shift, shadow-scoring and retrain/promotion counters)
+	// when the lifecycle controller is configured.
+	Lifecycle *drift.LifecycleStatus `json:"lifecycle,omitempty"`
 
 	LatencyMeanUS int64 `json:"latency_mean_us"`
 	LatencyP50US  int64 `json:"latency_p50_us"`

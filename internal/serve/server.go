@@ -16,9 +16,22 @@
 //	POST /v1/target        frozen wire format; adapter over v2
 //	POST /v1/feed          enqueue URLs into the ingestion pipeline
 //	GET  /v1/verdicts      query the durable verdict store
+//	GET  /v2/models        list registry versions, champion, drift and
+//	                       shadow-scoring gauges
+//	POST /v2/models        trigger a background retrain from the store
+//	POST /v2/models/promote  swap the champion (gated; force overrides)
 //	GET  /healthz          liveness and model metadata
 //	GET  /metrics          request counts, latency percentiles, cache,
-//	                       feed and store stats
+//	                       feed, store and model-lifecycle stats
+//
+// The detector is resolved through a core.DetectorSource once per
+// request: with a model registry configured, a champion/challenger
+// promotion is picked up by the next request — one atomic load, no lock
+// on the hot path, no restart, and in-flight requests finish on the
+// model they started with. Every verdict and stored record is stamped
+// with the model_version that produced it, and cached verdicts are
+// version-gated so a promoted model is never shadowed by its
+// predecessor's cache entries.
 //
 // Every scoring path is context-aware end to end: the request context
 // (plus an optional per-request deadline) reaches the pipeline through
@@ -49,8 +62,10 @@ import (
 	"time"
 
 	"knowphish/internal/core"
+	"knowphish/internal/drift"
 	"knowphish/internal/feed"
 	"knowphish/internal/pool"
+	"knowphish/internal/registry"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/webpage"
@@ -74,8 +89,22 @@ const (
 
 // Config assembles a Server.
 type Config struct {
-	// Detector is the trained classifier. Required.
+	// Detector is the trained classifier, frozen for the server's
+	// lifetime. Required unless Detectors (or Registry) supplies models.
 	Detector *core.Detector
+	// Detectors optionally serves the detector per request — the model
+	// lifecycle's hot-swap seam. When set, every request resolves the
+	// current champion through it (one atomic load) and Detector is only
+	// used as a fallback while the source has none.
+	Detectors core.DetectorSource
+	// Registry is the versioned model store behind GET/POST /v2/models
+	// and /v2/models/promote (optional). When Detectors is nil the
+	// registry also becomes the detector source.
+	Registry *registry.Registry
+	// Lifecycle is the drift-monitoring / retraining controller whose
+	// status is exported at /v2/models and /metrics, and which gates
+	// promotions (optional).
+	Lifecycle *drift.Lifecycle
 	// Identifier is the target identification system. Required.
 	Identifier *target.Identifier
 	// Workers bounds concurrent pipeline executions across the whole
@@ -111,7 +140,14 @@ type Config struct {
 // Server is the HTTP scoring service. It is an http.Handler; wire it
 // into any mux or server. All handlers are safe for concurrent use.
 type Server struct {
-	pipe            *core.Pipeline
+	// source yields the detector per request; identifier is fixed. Each
+	// HTTP request resolves the detector exactly once (pipeline()), so a
+	// champion hot-swap lands between requests, never inside one — a
+	// batch is scored end to end by a single model.
+	source          core.DetectorSource
+	identifier      *target.Identifier
+	registry        *registry.Registry
+	lifecycle       *drift.Lifecycle
 	workers         int
 	maxBatch        int
 	maxBody         int64
@@ -132,14 +168,26 @@ type Server struct {
 
 // New validates the configuration and builds a server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Detector == nil {
-		return nil, errors.New("serve: Config.Detector is required")
+	if cfg.Detectors == nil && cfg.Registry != nil {
+		cfg.Detectors = cfg.Registry
+	}
+	if cfg.Detector == nil && cfg.Detectors == nil {
+		return nil, errors.New("serve: Config needs a Detector or a Detectors source")
 	}
 	if cfg.Identifier == nil {
 		return nil, errors.New("serve: Config.Identifier is required")
 	}
+	source := cfg.Detectors
+	if source == nil {
+		source = core.StaticSource(cfg.Detector)
+	} else if cfg.Detector != nil {
+		source = fallbackSource{primary: source, fallback: cfg.Detector}
+	}
 	s := &Server{
-		pipe:            &core.Pipeline{Detector: cfg.Detector, Identifier: cfg.Identifier},
+		source:          source,
+		identifier:      cfg.Identifier,
+		registry:        cfg.Registry,
+		lifecycle:       cfg.Lifecycle,
 		workers:         cfg.Workers,
 		maxBatch:        cfg.MaxBatch,
 		maxBody:         cfg.MaxBodyBytes,
@@ -179,6 +227,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/score", s.instrument(s.post(s.handleScore), &s.metrics.latency))
 	s.mux.HandleFunc("/v1/score/batch", s.instrument(s.post(s.handleScoreBatch), &s.metrics.latency))
 	s.mux.HandleFunc("/v1/target", s.instrument(s.post(s.handleTarget), &s.metrics.latency))
+	s.mux.HandleFunc("/v2/models", s.instrument(s.handleModels, nil))
+	s.mux.HandleFunc("/v2/models/promote", s.instrument(s.post(s.handlePromote), nil))
 	s.mux.HandleFunc("/v1/feed", s.instrument(s.post(s.handleFeed), &s.metrics.latency))
 	s.mux.HandleFunc("/v1/verdicts", s.instrument(s.get(s.handleVerdicts), &s.metrics.latency))
 	s.mux.HandleFunc("/healthz", s.instrument(s.get(s.handleHealthz), nil))
@@ -191,12 +241,44 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Metrics returns a snapshot of the serving counters, including feed
-// and store stats when those subsystems are wired in.
+// fallbackSource serves the primary source's detector, falling back to
+// a fixed one while the primary has none (a registry still being
+// bootstrapped).
+type fallbackSource struct {
+	primary  core.DetectorSource
+	fallback *core.Detector
+}
+
+func (f fallbackSource) Current() *core.Detector {
+	if d := f.primary.Current(); d != nil {
+		return d
+	}
+	return f.fallback
+}
+
+// errNoModel is the 503 a scoring request gets from a hot-swappable
+// source that has no champion yet.
+var errNoModel = errors.New("no model available: the registry has no champion")
+
+// pipeline resolves the detector for one request — exactly once, so a
+// champion hot-swap lands between requests, never inside one.
+func (s *Server) pipeline() (*core.Pipeline, error) {
+	det := s.source.Current()
+	if det == nil {
+		return nil, errNoModel
+	}
+	return &core.Pipeline{Detector: det, Identifier: s.identifier}, nil
+}
+
+// Metrics returns a snapshot of the serving counters, including feed,
+// store and model-lifecycle stats when those subsystems are wired in.
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := s.metrics.Snapshot(s.cacheLen())
 	if s.cache != nil {
 		snap.CacheEvictions = s.cache.Evictions()
+	}
+	if det := s.source.Current(); det != nil {
+		snap.ModelVersion = det.Version()
 	}
 	if s.feed != nil {
 		fs := s.feed.Stats()
@@ -205,6 +287,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.store != nil {
 		ss := s.store.Stats()
 		snap.Store = &ss
+	}
+	if s.lifecycle != nil {
+		ls := s.lifecycle.Status()
+		snap.Lifecycle = &ls
 	}
 	return snap
 }
@@ -327,10 +413,13 @@ type HealthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Threshold     float64 `json:"threshold"`
-	Workers       int     `json:"workers"`
-	CacheEnabled  bool    `json:"cache_enabled"`
-	FeedEnabled   bool    `json:"feed_enabled"`
-	StoreEnabled  bool    `json:"store_enabled"`
+	// ModelVersion is the serving champion's registry version ("" for a
+	// detector loaded outside a registry).
+	ModelVersion string `json:"model_version,omitempty"`
+	Workers      int    `json:"workers"`
+	CacheEnabled bool   `json:"cache_enabled"`
+	FeedEnabled  bool   `json:"feed_enabled"`
+	StoreEnabled bool   `json:"store_enabled"`
 }
 
 type errorResponse struct {
@@ -368,23 +457,29 @@ func (s *Server) boundedCtx(ctx context.Context, fn func()) error {
 // client opted into. They touch no hit/miss counters (they can never
 // hit, and counting them as misses would depress a rate no cache
 // sizing could fix) but still refresh the cached outcome.
-func (s *Server) scoreSnap(ctx context.Context, snap *webpage.Snapshot, req core.ScoreRequest) (core.Verdict, bool, error) {
+func (s *Server) scoreSnap(ctx context.Context, pipe *core.Pipeline, snap *webpage.Snapshot, req core.ScoreRequest) (core.Verdict, bool, error) {
+	version := pipe.Detector.Version()
 	var key string
 	if s.cache != nil {
 		if err := s.boundedCtx(ctx, func() { key = cacheKey(snap) }); err != nil {
 			return core.Verdict{}, false, err
 		}
 		if key != "" && !req.Explains() {
-			if out, ok := s.cache.Get(key); ok {
+			// Hits are version-gated: after a champion hot-swap, entries
+			// scored by the predecessor read as misses and the page is
+			// re-scored by the model actually serving.
+			if out, ok := s.cache.Get(key, version); ok {
 				s.metrics.cacheHits.Add(1)
-				return core.MakeVerdict(out, s.pipe.Detector.Threshold()), true, nil
+				v := core.MakeVerdict(out, pipe.Detector.Threshold())
+				v.ModelVersion = version
+				return v, true, nil
 			}
 			s.metrics.cacheMiss.Add(1)
 		}
 	}
 	var v core.Verdict
 	var err error
-	if berr := s.boundedCtx(ctx, func() { v, err = s.pipe.AnalyzeCtx(ctx, req) }); berr != nil {
+	if berr := s.boundedCtx(ctx, func() { v, err = pipe.AnalyzeCtx(ctx, req) }); berr != nil {
 		return core.Verdict{}, false, berr
 	}
 	if err != nil {
@@ -395,7 +490,7 @@ func (s *Server) scoreSnap(ctx context.Context, snap *webpage.Snapshot, req core
 	// would hand later full requests a weaker outcome than they asked
 	// for. Such requests may read the cache but never define it.
 	if s.cache != nil && !req.SkipsTarget() {
-		s.cache.Put(key, v.Outcome)
+		s.cache.Put(key, v.Outcome, version)
 	}
 	return v, false, nil
 }
@@ -430,11 +525,15 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	pipe, err := s.pipeline()
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	ctx := r.Context()
 	// Snapshot resolution parses HTML; like every CPU-heavy stage it
 	// runs under the server-wide bound.
 	var snap *webpage.Snapshot
-	var err error
 	if berr := s.boundedCtx(ctx, func() { snap, err = req.snapshot() }); berr != nil {
 		s.failCtx(w, berr)
 		return
@@ -443,7 +542,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	v, cached, err := s.scoreSnap(ctx, snap, core.NewScoreRequest(snap, s.v1Options()...))
+	v, cached, err := s.scoreSnap(ctx, pipe, snap, core.NewScoreRequest(snap, s.v1Options()...))
 	if err != nil {
 		s.failCtx(w, err)
 		return
@@ -454,13 +553,14 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 // analyzeBatch fans snapshots out over the worker pool; every execution
 // still passes through the server-wide scoring bound and observes ctx
 // between items. It returns the outcomes, or the first context error
-// once the batch was cut short.
-func (s *Server) analyzeBatch(ctx context.Context, snaps []*webpage.Snapshot, workers int) ([]core.Outcome, error) {
+// once the batch was cut short. The whole batch scores on one pipe — a
+// hot-swap mid-batch must not split a batch across models.
+func (s *Server) analyzeBatch(ctx context.Context, pipe *core.Pipeline, snaps []*webpage.Snapshot, workers int) ([]core.Outcome, error) {
 	out := make([]core.Outcome, len(snaps))
 	errs := make([]error, len(snaps))
 	poolErr := pool.ForEachIndexCtx(ctx, len(snaps), workers, func(i int) {
 		if berr := s.boundedCtx(ctx, func() {
-			v, err := s.pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snaps[i], s.v1Options()...))
+			v, err := pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snaps[i], s.v1Options()...))
 			if err != nil {
 				errs[i] = err
 				return
@@ -494,6 +594,12 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d exceeds limit %d", len(req.Pages), s.maxBatch))
 		return
 	}
+	pipe, err := s.pipeline()
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	version := pipe.Detector.Version()
 	ctx := r.Context()
 	// One fan-out width for the whole request: the client's workers
 	// field caps every stage, not just scoring.
@@ -546,7 +652,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	var missIdx []int
 	if s.cache != nil {
 		for i, snap := range snaps {
-			if out, ok := s.cache.Get(keys[i]); ok {
+			if out, ok := s.cache.Get(keys[i], version); ok {
 				s.metrics.cacheHits.Add(1)
 				results[i] = ScoreResponse{Outcome: out, LandingURL: snap.LandingURL, Cached: true}
 			} else {
@@ -594,7 +700,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		for j, i := range uniq {
 			missSnaps[j] = snaps[i]
 		}
-		outcomes, err := s.analyzeBatch(ctx, missSnaps, workers)
+		outcomes, err := s.analyzeBatch(ctx, pipe, missSnaps, workers)
 		if err != nil {
 			// v1 has no per-item error slot: a deadline anywhere fails
 			// the batch (504), a disconnect just stops the work.
@@ -606,7 +712,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if s.cache != nil {
 			for j, i := range uniq {
-				s.cache.Put(keys[i], outcomes[j])
+				s.cache.Put(keys[i], outcomes[j], version)
 			}
 		}
 		for k, i := range missIdx {
@@ -679,7 +785,7 @@ func (s *Server) identify(ctx context.Context, snap *webpage.Snapshot, deadline 
 			err = context.Cause(ictx)
 			return
 		}
-		res = s.pipe.Identifier.Identify(a)
+		res = s.identifier.Identify(a)
 	}); berr != nil {
 		return target.Result{}, berr
 	}
@@ -784,15 +890,24 @@ func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.reply(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
-		Threshold:     s.pipe.Detector.Threshold(),
 		Workers:       s.workers,
 		CacheEnabled:  s.cache != nil,
 		FeedEnabled:   s.feed != nil,
 		StoreEnabled:  s.store != nil,
-	})
+	}
+	if det := s.source.Current(); det != nil {
+		resp.Threshold = det.Threshold()
+		resp.ModelVersion = det.Version()
+	} else {
+		// Alive but unable to score: a registry-backed server waiting for
+		// its first champion. Liveness probes should not kill it, but the
+		// status string tells operators why scoring answers 503.
+		resp.Status = "no_model"
+	}
+	s.reply(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -131,7 +131,11 @@ func (s *Server) readStreamItems(w http.ResponseWriter, r *http.Request) ([]stre
 }
 
 // scoreStreamItem runs one stream item through the shared scoring path,
-// folding every per-item failure into the result line.
+// folding every per-item failure into the result line. Each item
+// resolves the detector for itself: a stream is long-lived, and a
+// champion promoted mid-stream should score the items still queued —
+// every result line carries the model_version that actually produced
+// it.
 func (s *Server) scoreStreamItem(ctx context.Context, idx int, it streamItem) V2StreamResult {
 	res := V2StreamResult{Index: idx}
 	if it.parseErr != nil {
@@ -139,6 +143,11 @@ func (s *Server) scoreStreamItem(ctx context.Context, idx int, it streamItem) V2
 		return res
 	}
 	opts, err := s.coreOptions(it.req.ScoreOptions)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	pipe, err := s.pipeline()
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -152,7 +161,7 @@ func (s *Server) scoreStreamItem(ctx context.Context, idx int, it streamItem) V2
 		res.Error = err.Error()
 		return res
 	}
-	v, cached, err := s.scoreSnap(ctx, snap, core.NewScoreRequest(snap, opts...))
+	v, cached, err := s.scoreSnap(ctx, pipe, snap, core.NewScoreRequest(snap, opts...))
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 			// This item ran out of its own budget; the stream lives on.

@@ -107,6 +107,11 @@ func (s *Server) handleScoreV2(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	pipe, err := s.pipeline()
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	ctx := r.Context()
 	var snap *webpage.Snapshot
 	if berr := s.boundedCtx(ctx, func() { snap, err = req.PageRequest.snapshot() }); berr != nil {
@@ -117,7 +122,7 @@ func (s *Server) handleScoreV2(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	v, cached, err := s.scoreSnap(ctx, snap, core.NewScoreRequest(snap, opts...))
+	v, cached, err := s.scoreSnap(ctx, pipe, snap, core.NewScoreRequest(snap, opts...))
 	if err != nil {
 		s.failCtx(w, err)
 		return

@@ -49,6 +49,11 @@ type Record struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Outcome is the pipeline verdict.
 	Outcome core.Outcome `json:"outcome"`
+	// ModelVersion is the registry version of the detector that produced
+	// the verdict ("" when the detector was never registered). It makes
+	// the log's history attributable across champion hot-swaps: records
+	// written mid-promotion name whichever model actually scored them.
+	ModelVersion string `json:"model_version,omitempty"`
 	// Explanation is the per-feature evidence behind the verdict, when
 	// the feed scored with an explain level and the serialized evidence
 	// fit under the store's size cap (Config.MaxExplainBytes).

@@ -26,11 +26,13 @@ import (
 	"knowphish/internal/core"
 	"knowphish/internal/crawl"
 	"knowphish/internal/dataset"
+	"knowphish/internal/drift"
 	"knowphish/internal/features"
 	"knowphish/internal/feed"
 	"knowphish/internal/ml"
 	"knowphish/internal/ocr"
 	"knowphish/internal/ranking"
+	"knowphish/internal/registry"
 	"knowphish/internal/search"
 	"knowphish/internal/serve"
 	"knowphish/internal/store"
@@ -245,6 +247,93 @@ func NewFeed(cfg FeedConfig) (*FeedScheduler, error) { return feed.New(cfg) }
 // OpenStore opens (creating if necessary) a verdict store and replays
 // its log into memory.
 func OpenStore(cfg StoreConfig) (*VerdictStore, error) { return store.Open(cfg) }
+
+// ---------------------------------------------------------------------
+// The model lifecycle subsystem: a versioned, content-hashed model
+// registry serving the current champion behind an atomic pointer
+// (zero-downtime hot swap), drift monitors over live traffic
+// (score-distribution PSI, per-feature population drift, phish-rate
+// shift), and a Lifecycle controller that closes the loop — background
+// retrain from store-persisted verdicts, challenger shadow-scoring, and
+// a gated champion promotion.
+
+type (
+	// ModelRegistry is the versioned on-disk model store; it implements
+	// DetectorSource, serving the champion lock-free.
+	ModelRegistry = registry.Registry
+	// ModelManifest describes one registered model version (content
+	// hash, feature-set hash, training stats, created-at).
+	ModelManifest = registry.Manifest
+	// RegistryModel pairs a loaded detector with its manifest.
+	RegistryModel = registry.Model
+	// TrainingStats records a model's training provenance.
+	TrainingStats = registry.TrainingStats
+
+	// DetectorSource yields the detector scoring paths use right now —
+	// the hot-swap seam of the serving and ingestion layers.
+	DetectorSource = core.DetectorSource
+	// SwappableSource is a DetectorSource swapped with one atomic store.
+	SwappableSource = core.SwappableSource
+
+	// DriftMonitor watches live traffic for distribution shift.
+	DriftMonitor = drift.Monitor
+	// DriftConfig tunes the drift monitor's windows and thresholds.
+	DriftConfig = drift.Config
+	// DriftStatus carries the drift gauges (PSI values, rate shift).
+	DriftStatus = drift.Status
+	// Lifecycle is the champion/challenger controller: observe →
+	// retrain → shadow → gate → promote.
+	Lifecycle = drift.Lifecycle
+	// LifecycleConfig assembles a Lifecycle.
+	LifecycleConfig = drift.LifecycleConfig
+	// LifecycleStatus is the lifecycle introspection document.
+	LifecycleStatus = drift.LifecycleStatus
+	// PromotionDecision is a promotion-gate ruling.
+	PromotionDecision = drift.Decision
+	// ModelEvaluation compares champion and challenger held-out metrics.
+	ModelEvaluation = drift.Evaluation
+
+	// ModelsResponse is the GET /v2/models document.
+	ModelsResponse = serve.ModelsResponse
+	// PromoteRequest is the POST /v2/models/promote document.
+	PromoteRequest = serve.PromoteRequest
+	// PromoteResponse reports a completed promotion.
+	PromoteResponse = serve.PromoteResponse
+)
+
+// Lifecycle errors.
+var (
+	ErrNoChampion     = registry.ErrNoChampion
+	ErrRetrainRunning = drift.ErrRetrainRunning
+	ErrGateRefused    = drift.ErrGateRefused
+)
+
+// OpenModelRegistry opens (creating if necessary) a versioned model
+// registry and loads its champion, if one was promoted. rank is wired
+// into loaded detectors (it is not embedded in artifacts).
+func OpenModelRegistry(dir string, rank *RankList) (*ModelRegistry, error) {
+	return registry.Open(dir, rank)
+}
+
+// NewDriftMonitor builds a sliding-window drift monitor.
+func NewDriftMonitor(cfg DriftConfig) *DriftMonitor { return drift.NewMonitor(cfg) }
+
+// NewLifecycle builds the champion/challenger lifecycle controller.
+func NewLifecycle(cfg LifecycleConfig) (*Lifecycle, error) { return drift.NewLifecycle(cfg) }
+
+// StaticSource wraps a fixed detector as a DetectorSource.
+func StaticSource(d *Detector) DetectorSource { return core.StaticSource(d) }
+
+// NewSwappableSource returns a source initially serving d (may be nil).
+func NewSwappableSource(d *Detector) *SwappableSource { return core.NewSwappableSource(d) }
+
+// FeatureSetHash fingerprints the feature schema of a feature-group
+// selection; models sharing it are hot-swap compatible.
+func FeatureSetHash(set FeatureSet) string { return registry.FeatureSetHash(set) }
+
+// WithVectorCapture retains the extracted feature vector on the verdict
+// (drift monitors read it); never serialized.
+func WithVectorCapture() ScoreOption { return core.WithVectorCapture() }
 
 // Fingerprint hashes a snapshot's content fields into the stable page
 // identity used by the verdict cache and the store's compaction.
