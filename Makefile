@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race race-cover bench bench-smoke bench-compare fuzz-smoke cover fmt fmt-check vet staticcheck serve registry-check ci
+# The key-benchmark set (what the CI gate holds to a threshold and
+# BENCH_PR.json records) is defined once, in scripts/bench_lib.sh; the
+# bench-* targets below inherit it by not setting BENCH. Override per
+# run with BENCH=<regexp>.
+
+.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check ci
 
 all: build
 
@@ -34,6 +39,10 @@ bench-smoke:
 # become permanent regression seeds.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/urlx
+
+# The nightly workflow's longer pass over the same surface.
+fuzz-long:
+	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/urlx
 
 # Coverage profile for local inspection and CI artifacts. Reported, not
 # gated: no threshold.
@@ -69,10 +78,34 @@ staticcheck:
 	fi
 
 # Benchmark delta between a base ref (default HEAD~1, override with
-# BASE=<ref>) and the working tree; see scripts/bench_compare.sh. CI
-# runs it against the PR base so serving regressions surface in the log.
+# BASE=<ref>) and the working tree; see scripts/bench_compare.sh.
+# Defaults to the key-benchmark set so local runs and the CI gate
+# measure the same thing.
 bench-compare:
-	BENCH="$${BENCH:-BenchmarkServeScore}" ./scripts/bench_compare.sh $(BASE)
+	BENCH="$(BENCH)" ./scripts/bench_compare.sh $(BASE)
+
+# bench-compare with the regression gate armed: exits nonzero when a
+# key benchmark regresses more than 15% in ns/op or allocs/op versus
+# the base ref. This is the perf job CI requires on every PR.
+bench-gate:
+	BENCH="$(BENCH)" GATE=1 ./scripts/bench_compare.sh $(BASE)
+
+# Machine-readable key-benchmark summary (ns/op, B/op, allocs/op);
+# written to BENCH_PR.json and uploaded as a CI artifact per run so the
+# perf trajectory across PRs is tracked.
+bench-json:
+	BENCH="$(BENCH)" ./scripts/bench_json.sh
+
+# Known-vulnerability scan over the module and its (empty) dependency
+# graph — effectively a stdlib advisory check pinned to the toolchain.
+# Skips gracefully when the binary is missing so offline dev machines
+# are not blocked; CI installs it.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... ; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # Self-contained demo server: trains on the synthetic world, serves on
 # :8080. See README.md for curl examples.
@@ -86,4 +119,13 @@ serve:
 registry-check:
 	$(GO) test -count=1 -run 'TestRoundTrip|TestSaveIsDeterministic' ./internal/registry
 
-ci: fmt-check vet staticcheck build race-cover registry-check bench-smoke fuzz-smoke
+# Allocation contracts in a non-race build: 0 allocs on the warm
+# cached-score path (flat model + pooled vectors + precomputed
+# analysis), a fixed budget on the full-extraction path. These tests
+# skip themselves under -race (the detector's own allocations would
+# poison the counts), so the race suite alone would never run them —
+# this target is what makes the zero-alloc claim CI-enforced.
+alloc-check:
+	$(GO) test -count=1 -run Alloc ./internal/ml ./internal/features ./internal/core
+
+ci: fmt-check vet staticcheck vulncheck build race-cover registry-check alloc-check bench-smoke fuzz-smoke

@@ -324,6 +324,79 @@ func BenchmarkGBMScore(b *testing.B) {
 	}
 }
 
+// BenchmarkGBMPredict prices one ensemble prediction in both inference
+// layouts: layout=flat is the production path (contiguous node array,
+// children by absolute index, zero allocation), layout=tree walks the
+// serialized per-tree node slices the model trains and saves in. The
+// delta is what the flattened layout buys; the CI benchmark-regression
+// gate watches the flat variant.
+func BenchmarkGBMPredict(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := d.Model()
+	snap := benchSnapshot(b, true)
+	e := features.Extractor{Rank: r.Corpus.World.Ranking()}
+	v := e.ExtractSnapshot(snap)
+	if m.Score(v) != m.ScoreReference(v) {
+		b.Fatal("flat and reference layouts disagree")
+	}
+	b.Run("layout=flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.Score(v)
+		}
+	})
+	b.Run("layout=tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.ScoreReference(v)
+		}
+	})
+}
+
+// BenchmarkScoreHotPath measures core.Detector.ScoreCtx, the per-page
+// scoring engine under every serving endpoint. path=warm is the
+// cached-page fast path — the analysis is precomputed (WithAnalysis)
+// and the feature vector is pooled — and must report 0 allocs/op:
+// extraction, classification and verdict assembly all run without
+// touching the heap. path=cold includes snapshot analysis, the
+// allocation-budgeted full path. The CI benchmark-regression gate
+// watches the warm variant.
+func BenchmarkScoreHotPath(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := benchSnapshot(b, false)
+	a := webpage.Analyze(snap)
+	ctx := context.Background()
+	warm := core.NewScoreRequest(snap, core.WithAnalysis(a))
+	cold := core.NewScoreRequest(snap)
+	if _, err := d.ScoreCtx(ctx, warm); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("path=warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.ScoreCtx(ctx, warm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("path=cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.ScoreCtx(ctx, cold); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkGBMTrain(b *testing.B) {
 	r := benchSetup(b)
 	x, y := r.TrainMatrix()

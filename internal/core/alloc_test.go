@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"knowphish/internal/features"
+	"knowphish/internal/racecheck"
+	"knowphish/internal/target"
+	"knowphish/internal/webgen"
+	"knowphish/internal/webpage"
+)
+
+// fullPathAllocBudget bounds the allocations of one cold ScoreCtx call
+// (webpage.Analyze + extraction + classification) on the corpus's legit
+// fixture page. Analysis dominates — URL parsing and the fourteen term
+// distributions inherently build strings and maps — so the budget is a
+// regression tripwire for that stage, not a zero claim. The fixture
+// page measures ~1040; the margin absorbs Go-runtime variation, not
+// code growth.
+const fullPathAllocBudget = 1500
+
+func TestScoreCtxWarmPathZeroAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c := corpus(t)
+	d := trainDetector(t, c, 0)
+	snap := c.LangTests[webgen.English].Snapshots()[0]
+	a := webpage.Analyze(snap)
+	req := NewScoreRequest(snap, WithAnalysis(a))
+	ctx := context.Background()
+	if _, err := d.ScoreCtx(ctx, req); err != nil { // warm pools + flat layout
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		v, err := d.ScoreCtx(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Score < 0 || v.Score > 1 {
+			t.Fatal("score out of range")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ScoreCtx allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestScoreCtxProjectedWarmPathZeroAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c := corpus(t)
+	d := trainDetector(t, c, features.F15) // column-projected detector
+	snap := c.LangTests[webgen.English].Snapshots()[0]
+	a := webpage.Analyze(snap)
+	req := NewScoreRequest(snap, WithAnalysis(a))
+	ctx := context.Background()
+	if _, err := d.ScoreCtx(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := d.ScoreCtx(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm projected ScoreCtx allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestScoreCtxFullPathAllocBudget(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c := corpus(t)
+	d := trainDetector(t, c, 0)
+	snap := c.LangTests[webgen.English].Snapshots()[0]
+	req := NewScoreRequest(snap)
+	ctx := context.Background()
+	if _, err := d.ScoreCtx(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := d.ScoreCtx(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > fullPathAllocBudget {
+		t.Fatalf("full ScoreCtx path allocated %.0f times per run, budget %d", allocs, fullPathAllocBudget)
+	}
+	t.Logf("full-extraction path: %.0f allocs/op (budget %d)", allocs, fullPathAllocBudget)
+}
+
+// TestWithAnalysisMatchesColdPath pins that the cached-page path is a
+// pure shortcut: same verdict, same score, bit for bit.
+func TestWithAnalysisMatchesColdPath(t *testing.T) {
+	c := corpus(t)
+	d := trainDetector(t, c, 0)
+	pipe := &Pipeline{Detector: d, Identifier: target.New(c.Engine)}
+	ctx := context.Background()
+	snaps := append(append([]*webpage.Snapshot{}, c.LangTests[webgen.English].Snapshots()[:8]...), c.PhishTest.Snapshots()[:8]...)
+	for i, snap := range snaps {
+		cold, err := pipe.AnalyzeCtx(ctx, NewScoreRequest(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := pipe.AnalyzeCtx(ctx, NewScoreRequest(snap, WithAnalysis(webpage.Analyze(snap))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Score != cold.Score || warm.FinalPhish != cold.FinalPhish || warm.Label != cold.Label {
+			t.Fatalf("snap %d: warm verdict (%v, %v) != cold (%v, %v)",
+				i, warm.Score, warm.FinalPhish, cold.Score, cold.FinalPhish)
+		}
+		if warm.Timings.AnalyzeNS != 0 {
+			t.Fatalf("snap %d: warm path reports AnalyzeNS %d, want 0 (stage skipped)", i, warm.Timings.AnalyzeNS)
+		}
+	}
+	// An analysis-only request (no snapshot) scores via a.Snap.
+	a := webpage.Analyze(snaps[0])
+	v, err := d.ScoreCtx(ctx, NewScoreRequest(nil, WithAnalysis(a)))
+	if err != nil {
+		t.Fatalf("analysis-only request: %v", err)
+	}
+	want, err := d.ScoreCtx(ctx, NewScoreRequest(snaps[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Score != want.Score {
+		t.Fatalf("analysis-only score %v != snapshot score %v", v.Score, want.Score)
+	}
+}
+
+// TestPooledVectorsNotSharedAcrossBatches hammers concurrent
+// AnalyzeBatchCtx calls over the same pipeline and verifies every
+// verdict matches its sequentially computed expectation — the contract
+// that pooled vectors and extraction scratch are never shared between
+// in-flight scorings. Run with -race, this is the allocation tentpole's
+// safety net.
+func TestPooledVectorsNotSharedAcrossBatches(t *testing.T) {
+	c := corpus(t)
+	d := trainDetector(t, c, 0)
+	pipe := &Pipeline{Detector: d, Identifier: target.New(c.Engine)}
+	ctx := context.Background()
+
+	snaps := append(append([]*webpage.Snapshot{}, c.LangTests[webgen.English].Snapshots()[:12]...), c.PhishTest.Snapshots()[:12]...)
+	want := make([]float64, len(snaps))
+	reqs := make([]ScoreRequest, len(snaps))
+	for i, snap := range snaps {
+		reqs[i] = NewScoreRequest(snap)
+		v, err := pipe.AnalyzeCtx(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v.Score
+	}
+
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				vs, err := pipe.AnalyzeBatchCtx(ctx, reqs, 4)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i, v := range vs {
+					if v == nil {
+						errs <- fmt.Errorf("item %d: nil verdict without batch error", i)
+						return
+					}
+					if v.Score != want[i] {
+						errs <- fmt.Errorf("item %d: concurrent score %v != sequential %v (pooled buffer shared?)",
+							i, v.Score, want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -66,6 +66,7 @@ type ScoreRequest struct {
 	skipTarget    bool
 	featureSet    features.Set
 	captureVector bool
+	analysis      *webpage.Analysis
 }
 
 // ScoreOption is a functional option of NewScoreRequest.
@@ -124,6 +125,17 @@ func WithFeatureSet(s features.Set) ScoreOption {
 // traffic. The vector is never serialized.
 func WithVectorCapture() ScoreOption {
 	return func(r *ScoreRequest) { r.captureVector = true }
+}
+
+// WithAnalysis supplies a precomputed page analysis (from
+// webpage.Analyze), skipping the analysis stage — the cached-page fast
+// path. Callers that score one page repeatedly (benchmark loops, cache
+// refreshes, multi-model shadow scoring of the same snapshot) analyze
+// once and reuse; with it, the warm scoring path performs zero heap
+// allocations. a must be the analysis of the request's snapshot; when
+// the request has no snapshot, a.Snap stands in for it.
+func WithAnalysis(a *webpage.Analysis) ScoreOption {
+	return func(r *ScoreRequest) { r.analysis = a }
 }
 
 // Explains reports whether the request asks for an explanation.

@@ -128,9 +128,17 @@ func (p *Pipeline) AnalyzeCtx(ctx context.Context, req ScoreRequest) (Verdict, e
 }
 
 // scoreCtx is the shared stage machine behind ScoreCtx and AnalyzeCtx.
+//
+// The fast path — no explanation, no vector capture — runs on pooled
+// feature vectors: the extracted vector never outlives the call, so it
+// is borrowed from features.GetVector and returned at every exit.
+// Combined with a request-supplied analysis (WithAnalysis) and the
+// model's flattened tree layout this makes a warm score fully
+// allocation-free (pinned by TestScoreCtxWarmPathZeroAllocs).
 func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Identifier) (Verdict, error) {
 	t0 := time.Now()
-	if req.Snapshot == nil {
+	a := req.analysis
+	if req.Snapshot == nil && a == nil {
 		return Verdict{}, ErrNoSnapshot
 	}
 	if req.deadline > 0 {
@@ -146,17 +154,30 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 	v.Threshold = d.threshold
 	v.ModelVersion = d.version
 
-	// Stage 1: snapshot analysis.
-	ts := time.Now()
-	a := webpage.Analyze(req.Snapshot)
-	v.Timings.AnalyzeNS = time.Since(ts).Nanoseconds()
-	if err := ctxCause(ctx); err != nil {
-		return Verdict{}, err
+	// Stage 1: snapshot analysis — skipped (and reported as 0 ns) when
+	// the request carries a precomputed analysis.
+	if a == nil {
+		ts := time.Now()
+		a = webpage.Analyze(req.Snapshot)
+		v.Timings.AnalyzeNS = time.Since(ts).Nanoseconds()
+		if err := ctxCause(ctx); err != nil {
+			return Verdict{}, err
+		}
 	}
 
 	// Stage 2: feature extraction (plus the optional ablation mask).
-	ts = time.Now()
-	vec := d.extractor.Extract(a)
+	// vecBuf / projBuf are the pooled buffers of the fast path; nil when
+	// the vector must outlive the call (capture, explanation).
+	ts := time.Now()
+	var vecBuf, projBuf *[]float64
+	var vec []float64
+	if !req.captureVector && !req.Explains() {
+		vecBuf = features.GetVector()
+		*vecBuf = d.extractor.AppendFeatures((*vecBuf)[:0], a)
+		vec = *vecBuf
+	} else {
+		vec = d.extractor.Extract(a)
+	}
 	if req.featureSet != 0 && req.featureSet != features.All {
 		vec = features.Mask(vec, req.featureSet)
 		v.FeatureSet = req.featureSet.String()
@@ -166,12 +187,22 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 		v.Vector = vec
 	}
 	if err := ctxCause(ctx); err != nil {
+		features.PutVector(vecBuf)
 		return Verdict{}, err
 	}
 
 	// Stage 3: classification.
 	ts = time.Now()
-	modelVec := d.projected(vec)
+	modelVec := vec
+	if d.columns != nil {
+		if vecBuf != nil {
+			projBuf = features.GetVector()
+			modelVec = appendProjected((*projBuf)[:0], vec, d.columns)
+			*projBuf = modelVec
+		} else {
+			modelVec = d.projected(vec)
+		}
+	}
 	v.Score = d.model.Score(modelVec)
 	v.DetectorPhish = v.Score >= d.threshold
 	v.FinalPhish = v.DetectorPhish
@@ -181,6 +212,8 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 	// overturns false ones (Section VI-D).
 	if id != nil && v.DetectorPhish && !req.skipTarget {
 		if err := ctxCause(ctx); err != nil {
+			features.PutVector(vecBuf)
+			features.PutVector(projBuf)
 			return Verdict{}, err
 		}
 		ts = time.Now()
@@ -208,6 +241,8 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 
 	v.Label = label(v.FinalPhish)
 	v.Timings.TotalNS = time.Since(t0).Nanoseconds()
+	features.PutVector(vecBuf)
+	features.PutVector(projBuf)
 	return v, nil
 }
 
@@ -217,11 +252,15 @@ func (d *Detector) projected(v []float64) []float64 {
 	if d.columns == nil {
 		return v
 	}
-	proj := make([]float64, len(d.columns))
-	for i, c := range d.columns {
-		proj[i] = v[c]
+	return appendProjected(make([]float64, 0, len(d.columns)), v, d.columns)
+}
+
+// appendProjected appends v's columns cols to dst.
+func appendProjected(dst, v []float64, cols []int) []float64 {
+	for _, c := range cols {
+		dst = append(dst, v[c])
 	}
-	return proj
+	return dst
 }
 
 // ScoreBatchCtx scores many requests concurrently over the shared

@@ -30,8 +30,10 @@ func (e *Extractor) ExtractUnsplitF1(a *webpage.Analysis) []float64 {
 	out = append(out, land[:]...)
 	logged := append(append([]urlx.Parts{}, a.IntLog...), a.ExtLog...)
 	href := append(append([]urlx.Parts{}, a.IntLink...), a.ExtLink...)
-	out = e.appendGroupStats(out, logged)
-	out = e.appendGroupStats(out, href)
+	sc := getScratch()
+	out = e.appendGroupStats(out, logged, sc)
+	out = e.appendGroupStats(out, href, sc)
+	putScratch(sc)
 	return out
 }
 

@@ -1,0 +1,68 @@
+package features
+
+import (
+	"testing"
+
+	"knowphish/internal/racecheck"
+	"knowphish/internal/webpage"
+)
+
+// ExtractionAllocBudget is the allocation contract of one AppendFeatures
+// call into a pre-sized vector: zero. Everything the extraction needs
+// beyond the destination lives in the pooled scratch.
+const extractionAllocBudget = 0
+
+func TestAppendFeaturesMatchesExtract(t *testing.T) {
+	e := &Extractor{}
+	a := webpage.Analyze(sampleSnapshot())
+	want := e.Extract(a)
+	got := e.AppendFeatures(make([]float64, 0, TotalCount), a)
+	if len(got) != len(want) {
+		t.Fatalf("AppendFeatures length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("feature %d (%s): AppendFeatures %v != Extract %v (must be bit-for-bit)",
+				i, Names()[i], got[i], want[i])
+		}
+	}
+	// Appending after existing content extends rather than overwrites.
+	pre := e.AppendFeatures([]float64{7}, a)
+	if pre[0] != 7 || len(pre) != TotalCount+1 {
+		t.Fatalf("AppendFeatures clobbered its prefix: len %d, pre[0]=%v", len(pre), pre[0])
+	}
+}
+
+func TestAppendFeaturesZeroAllocWarm(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	e := &Extractor{}
+	a := webpage.Analyze(sampleSnapshot())
+	buf := GetVector()
+	// Warm up: grow the pooled scratch (group columns, RDN map buckets)
+	// to this page's working size before counting.
+	*buf = e.AppendFeatures((*buf)[:0], a)
+	allocs := testing.AllocsPerRun(200, func() {
+		*buf = e.AppendFeatures((*buf)[:0], a)
+	})
+	PutVector(buf)
+	if allocs > extractionAllocBudget {
+		t.Fatalf("AppendFeatures allocated %.1f times per run, budget %d", allocs, extractionAllocBudget)
+	}
+}
+
+func TestVectorPoolRoundTrip(t *testing.T) {
+	v := GetVector()
+	if len(*v) != 0 || cap(*v) < TotalCount {
+		t.Fatalf("GetVector: len %d cap %d, want 0/%d+", len(*v), cap(*v), TotalCount)
+	}
+	*v = append(*v, 1, 2, 3)
+	PutVector(v)
+	w := GetVector()
+	if len(*w) != 0 {
+		t.Fatalf("pooled vector not reset: len %d", len(*w))
+	}
+	PutVector(w)
+	PutVector(nil) // must not panic
+}

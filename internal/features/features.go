@@ -82,13 +82,25 @@ type Extractor struct {
 // The layout is [f1 | f2 | f3 | f4 | f5]; Names gives per-column names and
 // Indices gives per-set column spans.
 func (e *Extractor) Extract(a *webpage.Analysis) []float64 {
-	out := make([]float64, 0, TotalCount)
-	out = e.appendF1(out, a)
-	out = appendF2(out, a)
-	out = appendF3(out, a)
-	out = appendF4(out, a)
-	out = appendF5(out, a)
-	return out
+	return e.AppendFeatures(make([]float64, 0, TotalCount), a)
+}
+
+// AppendFeatures appends the full 212-feature vector to dst and returns
+// the extended slice — the allocation-free form of Extract. Given a dst
+// with capacity TotalCount (see GetVector) it performs zero heap
+// allocations: every intermediate the extraction needs (per-column
+// aggregation buffers, the median sort scratch, folded mld terms, RDN
+// sets) comes from a pooled per-call scratch that is returned when the
+// append completes. Values are bit-for-bit identical to Extract's.
+func (e *Extractor) AppendFeatures(dst []float64, a *webpage.Analysis) []float64 {
+	sc := getScratch()
+	dst = e.appendF1(dst, a, sc)
+	dst = appendF2(dst, a)
+	dst = appendF3(dst, a, sc)
+	dst = appendF4(dst, a, sc)
+	dst = appendF5(dst, a)
+	putScratch(sc)
+	return dst
 }
 
 // ExtractSnapshot analyzes the snapshot and extracts its features.
@@ -104,13 +116,13 @@ func (e *Extractor) urlStats(p urlx.Parts) [9]float64 {
 	if p.IsHTTPS() {
 		f[0] = 1
 	}
-	f[1] = float64(strings.Count(p.FreeURL(), "."))
+	f[1] = float64(p.FreeURLDots())
 	f[2] = float64(p.LevelDomains())
 	f[3] = float64(len(p.Raw))
 	f[4] = float64(len(p.FQDN))
 	f[5] = float64(len(p.MLD))
-	f[6] = float64(len(terms.Extract(p.Raw)))
-	f[7] = float64(len(terms.Extract(p.MLD)))
+	f[6] = float64(terms.Count(p.Raw))
+	f[7] = float64(terms.Count(p.MLD))
 	f[8] = float64(e.Rank.Rank(p.RDN))
 	if p.RDN == "" {
 		f[8] = ranking.UnrankedValue
@@ -121,35 +133,37 @@ func (e *Extractor) urlStats(p urlx.Parts) [9]float64 {
 // appendF1 emits the 106 URL features: 9 for the starting URL, 9 for the
 // landing URL, and for each of the four link groups (internal/external ×
 // logged/HREF) the mean/median/stdev of features 3–9 plus the https ratio.
-func (e *Extractor) appendF1(out []float64, a *webpage.Analysis) []float64 {
+func (e *Extractor) appendF1(out []float64, a *webpage.Analysis, sc *scratch) []float64 {
 	start := e.urlStats(a.Start)
 	land := e.urlStats(a.Land)
 	out = append(out, start[:]...)
 	out = append(out, land[:]...)
-	for _, group := range [][]urlx.Parts{a.IntLog, a.ExtLog, a.IntLink, a.ExtLink} {
-		out = e.appendGroupStats(out, group)
+	for _, group := range [4][]urlx.Parts{a.IntLog, a.ExtLog, a.IntLink, a.ExtLink} {
+		out = e.appendGroupStats(out, group, sc)
 	}
 	return out
 }
 
 // appendGroupStats emits the 22 features of one link group: features 3–9
 // aggregated as mean, median, stdev (7×3) plus the https ratio (1).
-func (e *Extractor) appendGroupStats(out []float64, group []urlx.Parts) []float64 {
+func (e *Extractor) appendGroupStats(out []float64, group []urlx.Parts, sc *scratch) []float64 {
 	n := len(group)
 	// Collect per-URL values for features 3..9 (indices 2..8).
-	cols := make([][]float64, 7)
+	for c := range sc.cols {
+		sc.cols[c] = sc.cols[c][:0]
+	}
 	var httpsCount int
 	for _, p := range group {
 		s := e.urlStats(p)
 		for c := 0; c < 7; c++ {
-			cols[c] = append(cols[c], s[c+2])
+			sc.cols[c] = append(sc.cols[c], s[c+2])
 		}
 		if s[0] == 1 {
 			httpsCount++
 		}
 	}
 	for c := 0; c < 7; c++ {
-		m, med, sd := meanMedianStd(cols[c])
+		m, med, sd := meanMedianStd(sc.cols[c], sc)
 		out = append(out, m, med, sd)
 	}
 	ratio := 0.0
@@ -190,93 +204,73 @@ var (
 // mldTerm folds an mld to its letters-only form, the term its usage in
 // text would produce ("secure-login-77" → "securelogin").
 func mldTerm(mld string) string {
-	var b strings.Builder
-	for _, r := range mld {
-		c := terms.Canonicalize(r)
-		if c > 0 {
-			b.WriteRune(c)
-		}
-	}
-	return b.String()
+	return string(terms.AppendFolded(nil, mld))
 }
 
 // appendF3 emits the 22 mld-usage features: 12 binary presence flags
 // (starting and landing mld × six sources) and 10 substring-probability
-// sums (starting and landing mld × five sources).
-func appendF3(out []float64, a *webpage.Analysis) []float64 {
+// sums (starting and landing mld × five sources). Each mld is folded
+// once into the scratch buffer and compared as bytes, so the whole
+// group allocates nothing for ASCII domains (punycode mlds pay one
+// decode).
+func appendF3(out []float64, a *webpage.Analysis, sc *scratch) []float64 {
 	// Punycode mlds are decoded first so homograph domains compare by
 	// their folded unicode form.
-	for _, mld := range []string{a.Start.UnicodeMLD(), a.Land.UnicodeMLD()} {
-		t := mldTerm(mld)
+	sc.mlds = terms.AppendFolded(sc.mlds[:0], a.Start.UnicodeMLD())
+	startLen := len(sc.mlds)
+	sc.mlds = terms.AppendFolded(sc.mlds, a.Land.UnicodeMLD())
+	folded := [2][]byte{sc.mlds[:startLen], sc.mlds[startLen:]}
+	for _, t := range folded {
 		for _, src := range f3BinarySources {
 			v := 0.0
-			if t != "" && len(t) >= terms.MinTermLength && a.Dist(src).Contains(t) {
+			if len(t) >= terms.MinTermLength && a.Dist(src).ContainsBytes(t) {
 				v = 1
 			}
 			out = append(out, v)
 		}
 	}
-	for _, mld := range []string{a.Start.UnicodeMLD(), a.Land.UnicodeMLD()} {
-		t := mldTerm(mld)
+	for _, t := range folded {
 		for _, src := range f3SumSources {
-			out = append(out, a.Dist(src).SubstringProbabilitySum(t))
+			out = append(out, a.Dist(src).SubstringProbabilitySumBytes(t))
 		}
 	}
 	return out
 }
 
 // appendF4 emits the 13 RDN-usage features (our instantiation of the
-// paper's category, documented in DESIGN.md §4).
-func appendF4(out []float64, a *webpage.Analysis) []float64 {
-	chainRDNs := map[string]struct{}{}
-	for _, p := range a.Chain {
-		if p.RDN != "" {
-			chainRDNs[p.RDN] = struct{}{}
-		}
-	}
+// paper's category, documented in DESIGN.md §4). The internal and
+// external halves of each link class are walked in place — the merged
+// logged/HREF views exist only conceptually — and the distinct-RDN sets
+// live in the reusable scratch maps, so the group allocates nothing
+// once the maps have grown to the traffic's working size.
+func appendF4(out []float64, a *webpage.Analysis, sc *scratch) []float64 {
+	chainRDNs := distinctRDNs2(sc.set, a.Chain, nil)
 	sameRDN := 0.0
 	if a.Start.RDN != "" && a.Start.RDN == a.Land.RDN {
 		sameRDN = 1
 	}
 
-	logAll := append(append([]urlx.Parts{}, a.IntLog...), a.ExtLog...)
-	linkAll := append(append([]urlx.Parts{}, a.IntLink...), a.ExtLink...)
+	loggedRDNs := distinctRDNs2(sc.set, a.IntLog, a.ExtLog)
+	hrefRDNs := distinctRDNs2(sc.set, a.IntLink, a.ExtLink)
+	totalLog := len(a.IntLog) + len(a.ExtLog)
+	totalLink := len(a.IntLink) + len(a.ExtLink)
 
-	intRatio := func(internal, total int) float64 {
-		if total == 0 {
-			return 0
-		}
-		return float64(internal) / float64(total)
-	}
-	landMatch := func(group []urlx.Parts) float64 {
-		if len(group) == 0 || a.Land.RDN == "" {
-			return 0
-		}
-		n := 0
-		for _, p := range group {
-			if p.RDN == a.Land.RDN {
-				n++
-			}
-		}
-		return float64(n) / float64(len(group))
-	}
-
-	extRDNCounts := map[string]int{}
+	clear(sc.counts)
 	for _, p := range a.ExtLog {
 		if p.RDN != "" {
-			extRDNCounts[p.RDN]++
+			sc.counts[p.RDN]++
 		}
 	}
 	for _, p := range a.ExtLink {
 		if p.RDN != "" {
-			extRDNCounts[p.RDN]++
+			sc.counts[p.RDN]++
 		}
 	}
 	maxExtConcentration := 0.0
 	totalExt := len(a.ExtLog) + len(a.ExtLink)
 	if totalExt > 0 {
 		maxCount := 0
-		for _, c := range extRDNCounts {
+		for _, c := range sc.counts {
 			if c > maxCount {
 				maxCount = c
 			}
@@ -285,21 +279,66 @@ func appendF4(out []float64, a *webpage.Analysis) []float64 {
 	}
 
 	out = append(out,
-		float64(len(a.Chain)),                  // 1 chain length
-		float64(len(chainRDNs)),                // 2 distinct RDNs in chain
-		sameRDN,                                // 3 start RDN == landing RDN
-		float64(distinctRDNs(logAll)),          // 4 distinct RDNs in logged
-		float64(distinctRDNs(linkAll)),         // 5 distinct RDNs in HREF
-		intRatio(len(a.IntLog), len(logAll)),   // 6 internal ratio logged
-		intRatio(len(a.IntLink), len(linkAll)), // 7 internal ratio HREF
-		float64(len(a.ExtLog)),                 // 8 external logged count
-		float64(len(a.ExtLink)),                // 9 external HREF count
-		landMatch(logAll),                      // 10 landing-RDN share, logged
-		landMatch(linkAll),                     // 11 landing-RDN share, HREF
-		float64(len(extRDNCounts)),             // 12 distinct external RDNs
-		maxExtConcentration,                    // 13 max external concentration
+		float64(len(a.Chain)),                       // 1 chain length
+		float64(chainRDNs),                          // 2 distinct RDNs in chain
+		sameRDN,                                     // 3 start RDN == landing RDN
+		float64(loggedRDNs),                         // 4 distinct RDNs in logged
+		float64(hrefRDNs),                           // 5 distinct RDNs in HREF
+		intRatio(len(a.IntLog), totalLog),           // 6 internal ratio logged
+		intRatio(len(a.IntLink), totalLink),         // 7 internal ratio HREF
+		float64(len(a.ExtLog)),                      // 8 external logged count
+		float64(len(a.ExtLink)),                     // 9 external HREF count
+		landShare(a.Land.RDN, a.IntLog, a.ExtLog),   // 10 landing-RDN share, logged
+		landShare(a.Land.RDN, a.IntLink, a.ExtLink), // 11 landing-RDN share, HREF
+		float64(len(sc.counts)),                     // 12 distinct external RDNs
+		maxExtConcentration,                         // 13 max external concentration
 	)
 	return out
+}
+
+func intRatio(internal, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(internal) / float64(total)
+}
+
+// landShare is the fraction of the concatenated group g1‖g2 whose RDN
+// equals the landing RDN.
+func landShare(landRDN string, g1, g2 []urlx.Parts) float64 {
+	total := len(g1) + len(g2)
+	if total == 0 || landRDN == "" {
+		return 0
+	}
+	n := 0
+	for _, p := range g1 {
+		if p.RDN == landRDN {
+			n++
+		}
+	}
+	for _, p := range g2 {
+		if p.RDN == landRDN {
+			n++
+		}
+	}
+	return float64(n) / float64(total)
+}
+
+// distinctRDNs2 counts distinct non-empty RDNs across two groups using
+// the given scratch set (cleared first, retained for reuse).
+func distinctRDNs2(set map[string]struct{}, g1, g2 []urlx.Parts) int {
+	clear(set)
+	for _, p := range g1 {
+		if p.RDN != "" {
+			set[p.RDN] = struct{}{}
+		}
+	}
+	for _, p := range g2 {
+		if p.RDN != "" {
+			set[p.RDN] = struct{}{}
+		}
+	}
+	return len(set)
 }
 
 // appendF5 emits the 5 webpage-content features.
@@ -313,20 +352,11 @@ func appendF5(out []float64, a *webpage.Analysis) []float64 {
 	)
 }
 
-func distinctRDNs(ps []urlx.Parts) int {
-	set := map[string]struct{}{}
-	for _, p := range ps {
-		if p.RDN != "" {
-			set[p.RDN] = struct{}{}
-		}
-	}
-	return len(set)
-}
-
 // meanMedianStd computes the three aggregates of one column; empty input
 // yields zeros (links of that group absent — the paper's features simply
-// read 0, Section VII-B discusses the resulting null features).
-func meanMedianStd(v []float64) (mean, median, std float64) {
+// read 0, Section VII-B discusses the resulting null features). The
+// median sorts a copy of v held in the scratch, leaving v untouched.
+func meanMedianStd(v []float64, sc *scratch) (mean, median, std float64) {
 	n := len(v)
 	if n == 0 {
 		return 0, 0, 0
@@ -342,12 +372,12 @@ func meanMedianStd(v []float64) (mean, median, std float64) {
 		sq += d * d
 	}
 	std = math.Sqrt(sq / float64(n))
-	sorted := append([]float64(nil), v...)
-	sort.Float64s(sorted)
+	sc.sorted = append(sc.sorted[:0], v...)
+	sort.Float64s(sc.sorted)
 	if n%2 == 1 {
-		median = sorted[n/2]
+		median = sc.sorted[n/2]
 	} else {
-		median = (sorted[n/2-1] + sorted[n/2]) / 2
+		median = (sc.sorted[n/2-1] + sc.sorted[n/2]) / 2
 	}
 	return mean, median, std
 }

@@ -232,18 +232,20 @@ func TestProject(t *testing.T) {
 }
 
 func TestMeanMedianStd(t *testing.T) {
-	m, med, sd := meanMedianStd([]float64{1, 2, 3, 4})
+	sc := getScratch()
+	defer putScratch(sc)
+	m, med, sd := meanMedianStd([]float64{1, 2, 3, 4}, sc)
 	if m != 2.5 || med != 2.5 {
 		t.Errorf("mean/median = %v/%v", m, med)
 	}
 	if math.Abs(sd-math.Sqrt(1.25)) > 1e-12 {
 		t.Errorf("std = %v", sd)
 	}
-	m, med, sd = meanMedianStd([]float64{5})
+	m, med, sd = meanMedianStd([]float64{5}, sc)
 	if m != 5 || med != 5 || sd != 0 {
 		t.Errorf("singleton = %v/%v/%v", m, med, sd)
 	}
-	m, med, sd = meanMedianStd(nil)
+	m, med, sd = meanMedianStd(nil, sc)
 	if m != 0 || med != 0 || sd != 0 {
 		t.Errorf("empty = %v/%v/%v", m, med, sd)
 	}

@@ -1,0 +1,90 @@
+package features
+
+import "sync"
+
+// Pooled buffers of the extraction hot path. The serving layer scores
+// every request through AppendFeatures; after warm-up, extracting a
+// page must not allocate — the vector the features land in and every
+// intermediate the computation needs are recycled here. sync.Pool keeps
+// the working set proportional to peak concurrency, and buffers are
+// handed out by pointer so neither Get nor Put boxes a slice header.
+
+// vecPool recycles full-size feature vectors for callers that score
+// and discard (the non-explaining, non-capturing fast path of
+// core.ScoreCtx).
+var vecPool = sync.Pool{
+	New: func() any {
+		b := make([]float64, 0, TotalCount)
+		return &b
+	},
+}
+
+// GetVector returns a zero-length feature vector with capacity
+// TotalCount from the pool. Pass (*v)[:0] to AppendFeatures, store the
+// result back through the pointer, and release with PutVector once the
+// vector is no longer referenced. Callers that let the vector escape
+// (capture, explanation) must not return it to the pool.
+func GetVector() *[]float64 {
+	return vecPool.Get().(*[]float64)
+}
+
+// PutVector returns a vector obtained from GetVector to the pool.
+func PutVector(v *[]float64) {
+	if v == nil || cap(*v) < TotalCount {
+		return
+	}
+	*v = (*v)[:0]
+	vecPool.Put(v)
+}
+
+// scratch carries every intermediate buffer one AppendFeatures call
+// needs. One scratch is checked out per extraction, so concurrent
+// extractions never share state; maps are cleared on reuse but keep
+// their buckets, slices keep their capacity.
+type scratch struct {
+	// cols accumulates per-URL values of features 3–9 for one link
+	// group (appendGroupStats).
+	cols [7][]float64
+	// sorted is the median sort buffer (meanMedianStd).
+	sorted []float64
+	// mlds holds the folded starting+landing mld terms (appendF3).
+	mlds []byte
+	// set and counts are the distinct-RDN scratch maps (appendF4).
+	set    map[string]struct{}
+	counts map[string]int
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{
+			set:    make(map[string]struct{}, 16),
+			counts: make(map[string]int, 16),
+		}
+	},
+}
+
+func getScratch() *scratch {
+	return scratchPool.Get().(*scratch)
+}
+
+// maxPooledScratchElems caps the per-buffer element count a scratch may
+// keep when returning to the pool: one pathological page with tens of
+// thousands of links must not leave megabyte-scale columns circulating
+// for every later small page (same policy as the fingerprint preimage
+// and cache-key pools).
+const maxPooledScratchElems = 4096
+
+func putScratch(sc *scratch) {
+	if cap(sc.cols[0]) > maxPooledScratchElems ||
+		cap(sc.sorted) > maxPooledScratchElems ||
+		cap(sc.mlds) > maxPooledScratchElems ||
+		len(sc.set) > maxPooledScratchElems ||
+		len(sc.counts) > maxPooledScratchElems {
+		return // oversized: let the GC take it, the pool stays lean
+	}
+	// Drop references into the analyzed page so the pool never pins a
+	// snapshot's strings; buckets and capacities are retained.
+	clear(sc.set)
+	clear(sc.counts)
+	scratchPool.Put(sc)
+}

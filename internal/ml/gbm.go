@@ -74,6 +74,11 @@ type GBM struct {
 	// instead of O(nodes).
 	contribOnce sync.Once
 	nodeVals    [][]float64
+	// flatOnce guards the contiguous inference layout Score traverses
+	// (see flat.go). Like the contribution cache it is built once and
+	// shared: a GBM is immutable once published to scorers.
+	flatOnce sync.Once
+	flat     *flatGBM
 }
 
 // TrainGBM fits a boosted ensemble on x (rows = samples) with binary
@@ -172,8 +177,20 @@ func TrainGBM(x [][]float64, y []int, cfg GBMConfig) (*GBM, error) {
 	return m, nil
 }
 
-// Score returns the positive-class confidence for x in [0,1].
+// Score returns the positive-class confidence for x in [0,1]. It
+// traverses the flattened node layout (built once per model, see
+// flat.go) and never allocates.
 func (m *GBM) Score(x []float64) float64 {
+	return sigmoid(m.flatten().raw(x))
+}
+
+// ScoreReference scores x by walking the serialized per-tree node
+// slices, the layout-naive implementation Score used before the
+// flattened path existed. It is retained as the equivalence oracle:
+// Score must reproduce it bit-for-bit on every input (the flat layout
+// is a cache optimization, not a numerical change), and the
+// BenchmarkGBMPredict layout=tree variant prices what flattening buys.
+func (m *GBM) ScoreReference(x []float64) float64 {
 	f := m.InitScore
 	for i := range m.Trees {
 		f += m.Config.LearningRate * m.Trees[i].Predict(x)

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package racecheck reports whether the race detector is compiled in.
+// Allocation-contract tests consult it: -race instrumentation allocates
+// on its own, so testing.AllocsPerRun assertions are only meaningful in
+// non-race builds and skip themselves otherwise.
+package racecheck
+
+// Enabled is true when the build carries the race detector.
+const Enabled = true

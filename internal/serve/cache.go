@@ -9,18 +9,56 @@ import (
 	"knowphish/internal/webpage"
 )
 
-// cacheKey identifies a snapshot for verdict reuse: the landing URL
-// plus a fingerprint of every content field (webpage.Fingerprint, the
-// same identity the verdict store compacts on). Keying on the URL alone
-// would let any client poison the verdict for a URL it does not own by
-// submitting different content under it; with the fingerprint, a reused
-// verdict always comes from an identical page. Snapshots without a
-// landing URL are not cacheable (empty key).
-func cacheKey(snap *webpage.Snapshot) string {
+// appendCacheKey appends the cache identity of a snapshot to dst: the
+// landing URL plus a fingerprint of every content field
+// (webpage.AppendFingerprint, the same identity the verdict store
+// compacts on). Keying on the URL alone would let any client poison the
+// verdict for a URL it does not own by submitting different content
+// under it; with the fingerprint, a reused verdict always comes from an
+// identical page. Snapshots without a landing URL are not cacheable
+// (empty key). Building the key into a pooled buffer keeps lookups —
+// the dominant operation once a campaign's landing pages are cached —
+// off the heap; the key is only materialized as a string when an
+// outcome is actually stored.
+func appendCacheKey(dst []byte, snap *webpage.Snapshot) []byte {
 	if snap.LandingURL == "" {
-		return ""
+		return dst
 	}
-	return snap.LandingURL + "\x00" + webpage.Fingerprint(snap)
+	dst = append(dst, snap.LandingURL...)
+	dst = append(dst, 0)
+	return webpage.AppendFingerprint(dst, snap)
+}
+
+// keyPool recycles cache-key build buffers. putKeyBuf is the only way
+// back in: it drops oversized buffers (a key is a landing URL plus a
+// 64-byte fingerprint, so anything past the cap means one pathological
+// URL that must not stay pinned in the pool).
+var keyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// maxPooledKey caps the capacity of buffers returned to keyPool.
+const maxPooledKey = 4 << 10
+
+func putKeyBuf(b *[]byte) {
+	if cap(*b) <= maxPooledKey {
+		keyPool.Put(b)
+	}
+}
+
+// cacheKey returns the snapshot's cache key as a string ("" =
+// uncacheable) — the batch path's form, which stores keys for later
+// Puts. The build still runs in a pooled buffer, so the only
+// allocation is the returned string itself.
+func cacheKey(snap *webpage.Snapshot) string {
+	kb := keyPool.Get().(*[]byte)
+	*kb = appendCacheKey((*kb)[:0], snap)
+	s := string(*kb)
+	putKeyBuf(kb)
+	return s
 }
 
 // cacheShards is the shard count of the verdict cache. Sharding keeps
@@ -74,13 +112,19 @@ func newVerdictCache(capacity int) *verdictCache {
 	return c
 }
 
-func (c *verdictCache) shard(key string) *cacheShard {
-	// Inline FNV-1a: this runs on every Get/Put and must not allocate.
+// fnv32 hashes a key for shard selection. Generic over the two key
+// forms so neither the string nor the pooled-byte path converts (and
+// therefore allocates) just to pick a shard; it runs on every Get/Put.
+func fnv32[T ~string | ~[]byte](key T) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
+	return h
+}
+
+func (c *verdictCache) shard(h uint32) *cacheShard {
 	return &c.shards[h%cacheShards]
 }
 
@@ -93,11 +137,31 @@ func (c *verdictCache) Get(key, version string) (core.Outcome, bool) {
 	if key == "" {
 		return core.Outcome{}, false
 	}
-	s := c.shard(key)
+	s := c.shard(fnv32(key))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.m[key]
-	if !ok {
+	return hit(s, s.m[key], version)
+}
+
+// GetBytes is Get for a byte-slice key, allocation-free — the
+// single-score path builds its key in a pooled buffer and looks it up
+// without ever materializing a string (the direct map-index conversion
+// below does not copy).
+func (c *verdictCache) GetBytes(key []byte, version string) (core.Outcome, bool) {
+	if len(key) == 0 {
+		return core.Outcome{}, false
+	}
+	s := c.shard(fnv32(key))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return hit(s, s.m[string(key)], version)
+}
+
+// hit resolves a shard lookup: nil element or a version mismatch reads
+// as a miss, a hit is promoted to most-recently-used. Callers hold the
+// shard lock.
+func hit(s *cacheShard, el *list.Element, version string) (core.Outcome, bool) {
+	if el == nil {
 		return core.Outcome{}, false
 	}
 	e := el.Value.(*cacheEntry)
@@ -115,7 +179,7 @@ func (c *verdictCache) Put(key string, out core.Outcome, version string) {
 	if key == "" {
 		return
 	}
-	s := c.shard(key)
+	s := c.shard(fnv32(key))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {

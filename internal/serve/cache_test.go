@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"knowphish/internal/core"
+	"knowphish/internal/webpage"
 )
 
 func TestCacheGetPut(t *testing.T) {
@@ -87,10 +88,10 @@ func TestCacheLRUOrder(t *testing.T) {
 	c := newVerdictCache(cacheShards * 2) // two entries per shard
 	// Find three keys that map to the same shard.
 	var keys []string
-	target := c.shard("seed")
+	target := c.shard(fnv32("seed"))
 	for i := 0; len(keys) < 3; i++ {
 		k := fmt.Sprintf("key-%d", i)
-		if c.shard(k) == target {
+		if c.shard(fnv32(k)) == target {
 			keys = append(keys, k)
 		}
 	}
@@ -127,5 +128,28 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 128 {
 		t.Errorf("cache overgrew: %d", c.Len())
+	}
+}
+
+func TestGetBytesMatchesGet(t *testing.T) {
+	snap := &webpage.Snapshot{StartingURL: "http://a.test/x", LandingURL: "http://b.test/y", Text: "hello"}
+	key := cacheKey(snap)
+	if want := string(appendCacheKey(nil, snap)); key != want {
+		t.Fatalf("cacheKey = %q, want %q", key, want)
+	}
+	c := newVerdictCache(8)
+	c.Put(key, core.Outcome{Score: 0.9}, "v0001")
+	if out, ok := c.GetBytes([]byte(key), "v0001"); !ok || out.Score != 0.9 {
+		t.Fatalf("GetBytes = (%+v, %v), want hit with score 0.9", out, ok)
+	}
+	if _, ok := c.GetBytes([]byte(key), "v0002"); ok {
+		t.Fatal("GetBytes hit across model versions")
+	}
+	if _, ok := c.GetBytes(nil, "v0001"); ok {
+		t.Fatal("GetBytes hit on empty key")
+	}
+	// Snapshots without a landing URL stay uncacheable.
+	if got := appendCacheKey(nil, &webpage.Snapshot{StartingURL: "http://a.test/x"}); len(got) != 0 {
+		t.Fatalf("appendCacheKey without landing URL = %q, want empty", got)
 	}
 }

@@ -51,6 +51,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -59,6 +60,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"knowphish/internal/core"
@@ -459,16 +461,23 @@ func (s *Server) boundedCtx(ctx context.Context, fn func()) error {
 // sizing could fix) but still refresh the cached outcome.
 func (s *Server) scoreSnap(ctx context.Context, pipe *core.Pipeline, snap *webpage.Snapshot, req core.ScoreRequest) (core.Verdict, bool, error) {
 	version := pipe.Detector.Version()
-	var key string
+	// The key is built into a pooled buffer and looked up as bytes; a
+	// string is only materialized when an outcome is actually stored, so
+	// the dominant outcomes of this function — a cache hit, or a miss on
+	// an uncacheable page — never put the key on the heap.
+	var keyBuf *[]byte
 	if s.cache != nil {
-		if err := s.boundedCtx(ctx, func() { key = cacheKey(snap) }); err != nil {
+		keyBuf = keyPool.Get().(*[]byte)
+		if err := s.boundedCtx(ctx, func() { *keyBuf = appendCacheKey((*keyBuf)[:0], snap) }); err != nil {
+			putKeyBuf(keyBuf)
 			return core.Verdict{}, false, err
 		}
-		if key != "" && !req.Explains() {
+		if len(*keyBuf) != 0 && !req.Explains() {
 			// Hits are version-gated: after a champion hot-swap, entries
 			// scored by the predecessor read as misses and the page is
 			// re-scored by the model actually serving.
-			if out, ok := s.cache.Get(key, version); ok {
+			if out, ok := s.cache.GetBytes(*keyBuf, version); ok {
+				putKeyBuf(keyBuf)
 				s.metrics.cacheHits.Add(1)
 				v := core.MakeVerdict(out, pipe.Detector.Threshold())
 				v.ModelVersion = version
@@ -480,17 +489,23 @@ func (s *Server) scoreSnap(ctx context.Context, pipe *core.Pipeline, snap *webpa
 	var v core.Verdict
 	var err error
 	if berr := s.boundedCtx(ctx, func() { v, err = pipe.AnalyzeCtx(ctx, req) }); berr != nil {
-		return core.Verdict{}, false, berr
+		err = berr
 	}
 	if err != nil {
+		if keyBuf != nil {
+			putKeyBuf(keyBuf)
+		}
 		return core.Verdict{}, false, err
 	}
 	s.recordOutcome(v.Outcome)
 	// A skip_target verdict is partial (no FP-removal pass); caching it
 	// would hand later full requests a weaker outcome than they asked
 	// for. Such requests may read the cache but never define it.
-	if s.cache != nil && !req.SkipsTarget() {
-		s.cache.Put(key, v.Outcome, version)
+	if keyBuf != nil {
+		if !req.SkipsTarget() {
+			s.cache.Put(string(*keyBuf), v.Outcome, version)
+		}
+		putKeyBuf(keyBuf)
 	}
 	return v, false, nil
 }
@@ -949,12 +964,39 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// replyPool recycles response-encoding buffers. Marshaling into a
+// pooled buffer first (instead of streaming into the ResponseWriter)
+// reuses the encoder's working memory across requests and lets the
+// response carry a Content-Length.
+var replyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledReply caps the buffer capacity returned to replyPool: one
+// giant batch response must not pin megabytes in the pool forever.
+const maxPooledReply = 1 << 20
+
 func (s *Server) reply(w http.ResponseWriter, status int, v any) {
+	buf := replyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Nothing was written yet, so the failure can still be reported
+		// as a real error status (pre-pool encoding failed after the
+		// header and could only be counted).
+		s.metrics.errors.Add(1)
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		if buf.Cap() <= maxPooledReply {
+			replyPool.Put(buf)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		// Headers are gone; nothing to do but count it.
 		s.metrics.errors.Add(1)
+	}
+	if buf.Cap() <= maxPooledReply {
+		replyPool.Put(buf)
 	}
 }
 

@@ -62,9 +62,17 @@ func (s *Server) handleScoreStream(w http.ResponseWriter, r *http.Request) {
 			}
 		})
 	}()
-	enc := json.NewEncoder(w)
+	// Each line is encoded into a reused buffer and written in one call:
+	// the encoder's working memory amortizes across the stream instead
+	// of being re-grown per item, and the transport sees whole lines.
+	buf := replyPool.Get().(*bytes.Buffer)
+	enc := json.NewEncoder(buf)
 	for res := range results {
+		buf.Reset()
 		if err := enc.Encode(res); err != nil {
+			continue
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			// The connection is gone; ctx cancellation is already
 			// stopping the producers. Keep draining so they never block.
 			continue
@@ -73,6 +81,9 @@ func (s *Server) handleScoreStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		s.metrics.streamed.Add(1)
+	}
+	if buf.Cap() <= maxPooledReply {
+		replyPool.Put(buf)
 	}
 	if ctx.Err() != nil {
 		s.metrics.cancelled.Add(1)

@@ -73,6 +73,44 @@ func Extract(s string) []string {
 	return out
 }
 
+// Count returns len(Extract(s)) without materializing the terms: the
+// number of maximal runs of canonicalizable characters of length at
+// least MinTermLength. It allocates nothing, which is what keeps the
+// URL-statistics features (terms-in-URL, terms-in-mld, computed per
+// link on every scored page) off the heap.
+func Count(s string) int {
+	n, run := 0, 0
+	for _, r := range s {
+		if Canonicalize(r) < 0 {
+			if run >= MinTermLength {
+				n++
+			}
+			run = 0
+			continue
+		}
+		run++
+	}
+	if run >= MinTermLength {
+		n++
+	}
+	return n
+}
+
+// AppendFolded appends the canonicalized form of s to dst: every rune
+// with a base letter contributes that letter, everything else is
+// dropped ("secure-login-77" → "securelogin"). It is the
+// allocation-free form of folding an mld to the term its usage in text
+// would produce; Canonicalize only emits a–z, so one byte per kept
+// rune.
+func AppendFolded(dst []byte, s string) []byte {
+	for _, r := range s {
+		if c := Canonicalize(r); c > 0 {
+			dst = append(dst, byte(c))
+		}
+	}
+	return dst
+}
+
 // ExtractAll extracts terms from every string in ss, concatenated in order.
 func ExtractAll(ss []string) []string {
 	var out []string
@@ -157,6 +195,13 @@ func (d Distribution) Contains(t string) bool {
 	return ok
 }
 
+// ContainsBytes is Contains for a byte-slice term, allocation-free (the
+// map lookup converts without copying).
+func (d Distribution) ContainsBytes(t []byte) bool {
+	_, ok := d.index[string(t)]
+	return ok
+}
+
 // Terms returns the distinct terms in sorted order. The slice is shared;
 // callers must not modify it.
 func (d Distribution) Terms() []string { return d.terms }
@@ -185,6 +230,39 @@ func (d Distribution) SubstringProbabilitySum(target string) float64 {
 		}
 	}
 	return sum
+}
+
+// SubstringProbabilitySumBytes is SubstringProbabilitySum for a
+// byte-slice target. It is allocation-free: the substring scan compares
+// bytes in place instead of converting either side to a string.
+func (d Distribution) SubstringProbabilitySumBytes(target []byte) float64 {
+	if len(target) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, t := range d.terms {
+		if bytesContainString(target, t) {
+			sum += d.probs[i]
+		}
+	}
+	return sum
+}
+
+// bytesContainString reports whether sub occurs in b, matching
+// strings.Contains semantics without allocating. The scan is naive;
+// targets here are mld-length (tens of bytes), where setup-free beats
+// Rabin–Karp.
+func bytesContainString(b []byte, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(b); i++ {
+		// A string(...) conversion in an == comparison does not allocate.
+		if string(b[i:i+len(sub)]) == sub {
+			return true
+		}
+	}
+	return false
 }
 
 // TopN returns the n most probable terms, ties broken lexicographically

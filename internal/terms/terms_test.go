@@ -274,3 +274,47 @@ func TestTermSet(t *testing.T) {
 		}
 	}
 }
+
+func TestCountMatchesExtract(t *testing.T) {
+	cases := []string{
+		"",
+		"ab",
+		"abc",
+		"secure-login-77 Bank of Tests",
+		"paypаl with-а-homograph",              // Cyrillic а folds to a
+		"x.y.z..w http://example.com/a/b?c=dd", // separators everywhere
+		"ßströng ünïcode ендс",
+		"no",
+	}
+	for _, s := range cases {
+		if got, want := Count(s), len(Extract(s)); got != want {
+			t.Errorf("Count(%q) = %d, want len(Extract) = %d", s, got, want)
+		}
+	}
+}
+
+func TestAppendFolded(t *testing.T) {
+	if got := string(AppendFolded(nil, "Secure-Login-77")); got != "securelogin" {
+		t.Errorf("AppendFolded = %q, want securelogin", got)
+	}
+	// Appends to the tail of dst rather than overwriting it.
+	if got := string(AppendFolded([]byte("x"), "ab")); got != "xab" {
+		t.Errorf("AppendFolded with prefix = %q, want xab", got)
+	}
+}
+
+func TestBytesVariantsMatchStringAPI(t *testing.T) {
+	d := FromText("secure bank login secure")
+	for _, term := range []string{"secure", "bank", "absent", ""} {
+		if got, want := d.ContainsBytes([]byte(term)), d.Contains(term); got != want {
+			t.Errorf("ContainsBytes(%q) = %v, want %v", term, got, want)
+		}
+	}
+	for _, target := range []string{"", "securebank", "bank", "xyz", "loginsecurelogin"} {
+		got := d.SubstringProbabilitySumBytes([]byte(target))
+		want := d.SubstringProbabilitySum(target)
+		if got != want {
+			t.Errorf("SubstringProbabilitySumBytes(%q) = %v, want %v", target, got, want)
+		}
+	}
+}

@@ -244,3 +244,20 @@ func TestQuickFreeURLExcludesRDN(t *testing.T) {
 
 // Generators producing well-formed URL fragments for quick.Check live in
 // quick_test.go.
+
+func TestFreeURLDotsMatchesFreeURL(t *testing.T) {
+	cases := []string{
+		"https://www.amazon.co.uk/ap/signin?_encoding=UTF8",
+		"http://a.b.c.example.com/x.y/z.html?v=1.2.3",
+		"http://example.com",
+		"http://192.168.0.1/login.php",
+		"example.com/path.with.dots",
+		"http://example.com/?q=..",
+	}
+	for _, raw := range cases {
+		p := MustParse(raw)
+		if got, want := p.FreeURLDots(), strings.Count(p.FreeURL(), "."); got != want {
+			t.Errorf("FreeURLDots(%q) = %d, want %d", raw, got, want)
+		}
+	}
+}

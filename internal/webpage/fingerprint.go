@@ -4,7 +4,24 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"sync"
 )
+
+// preimagePool recycles the canonical-encoding buffer AppendFingerprint
+// hashes. Fingerprints are computed per request on the serving hot path
+// (cache keys) and per record in the store, so the preimage — which can
+// be page-sized — must not be rebuilt on the heap each time.
+var preimagePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
+// maxPooledPreimage caps the buffer capacity returned to preimagePool:
+// one pathological multi-megabyte snapshot must not leave page-sized
+// buffers pinned in the pool serving every later small page.
+const maxPooledPreimage = 1 << 20
 
 // Fingerprint hashes every content field of a snapshot into a stable hex
 // digest. Two snapshots share a fingerprint exactly when a browser
@@ -14,32 +31,53 @@ import (
 // verdict supersedes an older one for the same landing URL. sha256 keeps
 // the identity collision-resistant even against adversarial content.
 func Fingerprint(snap *Snapshot) string {
-	h := sha256.New()
-	ws := func(s string) {
-		_, _ = h.Write([]byte(s))
-		_, _ = h.Write([]byte{0})
-	}
-	wl := func(ss []string) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(ss)))
-		_, _ = h.Write(n[:])
-		for _, s := range ss {
-			ws(s)
-		}
-	}
-	ws(snap.StartingURL)
-	wl(snap.RedirectionChain)
-	wl(snap.LoggedLinks)
-	wl(snap.HREFLinks)
-	wl(snap.ScreenshotTerms)
-	ws(snap.Title)
-	ws(snap.Text)
-	ws(snap.Copyright)
-	ws(snap.Language)
+	return string(AppendFingerprint(nil, snap))
+}
+
+// AppendFingerprint appends the hex fingerprint of snap to dst and
+// returns the extended slice — the allocation-free form of Fingerprint
+// (the preimage is built in a pooled buffer and hashed on the stack).
+// The digest is byte-identical to Fingerprint's.
+func AppendFingerprint(dst []byte, snap *Snapshot) []byte {
+	bp := preimagePool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = fpString(b, snap.StartingURL)
+	b = fpList(b, snap.RedirectionChain)
+	b = fpList(b, snap.LoggedLinks)
+	b = fpList(b, snap.HREFLinks)
+	b = fpList(b, snap.ScreenshotTerms)
+	b = fpString(b, snap.Title)
+	b = fpString(b, snap.Text)
+	b = fpString(b, snap.Copyright)
+	b = fpString(b, snap.Language)
 	var counts [24]byte
 	binary.LittleEndian.PutUint64(counts[0:], uint64(snap.InputCount))
 	binary.LittleEndian.PutUint64(counts[8:], uint64(snap.ImageCount))
 	binary.LittleEndian.PutUint64(counts[16:], uint64(snap.IFrameCount))
-	_, _ = h.Write(counts[:])
-	return hex.EncodeToString(h.Sum(nil))
+	b = append(b, counts[:]...)
+	sum := sha256.Sum256(b)
+	if cap(b) <= maxPooledPreimage {
+		*bp = b
+		preimagePool.Put(bp)
+	}
+	return hex.AppendEncode(dst, sum[:])
+}
+
+// fpString appends one length-delimited string of the canonical
+// preimage encoding: the bytes followed by a 0 separator.
+func fpString(b []byte, s string) []byte {
+	b = append(b, s...)
+	return append(b, 0)
+}
+
+// fpList appends a string list: an 8-byte length prefix, then each
+// element fpString-encoded.
+func fpList(b []byte, ss []string) []byte {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(ss)))
+	b = append(b, n[:]...)
+	for _, s := range ss {
+		b = fpString(b, s)
+	}
+	return b
 }

@@ -335,6 +335,19 @@ func FeatureSetHash(set FeatureSet) string { return registry.FeatureSetHash(set)
 // (drift monitors read it); never serialized.
 func WithVectorCapture() ScoreOption { return core.WithVectorCapture() }
 
+// PageAnalysis is the derived, feature-ready view of a Snapshot (URLs
+// parsed, links classified, term distributions built).
+type PageAnalysis = webpage.Analysis
+
+// AnalyzePage computes a snapshot's analysis once; pass it to repeated
+// scoring requests via WithAnalysis to skip the analysis stage.
+func AnalyzePage(s *Snapshot) *PageAnalysis { return webpage.Analyze(s) }
+
+// WithAnalysis supplies a precomputed page analysis, skipping the
+// analysis stage — the cached-page fast path, which scores without any
+// heap allocation.
+func WithAnalysis(a *PageAnalysis) ScoreOption { return core.WithAnalysis(a) }
+
 // Fingerprint hashes a snapshot's content fields into the stable page
 // identity used by the verdict cache and the store's compaction.
 func Fingerprint(s *Snapshot) string { return webpage.Fingerprint(s) }

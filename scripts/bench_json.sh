@@ -1,0 +1,72 @@
+#!/bin/sh
+# bench_json.sh — run the key benchmarks and emit a machine-readable
+# summary (ns/op, B/op, allocs/op per benchmark) so the performance
+# trajectory across PRs can be tracked: CI uploads the file as the
+# BENCH_PR artifact on every run, and any later tooling can diff two
+# artifacts without re-parsing go test logs.
+#
+# Environment:
+#   BENCH      benchmark regexp    (default: the key-benchmark set)
+#   COUNT      runs per benchmark  (default: 3; medians reported)
+#   BENCHTIME  go test -benchtime  (default: 1s)
+#   OUT        output path         (default: BENCH_PR.json)
+set -eu
+
+# KEY_BENCHES comes from bench_lib.sh, the single source of the
+# key-benchmark set shared with bench_compare.sh.
+. "$(dirname "$0")/bench_lib.sh"
+
+BENCH=${BENCH:-$KEY_BENCHES}
+COUNT=${COUNT:-3}
+BENCHTIME=${BENCHTIME:-1s}
+OUT=${OUT:-BENCH_PR.json}
+
+ROOT=$(git rev-parse --show-toplevel)
+cd "$ROOT"
+
+COMMIT=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+GOVER=$(go env GOVERSION)
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . |
+    awk -v commit="$COMMIT" -v gover="$GOVER" -v stamp="$STAMP" '
+        function median(vals, n,    i, j, tmp, srt) {
+            for (i = 1; i <= n; i++) srt[i] = vals[i] + 0
+            for (i = 2; i <= n; i++) {
+                tmp = srt[i]
+                for (j = i - 1; j >= 1 && srt[j] > tmp; j--) srt[j + 1] = srt[j]
+                srt[j + 1] = tmp
+            }
+            if (n % 2 == 1) return srt[(n + 1) / 2]
+            return (srt[n / 2] + srt[n / 2 + 1]) / 2
+        }
+        /^Benchmark/ {
+            name = $1
+            if (!(name in seen)) { seen[name] = 1; order[++nb] = name }
+            for (i = 2; i < NF; i++) {
+                if ($(i + 1) == "ns/op" && i == 3) { cns[name]++; ns[name, cns[name]] = $i }
+                if ($(i + 1) == "B/op")            { cbp[name]++; bp[name, cbp[name]] = $i }
+                if ($(i + 1) == "allocs/op")       { cal[name]++; al[name, cal[name]] = $i }
+            }
+        }
+        END {
+            printf "{\n"
+            printf "  \"schema\": 1,\n"
+            printf "  \"commit\": \"%s\",\n", commit
+            printf "  \"go\": \"%s\",\n", gover
+            printf "  \"generated\": \"%s\",\n", stamp
+            printf "  \"benchtime\": \"%s\",\n", "'"$BENCHTIME"'"
+            printf "  \"count\": %d,\n", "'"$COUNT"'" + 0
+            printf "  \"benchmarks\": [\n"
+            for (k = 1; k <= nb; k++) {
+                b = order[k]
+                n = cns[b];  for (i = 1; i <= n; i++) v[i] = ns[b, i];  mns = median(v, n)
+                n = cbp[b];  for (i = 1; i <= n; i++) v[i] = bp[b, i];  mbp = (n > 0) ? median(v, n) : -1
+                n = cal[b];  for (i = 1; i <= n; i++) v[i] = al[b, i];  mal = (n > 0) ? median(v, n) : -1
+                printf "    {\"name\": \"%s\", \"ns_per_op\": %g, \"b_per_op\": %g, \"allocs_per_op\": %g}%s\n", \
+                    b, mns, mbp, mal, (k < nb) ? "," : ""
+            }
+            printf "  ]\n}\n"
+        }' > "$OUT"
+
+echo "bench-json: wrote $OUT"

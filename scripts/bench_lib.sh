@@ -1,0 +1,14 @@
+# bench_lib.sh — the single source of truth for the key-benchmark set.
+# Sourced by bench_compare.sh and bench_json.sh; the Makefile targets
+# invoke those scripts without setting BENCH, so changing the set here
+# changes the gate, the local delta table and the BENCH_PR.json
+# artifact together — they can never silently diverge.
+#
+# KEY_BENCHES selects what runs; KEY_GATE is the gate filter over the
+# resulting (sub-)benchmark names. They differ in one deliberate way:
+# BenchmarkGBMPredict/layout=tree is the retained reference walk — it
+# serves no traffic, so it runs (its delta is informative) but is not
+# held to the threshold; layout=flat, the production path, is.
+
+KEY_BENCHES='BenchmarkServeScore|BenchmarkGBMPredict|BenchmarkFeedIngest|BenchmarkScoreHotPath'
+KEY_GATE='BenchmarkServeScore|BenchmarkGBMPredict/layout=flat|BenchmarkFeedIngest|BenchmarkScoreHotPath'
