@@ -8,7 +8,7 @@ GO ?= go
 # bench-* targets below inherit it by not setting BENCH. Override per
 # run with BENCH=<regexp>.
 
-.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check ci
+.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long store-stress cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check ci
 
 all: build
 
@@ -43,6 +43,12 @@ fuzz-smoke:
 # The nightly workflow's longer pass over the same surface.
 fuzz-long:
 	$(GO) test -fuzz=FuzzParse -fuzztime=60s ./internal/urlx
+
+# Nightly storage soak: 100k appends with supersede churn and
+# concurrent compaction, then a reopen-and-verify pass. Too slow for
+# every PR; nightly.yml runs it. STORE_STRESS_N overrides the volume.
+store-stress:
+	STORE_STRESS=1 $(GO) test -count=1 -run TestStoreStress -timeout 30m ./internal/store
 
 # Coverage profile for local inspection and CI artifacts. Reported, not
 # gated: no threshold.

@@ -481,7 +481,8 @@ func BenchmarkServeScore(b *testing.B) {
 
 // BenchmarkFeedIngest drives the continuous ingestion pipeline end to
 // end: a batch of synthetic-world URLs enters the scheduler, is crawled,
-// scored, target-identified and persisted to the JSONL verdict store.
+// scored, target-identified and persisted to the segmented verdict
+// store.
 // The workers sub-benchmarks show enqueue→persist throughput scaling
 // from a serial worker loop to GOMAXPROCS fan-out. Per-domain rate
 // limiting is disabled — the measurement is pipeline throughput, not
@@ -758,5 +759,129 @@ func BenchmarkAnalyzeBatchCancelled(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// storeBenchOpen opens a fresh verdict store of the named engine.
+// Automatic compaction is disabled so the append and scan benchmarks
+// measure the engine's steady-state path, not compaction scheduling.
+func storeBenchOpen(b *testing.B, engine string) store.Backend {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "verdicts")
+	if engine == store.BackendLegacy {
+		path = filepath.Join(b.TempDir(), "verdicts.jsonl")
+	}
+	st, err := store.Open(store.Config{Path: path, Backend: engine, CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = st.Close() })
+	return st
+}
+
+func storeBenchRecord(i int) store.Record {
+	return store.Record{
+		URL:          fmt.Sprintf("http://lure.test/%d", i),
+		LandingURL:   fmt.Sprintf("http://land.test/%d", i),
+		Fingerprint:  "fp",
+		Target:       "novabank.com",
+		ModelVersion: "v0001",
+		Outcome:      core.Outcome{Score: 0.9, DetectorPhish: true, FinalPhish: true},
+		ScoredAt:     time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second),
+	}
+}
+
+// BenchmarkStoreAppend measures one durable verdict append per
+// iteration — frame encoding plus the buffered segment write for the
+// segmented WAL, one JSON line for the legacy log.
+func BenchmarkStoreAppend(b *testing.B) {
+	for _, engine := range []string{store.BackendSegmented, store.BackendLegacy} {
+		b.Run("backend="+engine, func(b *testing.B) {
+			st := storeBenchOpen(b, engine)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Append(ctx, storeBenchRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreScan measures one 100-record newest-first query page
+// over a 4096-record store — the /v1 and /v2 verdicts read path. The
+// segmented engine pays a disk read per record (its index holds
+// locations, not records); the legacy engine serves from its in-memory
+// map.
+func BenchmarkStoreScan(b *testing.B) {
+	const records = 4096
+	for _, engine := range []string{store.BackendSegmented, store.BackendLegacy} {
+		b.Run("backend="+engine, func(b *testing.B) {
+			st := storeBenchOpen(b, engine)
+			ctx := context.Background()
+			for i := 0; i < records; i++ {
+				if err := st.Append(ctx, storeBenchRecord(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page, err := st.Scan(ctx, store.Query{Limit: 100})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(page.Records) != 100 {
+					b.Fatalf("page = %d records, want 100", len(page.Records))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreReopen measures cold-start time over an existing
+// verdict log — the restart-recovery path. The segmented engine loads
+// a binary snapshot and replays only the frames past its watermark;
+// the legacy engine re-parses every JSON line. The records=100000
+// sub-benchmarks are the PR's fast-start acceptance measurement:
+// segmented reopen must be ≥10× faster than legacy.
+func BenchmarkStoreReopen(b *testing.B) {
+	for _, records := range []int{10000, 100000} {
+		for _, engine := range []string{store.BackendSegmented, store.BackendLegacy} {
+			b.Run(fmt.Sprintf("backend=%s/records=%d", engine, records), func(b *testing.B) {
+				path := filepath.Join(b.TempDir(), "verdicts")
+				if engine == store.BackendLegacy {
+					path = filepath.Join(b.TempDir(), "verdicts.jsonl")
+				}
+				st, err := store.Open(store.Config{Path: path, Backend: engine, CompactEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				for i := 0; i < records; i++ {
+					if err := st.Append(ctx, storeBenchRecord(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := store.Open(store.Config{Path: path, Backend: engine, CompactEvery: -1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Len() != records {
+						b.Fatalf("reopened Len = %d, want %d", st.Len(), records)
+					}
+					b.StopTimer() // measure the open, not the close
+					if err := st.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
+		}
 	}
 }

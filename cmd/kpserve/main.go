@@ -8,14 +8,20 @@
 // a one-command demo of the whole system. In that mode the synthetic
 // world doubles as the crawl source, so -store also enables the
 // continuous feed-ingestion pipeline (POST /v1/feed → crawl → score →
-// persist, queryable at GET /v1/verdicts).
+// persist, queryable at GET /v1/verdicts and, with cursor pagination,
+// GET /v2/verdicts).
+//
+// Verdicts persist in a segmented write-ahead log by default (-store
+// names its directory); -store-backend selects the legacy single-file
+// JSONL engine or an in-memory store instead, and a legacy log found
+// at the -store path is migrated into segments on first open.
 //
 // Usage:
 //
-//	kpserve -addr :8080 -store verdicts.jsonl                # demo + feed
+//	kpserve -addr :8080 -store verdicts/                     # demo + feed
 //	kpserve -addr :8080 -model model.json -ranking data/ranking.csv -index index.json
 //	kpserve -addr :8080 -deadline 250ms -explain top         # bounded, explainable verdicts
-//	kpserve -addr :8080 -registry models/ -store verdicts.jsonl \
+//	kpserve -addr :8080 -registry models/ -store verdicts/ \
 //	        -shadow-frac 0.25 -auto-retrain                  # full model lifecycle
 //
 // With -registry the detector is served from a versioned model registry
@@ -31,8 +37,8 @@
 // Endpoints: POST /v2/score, POST /v2/target, POST /v2/score/stream
 // (NDJSON), GET/POST /v2/models, POST /v2/models/promote, POST
 // /v1/score, POST /v1/score/batch, POST /v1/target, POST /v1/feed,
-// GET /v1/verdicts, GET /healthz, GET /metrics. See README.md for
-// request formats and the v1 → v2 migration table.
+// GET /v1/verdicts, GET /v2/verdicts, GET /healthz, GET /metrics. See
+// README.md for request formats and the v1 → v2 migration table.
 package main
 
 import (
@@ -82,7 +88,9 @@ func run() error {
 		scale     = flag.Int("scale", 25, "corpus scale for the self-train path")
 		seed      = flag.Int64("seed", 1, "seed for the self-train path")
 
-		storePath    = flag.String("store", "", "verdict store JSONL path (enables GET /v1/verdicts; with the self-train world, also POST /v1/feed)")
+		storePath    = flag.String("store", "", "verdict store path (enables GET /v1/verdicts and /v2/verdicts; with the self-train world, also POST /v1/feed). The default segmented engine uses it as a directory; a legacy JSONL log found there is migrated in place on first open")
+		storeEngine  = flag.String("store-backend", store.BackendSegmented, "storage engine: segmented (WAL directory), legacy (single JSONL log) or memory")
+		segmentBytes = flag.Int("segment-bytes", store.DefaultSegmentBytes, "segmented engine: bytes per WAL segment before it seals")
 		storeSync    = flag.Bool("store-sync", false, "fsync the verdict store on every append")
 		compactEvery = flag.Int("compact-every", store.DefaultCompactEvery, "appends between verdict-store compactions (negative: never)")
 		feedQueue    = flag.Int("feed-queue", feed.DefaultQueueDepth, "feed queue depth, the backpressure bound")
@@ -155,16 +163,23 @@ func run() error {
 	// Feed ingestion needs a crawl source; only the self-train path has
 	// one (the synthetic world). An artifact-mode server still persists
 	// nothing by itself but serves /v1/verdicts over an existing log.
-	var st *store.Store
+	var st store.Backend
 	var sched *feed.Scheduler
 	var lc *drift.Lifecycle
 	if *storePath != "" {
-		st, err = store.Open(store.Config{Path: *storePath, Sync: *storeSync, CompactEvery: *compactEvery, MaxExplainBytes: *maxExplain})
+		st, err = store.Open(store.Config{
+			Path:            *storePath,
+			Backend:         *storeEngine,
+			Sync:            *storeSync,
+			CompactEvery:    *compactEvery,
+			MaxExplainBytes: *maxExplain,
+			SegmentBytes:    *segmentBytes,
+		})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
-		fmt.Printf("kpserve: verdict store %s (%d records)\n", *storePath, st.Len())
+		fmt.Printf("kpserve: verdict store %s (%s engine, %d records)\n", *storePath, st.Stats().Backend, st.Len())
 		if world != nil {
 			// The full lifecycle loop needs the registry (models), the
 			// store (retrain corpus) and the world (re-crawl source) —

@@ -32,6 +32,9 @@ const (
 	DefaultRetrainMax = 2048
 	// DefaultHoldout is the held-out fraction of the retrain corpus.
 	DefaultHoldout = 0.25
+	// retrainScanPage is the cursor page size retrain uses when walking
+	// the verdict store; pages keep memory flat regardless of RetrainMax.
+	retrainScanPage = 256
 )
 
 // ErrRetrainRunning reports a retrain request while one is in flight —
@@ -48,8 +51,8 @@ type LifecycleConfig struct {
 	// Required.
 	Registry *registry.Registry
 	// Store is the durable verdict log retraining draws its corpus
-	// from. Required for retraining.
-	Store *store.Store
+	// from (any store.Backend engine). Required for retraining.
+	Store store.Backend
 	// Fetcher re-crawls stored URLs into snapshots for retraining.
 	// Required for retraining.
 	Fetcher crawl.Fetcher
@@ -391,30 +394,49 @@ func (l *Lifecycle) retrain(ctx context.Context) (registry.Manifest, error) {
 		return registry.Manifest{}, registry.ErrNoChampion
 	}
 
-	recs := l.cfg.Store.Select(store.Query{Limit: l.cfg.RetrainMax})
+	// Page through the newest RetrainMax verdicts with Scan cursors
+	// instead of materializing one whole-index slice: at production
+	// scale the corpus is a window over millions of records, and the
+	// store streams each page from disk.
 	var snaps []*webpage.Snapshot
 	var labels []int
-	for i, rec := range recs {
-		if i%32 == 0 && ctx.Err() != nil {
-			return registry.Manifest{}, context.Cause(ctx)
+	seen := 0
+	q := store.Query{Limit: retrainScanPage}
+	for seen < l.cfg.RetrainMax {
+		if remaining := l.cfg.RetrainMax - seen; remaining < q.Limit {
+			q.Limit = remaining
 		}
-		if rec.Error != "" {
-			continue // terminal fetch failures carry no page
-		}
-		snap, err := crawl.Visit(l.cfg.Fetcher, rec.URL)
+		page, err := l.cfg.Store.Scan(ctx, q)
 		if err != nil {
-			continue // gone since it was scored; the rest still teach
+			return registry.Manifest{}, fmt.Errorf("drift: reading retrain corpus: %w", err)
 		}
-		label := 0
-		if rec.Outcome.FinalPhish {
-			label = 1
+		for i, rec := range page.Records {
+			if i%32 == 0 && ctx.Err() != nil {
+				return registry.Manifest{}, context.Cause(ctx)
+			}
+			if rec.Error != "" {
+				continue // terminal fetch failures carry no page
+			}
+			snap, err := crawl.Visit(l.cfg.Fetcher, rec.URL)
+			if err != nil {
+				continue // gone since it was scored; the rest still teach
+			}
+			label := 0
+			if rec.Outcome.FinalPhish {
+				label = 1
+			}
+			snaps = append(snaps, snap)
+			labels = append(labels, label)
 		}
-		snaps = append(snaps, snap)
-		labels = append(labels, label)
+		seen += len(page.Records)
+		if page.NextCursor == "" {
+			break
+		}
+		q.Cursor = page.NextCursor
 	}
 	trainSnaps, trainLabels, holdSnaps, holdLabels := l.split(snaps, labels)
 	if err := needBothClasses(trainLabels); err != nil {
-		return registry.Manifest{}, fmt.Errorf("drift: retrain corpus (%d usable of %d records): %w", len(snaps), len(recs), err)
+		return registry.Manifest{}, fmt.Errorf("drift: retrain corpus (%d usable of %d records): %w", len(snaps), seen, err)
 	}
 	if err := needBothClasses(holdLabels); err != nil {
 		return registry.Manifest{}, fmt.Errorf("drift: held-out split (%d examples): %w", len(holdSnaps), err)

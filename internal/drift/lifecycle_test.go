@@ -133,7 +133,7 @@ func TestAutoRetrainBacksOffAfterFailure(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		site := c.World.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
 		fetchers = append(fetchers, site)
-		if err := st.Append(store.Record{URL: site.StartURL, LandingURL: site.StartURL}); err != nil {
+		if err := st.Append(context.Background(), store.Record{URL: site.StartURL, LandingURL: site.StartURL}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -391,7 +391,11 @@ func TestLifecycleEndToEnd(t *testing.T) {
 		}
 	}
 	recVersions := map[string]int{}
-	for _, rec := range st.Select(store.Query{}) {
+	page, err := st.Scan(context.Background(), store.Query{})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	for _, rec := range page.Records {
 		recVersions[rec.ModelVersion]++
 	}
 	if recVersions["v0001"] == 0 || recVersions["v0002"] == 0 {

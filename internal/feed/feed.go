@@ -102,8 +102,9 @@ type Config struct {
 	// (core.WithVectorCapture).
 	OnVerdict func(snap *webpage.Snapshot, v core.Verdict)
 	// Store persists verdicts (optional; without it verdicts are only
-	// observable through Stats).
-	Store *store.Store
+	// observable through Stats). Any store.Backend engine works; see
+	// store.Open.
+	Store store.Backend
 	// Workers is the crawl/score worker count (0 → GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds accepted-but-unscored URLs
@@ -496,12 +497,15 @@ func (s *Scheduler) retryOrFail(it *item, err error) {
 	s.finish(it, err)
 }
 
-// persist appends a record to the store, if one is configured.
+// persist appends a record to the store, if one is configured. The
+// append runs under a background context deliberately: by this point
+// the verdict is computed and paid for, and a draining scheduler must
+// not lose it to its own cancellation.
 func (s *Scheduler) persist(rec store.Record) error {
 	if s.cfg.Store == nil {
 		return nil
 	}
-	return s.cfg.Store.Append(rec)
+	return s.cfg.Store.Append(context.Background(), rec)
 }
 
 // finish releases an item's in-flight slot and accounts the outcome.

@@ -58,7 +58,7 @@ func fixtures(t *testing.T) (*dataset.Corpus, *core.Pipeline) {
 
 func newStore(t *testing.T) *store.Store {
 	t.Helper()
-	st, err := store.Open(store.Config{Path: filepath.Join(t.TempDir(), "v.jsonl")})
+	st, err := store.OpenLegacy(store.Config{Path: filepath.Join(t.TempDir(), "v.jsonl")})
 	if err != nil {
 		t.Fatalf("store.Open: %v", err)
 	}
@@ -106,7 +106,7 @@ func TestEndToEndIngestion(t *testing.T) {
 	fetcher := crawl.Compose(site, c.World)
 
 	s, err := New(Config{
-		Fetcher: fetcher, Pipeline: pipe, Store: st,
+		Fetcher: fetcher, Pipeline: pipe, Store: st.Backend(),
 		Workers: 2, DomainRate: -1,
 	})
 	if err != nil {
@@ -269,7 +269,7 @@ func TestPerDomainRateLimiting(t *testing.T) {
 	// Burst 1, 50 tokens/s: a campaign of 4 URLs on one domain must be
 	// spread over ~60ms while the other domain's URL flows immediately.
 	s, err := New(Config{
-		Fetcher: staticFetcher, Pipeline: pipe, Store: st,
+		Fetcher: staticFetcher, Pipeline: pipe, Store: st.Backend(),
 		Workers: 2, DomainRate: 50, DomainBurst: 1,
 	})
 	if err != nil {
@@ -349,7 +349,7 @@ func TestRetryWithBackoffThenSuccess(t *testing.T) {
 		return c.World.Fetch(u)
 	})
 	s, err := New(Config{
-		Fetcher: flaky, Pipeline: pipe, Store: st,
+		Fetcher: flaky, Pipeline: pipe, Store: st.Backend(),
 		Workers: 1, MaxAttempts: 4, RetryBackoff: time.Millisecond, DomainRate: -1,
 	})
 	if err != nil {
@@ -373,7 +373,7 @@ func TestRetryBudgetExhaustionPersistsFailure(t *testing.T) {
 	st := newStore(t)
 	dead := fetcherFunc(func(string) (*webgen.Page, bool) { return nil, false })
 	s, err := New(Config{
-		Fetcher: dead, Pipeline: pipe, Store: st,
+		Fetcher: dead, Pipeline: pipe, Store: st.Backend(),
 		Workers: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond, DomainRate: -1,
 	})
 	if err != nil {
@@ -477,7 +477,7 @@ func TestPanicInPipelineContained(t *testing.T) {
 	_, pipe := fixtures(t)
 	st := newStore(t)
 	boom := fetcherFunc(func(string) (*webgen.Page, bool) { panic("malformed page") })
-	s, err := New(Config{Fetcher: boom, Pipeline: pipe, Store: st, Workers: 2, DomainRate: -1})
+	s, err := New(Config{Fetcher: boom, Pipeline: pipe, Store: st.Backend(), Workers: 2, DomainRate: -1})
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -500,7 +500,7 @@ func TestFeedExplainPersistsEvidence(t *testing.T) {
 	c, pipe := fixtures(t)
 	st := newStore(t)
 	s, err := New(Config{
-		Fetcher: c.World, Pipeline: pipe, Store: st,
+		Fetcher: c.World, Pipeline: pipe, Store: st.Backend(),
 		Workers: 2, DomainRate: -1, Explain: core.ExplainTop,
 	})
 	if err != nil {
@@ -545,7 +545,7 @@ func TestFeedExplainPersistsEvidence(t *testing.T) {
 // TestStoreExplanationSizeCap proves oversized evidence is shed while
 // the verdict itself persists.
 func TestStoreExplanationSizeCap(t *testing.T) {
-	st, err := store.Open(store.Config{
+	st, err := store.OpenLegacy(store.Config{
 		Path:            filepath.Join(t.TempDir(), "capped.jsonl"),
 		MaxExplainBytes: 64, // far below any real explanation
 	})
@@ -578,7 +578,7 @@ func TestStoreExplanationSizeCap(t *testing.T) {
 		t.Errorf("explanations_dropped = %d, want 1", st.Stats().ExplanationsDropped)
 	}
 	// Negative cap: never persist evidence.
-	st2, err := store.Open(store.Config{
+	st2, err := store.OpenLegacy(store.Config{
 		Path:            filepath.Join(t.TempDir(), "noexpl.jsonl"),
 		MaxExplainBytes: -1,
 	})

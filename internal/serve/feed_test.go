@@ -21,15 +21,18 @@ import (
 func feedServer(t *testing.T, extra []crawl.Fetcher, mutate func(*feed.Config)) (*Server, *feed.Scheduler, *store.Store) {
 	t.Helper()
 	c, d := fixtures(t)
-	st, err := store.Open(store.Config{Path: filepath.Join(t.TempDir(), "verdicts.jsonl")})
+	// The legacy JSONL engine keeps this test's in-place Reload
+	// semantics; the segmented engine is covered by the golden and
+	// migration tests.
+	st, err := store.OpenLegacy(store.Config{Path: filepath.Join(t.TempDir(), "verdicts.jsonl")})
 	if err != nil {
-		t.Fatalf("store.Open: %v", err)
+		t.Fatalf("store.OpenLegacy: %v", err)
 	}
 	t.Cleanup(func() { _ = st.Close() })
 	fcfg := feed.Config{
 		Fetcher:  crawl.Compose(append(extra, c.World)...),
 		Pipeline: &core.Pipeline{Detector: d, Identifier: target.New(c.Engine)},
-		Store:    st,
+		Store:    st.Backend(),
 		Workers:  2,
 	}
 	if mutate != nil {
@@ -44,7 +47,7 @@ func feedServer(t *testing.T, extra []crawl.Fetcher, mutate func(*feed.Config)) 
 		Detector:   d,
 		Identifier: target.New(c.Engine),
 		Feed:       sched,
-		Store:      st,
+		Store:      st.Backend(),
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)

@@ -15,7 +15,11 @@
 //	POST /v1/score/batch   frozen wire format; adapter over v2
 //	POST /v1/target        frozen wire format; adapter over v2
 //	POST /v1/feed          enqueue URLs into the ingestion pipeline
-//	GET  /v1/verdicts      query the durable verdict store
+//	GET  /v1/verdicts      query the durable verdict store (frozen
+//	                       wire format; adapter over the v2 path)
+//	GET  /v2/verdicts      cursor-paginated verdict queries with
+//	                       target, model_version and time-range
+//	                       filters (next_cursor resumes the scan)
 //	GET  /v2/models        list registry versions, champion, drift and
 //	                       shadow-scoring gauges
 //	POST /v2/models        trigger a background retrain from the store
@@ -82,10 +86,11 @@ const (
 	DefaultMaxBatch = 1024
 	// DefaultMaxBodyBytes bounds request body size.
 	DefaultMaxBodyBytes = 16 << 20
-	// DefaultVerdictsLimit is the record cap of a /v1/verdicts response
+	// DefaultVerdictsLimit is the record cap of a verdicts response
 	// when the request does not set one.
 	DefaultVerdictsLimit = 100
-	// MaxVerdictsLimit is the largest accepted /v1/verdicts limit.
+	// MaxVerdictsLimit is the largest accepted verdicts-query limit;
+	// /v2/verdicts pages beyond it via next_cursor.
 	MaxVerdictsLimit = 1000
 )
 
@@ -134,9 +139,10 @@ type Config struct {
 	// Feed is the continuous ingestion scheduler backing POST /v1/feed
 	// (optional; without it the endpoint answers 503).
 	Feed *feed.Scheduler
-	// Store is the durable verdict store backing GET /v1/verdicts
-	// (optional; without it the endpoint answers 503).
-	Store *store.Store
+	// Store is the durable verdict store backing GET /v1/verdicts and
+	// GET /v2/verdicts (optional; without it both endpoints answer
+	// 503). Any store.Backend engine works; see store.Open.
+	Store store.Backend
 }
 
 // Server is the HTTP scoring service. It is an http.Handler; wire it
@@ -158,7 +164,7 @@ type Server struct {
 	explainTopN     int
 	cache           *verdictCache
 	feed            *feed.Scheduler
-	store           *store.Store
+	store           store.Backend
 	metrics         *Metrics
 	mux             *http.ServeMux
 	// scoreSem bounds CPU-heavy work (parsing, hashing, scoring,
@@ -233,6 +239,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v2/models/promote", s.instrument(s.post(s.handlePromote), nil))
 	s.mux.HandleFunc("/v1/feed", s.instrument(s.post(s.handleFeed), &s.metrics.latency))
 	s.mux.HandleFunc("/v1/verdicts", s.instrument(s.get(s.handleVerdicts), &s.metrics.latency))
+	s.mux.HandleFunc("/v2/verdicts", s.instrument(s.get(s.handleVerdictsV2), &s.metrics.latency))
 	s.mux.HandleFunc("/healthz", s.instrument(s.get(s.handleHealthz), nil))
 	s.mux.HandleFunc("/metrics", s.instrument(s.get(s.handleMetrics), nil))
 	return s, nil
@@ -404,10 +411,22 @@ type FeedResponse struct {
 	QueueDepth int          `json:"queue_depth"`
 }
 
-// VerdictsResponse carries verdict-store records, newest first.
+// VerdictsResponse carries verdict-store records, newest first. It is
+// the frozen /v1/verdicts document: an empty result renders records as
+// null, exactly as v1 always has.
 type VerdictsResponse struct {
 	Records []store.Record `json:"records"`
 	Count   int            `json:"count"`
+}
+
+// VerdictsPageResponse is one /v2/verdicts page, newest first. When
+// next_cursor is present the result was truncated at the limit; pass
+// it back verbatim as ?cursor= to resume the scan exactly after the
+// last record — the cursor stays valid across appends and compactions.
+type VerdictsPageResponse struct {
+	Records    []store.Record `json:"records"`
+	Count      int            `json:"count"`
+	NextCursor string         `json:"next_cursor,omitempty"`
 }
 
 // HealthResponse is the /healthz document.
@@ -861,7 +880,68 @@ func feedReason(err error) string {
 	}
 }
 
-// handleVerdicts queries the verdict store:
+// parseVerdictQuery builds a store.Query from request parameters. The
+// v1 and v2 verdict endpoints share the core filters (target, url,
+// since, phish_only, limit); the v2 surface adds model_version, until
+// and the pagination cursor.
+func parseVerdictQuery(r *http.Request, v2 bool) (store.Query, error) {
+	p := r.URL.Query()
+	q := store.Query{
+		Target: p.Get("target"),
+		URL:    p.Get("url"),
+		Limit:  DefaultVerdictsLimit,
+	}
+	if v := p.Get("since"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return q, fmt.Errorf("invalid since %q: want RFC3339", v)
+		}
+		q.Since = t
+	}
+	if v := p.Get("phish_only"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return q, fmt.Errorf("invalid phish_only %q", v)
+		}
+		q.PhishOnly = b
+	}
+	if v := p.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > MaxVerdictsLimit {
+			return q, fmt.Errorf("invalid limit %q: want 1..%d", v, MaxVerdictsLimit)
+		}
+		q.Limit = n
+	}
+	if !v2 {
+		return q, nil
+	}
+	q.ModelVersion = p.Get("model_version")
+	q.Cursor = p.Get("cursor")
+	if v := p.Get("until"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			return q, fmt.Errorf("invalid until %q: want RFC3339", v)
+		}
+		q.Until = t
+	}
+	return q, nil
+}
+
+// scanFail maps a store.Backend.Scan error onto the HTTP surface.
+func (s *Server) scanFail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrBadCursor):
+		s.fail(w, http.StatusBadRequest, err)
+	case errors.Is(err, store.ErrClosed):
+		s.fail(w, http.StatusServiceUnavailable, err)
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleVerdicts queries the verdict store with the frozen v1 wire
+// format — a thin adapter over the same Scan path /v2/verdicts uses,
+// minus pagination:
 //
 //	GET /v1/verdicts?target=brand.com&since=2026-07-29T00:00:00Z
 //	GET /v1/verdicts?url=http://lure.test/&phish_only=true&limit=50
@@ -870,38 +950,52 @@ func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusServiceUnavailable, errors.New("verdict store is not configured on this server"))
 		return
 	}
-	q := store.Query{
-		Target: r.URL.Query().Get("target"),
-		URL:    r.URL.Query().Get("url"),
-		Limit:  DefaultVerdictsLimit,
+	q, err := parseVerdictQuery(r, false)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
 	}
-	if v := r.URL.Query().Get("since"); v != "" {
-		t, err := time.Parse(time.RFC3339, v)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid since %q: want RFC3339", v))
-			return
-		}
-		q.Since = t
+	page, err := s.store.Scan(r.Context(), q)
+	if err != nil {
+		s.scanFail(w, err)
+		return
 	}
-	if v := r.URL.Query().Get("phish_only"); v != "" {
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("invalid phish_only %q", v))
-			return
-		}
-		q.PhishOnly = b
+	recs := page.Records
+	if len(recs) == 0 {
+		recs = nil // v1 renders an empty result as null; pinned by goldens
 	}
-	if v := r.URL.Query().Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 || n > MaxVerdictsLimit {
-			s.fail(w, http.StatusBadRequest,
-				fmt.Errorf("invalid limit %q: want 1..%d", v, MaxVerdictsLimit))
-			return
-		}
-		q.Limit = n
-	}
-	recs := s.store.Select(q)
 	s.reply(w, http.StatusOK, VerdictsResponse{Records: recs, Count: len(recs)})
+}
+
+// handleVerdictsV2 queries the verdict store with cursor pagination:
+//
+//	GET /v2/verdicts?target=brand.com&limit=50
+//	GET /v2/verdicts?model_version=v0002&since=2026-07-01T00:00:00Z&until=2026-08-01T00:00:00Z
+//	GET /v2/verdicts?cursor=<next_cursor from the previous page>
+func (s *Server) handleVerdictsV2(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("verdict store is not configured on this server"))
+		return
+	}
+	q, err := parseVerdictQuery(r, true)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	page, err := s.store.Scan(r.Context(), q)
+	if err != nil {
+		s.scanFail(w, err)
+		return
+	}
+	recs := page.Records
+	if recs == nil {
+		recs = []store.Record{}
+	}
+	s.reply(w, http.StatusOK, VerdictsPageResponse{
+		Records:    recs,
+		Count:      len(recs),
+		NextCursor: page.NextCursor,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

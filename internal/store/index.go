@@ -1,0 +1,373 @@
+package store
+
+import "sort"
+
+// entry is one live record's index row. Every engine shares it: the
+// memory and legacy engines keep the record inline in rec; the
+// segmented engine keeps only the on-disk location (seg/off/n) and
+// loads the record from its segment on demand, so a store of millions
+// of verdicts costs index-row memory, not record memory.
+type entry struct {
+	seq      uint64
+	start    string // Record.URL ("" when equal to landing)
+	landing  string
+	fp       string
+	target   string
+	model    string
+	scoredAt int64 // Record.ScoredAt.UnixNano()
+	phish    bool
+
+	// dead marks a superseded entry still occupying its bySeq slot.
+	// Holes keep bySeq binary-searchable (the seq stays); scans skip
+	// them and maybeShrink reclaims them in bulk.
+	dead bool
+
+	rec *Record // inline record (memory and legacy engines)
+
+	seg uint64 // segmented engine: segment ID holding the frame
+	off int64  // frame offset within the segment
+	n   uint32 // full frame length in bytes
+}
+
+// metaOf fills an index row from a record (location and rec left to the
+// caller).
+func metaOf(rec *Record) *entry {
+	e := &entry{
+		seq:      rec.Seq,
+		landing:  rec.LandingURL,
+		fp:       rec.Fingerprint,
+		target:   rec.Target,
+		model:    rec.ModelVersion,
+		scoredAt: rec.ScoredAt.UnixNano(),
+		phish:    rec.Outcome.FinalPhish,
+	}
+	if rec.URL != rec.LandingURL {
+		e.start = rec.URL
+	}
+	return e
+}
+
+// pageKey is the supersede identity — a struct key rather than a
+// concatenated string so byKey lookups and bulk loads never allocate.
+type pageKey struct{ landing, fp string }
+
+func (e *entry) key() pageKey { return pageKey{e.landing, e.fp} }
+
+// memIndex is the in-memory view of the live records, shared by all
+// engines: the supersede map plus the secondary indexes the Scan
+// filters and Get are served from. Not self-locking — the owning engine
+// serializes access.
+type memIndex struct {
+	byKey map[pageKey]*entry // supersede identity → newest entry
+
+	// bySeq is every entry ascending by seq; superseded entries stay as
+	// dead holes until maybeShrink. It is both the default scan order
+	// (walked backwards: newest first) and the snapshot iteration order.
+	bySeq []*entry
+	holes int
+
+	byURL    map[string][]*entry // landing URL → entries, ascending seq
+	byStart  map[string][]*entry // starting URL (≠ landing) → entries
+	byTarget map[string][]*entry // identified target RDN → entries
+	byModel  map[string][]*entry // model version → entries
+
+	// lazy holds snapshot rows whose map indexes have not been built
+	// yet (see bulkLoad/materialize). While set, bySeq aliases it and
+	// byKey and the secondary maps are empty.
+	lazy []*entry
+
+	nextSeq uint64 // next sequence number to assign (max seen + 1)
+}
+
+func newMemIndex() *memIndex {
+	return &memIndex{
+		byKey:    make(map[pageKey]*entry),
+		byURL:    make(map[string][]*entry),
+		byStart:  make(map[string][]*entry),
+		byTarget: make(map[string][]*entry),
+		byModel:  make(map[string][]*entry),
+		nextSeq:  1,
+	}
+}
+
+// insert indexes e, superseding any older entry for the same key.
+// Replay order is irrelevant: whatever order segments or log lines
+// arrive in, the highest seq for a key wins, and a duplicate or older
+// frame (compaction crash leftovers, snapshot overlap) is dropped.
+// It returns the entry e displaced, and whether e was actually
+// installed (false → e itself was the stale duplicate).
+func (ix *memIndex) insert(e *entry) (displaced *entry, installed bool) {
+	ix.materialize()
+	if e.seq >= ix.nextSeq {
+		ix.nextSeq = e.seq + 1
+	}
+	k := e.key()
+	if old := ix.byKey[k]; old != nil {
+		if old.seq >= e.seq {
+			return nil, false
+		}
+		ix.unindex(old)
+		displaced = old
+	}
+	ix.byKey[k] = e
+	ix.bySeq = seqInsert(ix.bySeq, e)
+	ix.byURL[e.landing] = seqInsert(ix.byURL[e.landing], e)
+	if e.start != "" {
+		ix.byStart[e.start] = seqInsert(ix.byStart[e.start], e)
+	}
+	if e.target != "" {
+		ix.byTarget[e.target] = seqInsert(ix.byTarget[e.target], e)
+	}
+	if e.model != "" {
+		ix.byModel[e.model] = seqInsert(ix.byModel[e.model], e)
+	}
+	ix.maybeShrink()
+	return displaced, true
+}
+
+// bulkLoad seeds an empty index from snapshot rows. A snapshot this
+// engine wrote holds live rows only — strictly seq-ascending, one per
+// key — so bySeq can adopt the slice as-is and the map indexes can be
+// deferred entirely: a read-mostly reopen (the common kpserve restart)
+// serves newest-first scans straight off bySeq and never pays for maps
+// it does not consult. The first operation that needs a map (an append,
+// a Get, a filtered scan, compaction) triggers materialize. Anything
+// violating the snapshot invariants (or a non-empty index) falls back
+// to the checked insert path.
+func (ix *memIndex) bulkLoad(rows []*entry) {
+	ok := len(ix.byKey) == 0 && len(ix.bySeq) == 0 && ix.lazy == nil
+	if ok {
+		var last uint64
+		for _, e := range rows {
+			if e.seq <= last || e.dead {
+				ok = false
+				break
+			}
+			last = e.seq
+		}
+	}
+	if !ok {
+		for _, e := range rows {
+			ix.insert(e)
+		}
+		return
+	}
+	ix.bySeq = rows // bulkLoad owns the slice; callers never reuse it
+	ix.lazy = rows
+	if n := len(rows); n > 0 && rows[n-1].seq >= ix.nextSeq {
+		ix.nextSeq = rows[n-1].seq + 1
+	}
+}
+
+// materialize builds the deferred map indexes for bulkLoad-ed rows.
+// Presizing avoids the rehash cascade of growing a map to 100k keys one
+// insert at a time, and first-entry lists are full-capacity subslices
+// of rows itself (one backing array for the whole index) rather than
+// 100k single-element allocations; the capped cap makes a later append
+// copy out instead of clobbering the neighboring row.
+func (ix *memIndex) materialize() {
+	rows := ix.lazy
+	if rows == nil {
+		return
+	}
+	ix.lazy = nil
+	byKey := make(map[pageKey]*entry, len(rows))
+	for _, e := range rows {
+		k := e.key()
+		if _, dup := byKey[k]; dup {
+			// A duplicate key slipped past the CRC (hand-edited
+			// snapshot): re-insert everything through the checked path.
+			ix.bySeq = nil
+			for _, e := range rows {
+				ix.insert(e)
+			}
+			return
+		}
+		byKey[k] = e
+	}
+	byURL := make(map[string][]*entry, len(rows))
+	for i, e := range rows {
+		if cur, seen := byURL[e.landing]; seen {
+			byURL[e.landing] = append(cur, e)
+		} else {
+			byURL[e.landing] = rows[i : i+1 : i+1]
+		}
+		if e.start != "" {
+			if cur, seen := ix.byStart[e.start]; seen {
+				ix.byStart[e.start] = append(cur, e)
+			} else {
+				ix.byStart[e.start] = rows[i : i+1 : i+1]
+			}
+		}
+		if e.target != "" {
+			ix.byTarget[e.target] = append(ix.byTarget[e.target], e)
+		}
+		if e.model != "" {
+			ix.byModel[e.model] = append(ix.byModel[e.model], e)
+		}
+	}
+	ix.byKey = byKey
+	ix.byURL = byURL
+}
+
+// live returns the number of live (non-superseded) entries.
+func (ix *memIndex) live() int { return len(ix.bySeq) - ix.holes }
+
+// unindex removes an entry from the secondary indexes and turns its
+// bySeq slot into a dead hole (an O(1) supersede; bulk reclaim happens
+// in maybeShrink so a hot supersede path never memmoves the whole
+// sequence slice).
+func (ix *memIndex) unindex(old *entry) {
+	old.dead = true
+	old.rec = nil
+	ix.holes++
+	ix.byURL[old.landing] = seqRemove(ix.byURL, old.landing, old)
+	if old.start != "" {
+		ix.byStart[old.start] = seqRemove(ix.byStart, old.start, old)
+	}
+	if old.target != "" {
+		ix.byTarget[old.target] = seqRemove(ix.byTarget, old.target, old)
+	}
+	if old.model != "" {
+		ix.byModel[old.model] = seqRemove(ix.byModel, old.model, old)
+	}
+}
+
+// maybeShrink compacts bySeq once dead holes outnumber live entries
+// (amortized O(1) per supersede).
+func (ix *memIndex) maybeShrink() {
+	if ix.holes < 1024 || ix.holes*2 < len(ix.bySeq) {
+		return
+	}
+	live := ix.bySeq[:0]
+	for _, e := range ix.bySeq {
+		if !e.dead {
+			live = append(live, e)
+		}
+	}
+	// Zero the reclaimed tail so dead entries don't leak through the
+	// retained backing array.
+	for i := len(live); i < len(ix.bySeq); i++ {
+		ix.bySeq[i] = nil
+	}
+	ix.bySeq = live
+	ix.holes = 0
+}
+
+// get returns the newest entry whose landing or starting URL equals
+// url, or nil.
+func (ix *memIndex) get(url string) *entry {
+	ix.materialize()
+	var best *entry
+	if s := ix.byURL[url]; len(s) > 0 {
+		best = s[len(s)-1]
+	}
+	if s := ix.byStart[url]; len(s) > 0 {
+		if e := s[len(s)-1]; best == nil || e.seq > best.seq {
+			best = e
+		}
+	}
+	return best
+}
+
+// scan walks the narrowest applicable index newest-first and collects
+// up to limit entries matching q (limit <= 0 → unbounded), starting
+// strictly below cursor when hasCursor. more reports whether at least
+// one further matching entry exists past the returned page.
+func (ix *memIndex) scan(q Query, cursor uint64, hasCursor bool) (out []*entry, more bool) {
+	var lists [][]*entry
+	switch {
+	case q.Target != "":
+		ix.materialize()
+		lists = [][]*entry{ix.byTarget[q.Target]}
+	case q.URL != "":
+		ix.materialize()
+		lists = [][]*entry{ix.byURL[q.URL], ix.byStart[q.URL]}
+	case q.ModelVersion != "":
+		ix.materialize()
+		lists = [][]*entry{ix.byModel[q.ModelVersion]}
+	default:
+		lists = [][]*entry{ix.bySeq} // no map needed; stays fast on a lazy index
+	}
+	// Merge-walk the candidate lists backwards (each ascending by seq)
+	// so the result is strictly descending — the deterministic order
+	// every query path guarantees and cursors encode.
+	pos := make([]int, len(lists))
+	for i, l := range lists {
+		pos[i] = len(l) - 1
+	}
+	for {
+		best := -1
+		for i, l := range lists {
+			if pos[i] >= 0 && (best < 0 || l[pos[i]].seq > lists[best][pos[best]].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out, false
+		}
+		e := lists[best][pos[best]]
+		pos[best]--
+		if e.dead || (hasCursor && e.seq >= cursor) || !matches(e, q) {
+			continue
+		}
+		if q.Limit > 0 && len(out) >= q.Limit {
+			return out, true
+		}
+		out = append(out, e)
+	}
+}
+
+// matches applies the Query filters to an index row.
+func matches(e *entry, q Query) bool {
+	if q.Target != "" && e.target != q.Target {
+		return false
+	}
+	if q.URL != "" && e.landing != q.URL && e.start != q.URL {
+		return false
+	}
+	if q.ModelVersion != "" && e.model != q.ModelVersion {
+		return false
+	}
+	if !q.Since.IsZero() && e.scoredAt < q.Since.UnixNano() {
+		return false
+	}
+	if !q.Until.IsZero() && e.scoredAt >= q.Until.UnixNano() {
+		return false
+	}
+	if q.PhishOnly && !e.phish {
+		return false
+	}
+	return true
+}
+
+// seqInsert adds e to a seq-ascending slice. Appends (the live path)
+// are O(1); out-of-order replay falls back to a binary-searched insert.
+func seqInsert(s []*entry, e *entry) []*entry {
+	if n := len(s); n == 0 || s[n-1].seq < e.seq {
+		return append(s, e)
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].seq >= e.seq })
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	return s
+}
+
+// seqRemove deletes e from the slice at m[k] (emptied keys are removed
+// from the map so one-shot URLs don't pin empty slices forever).
+func seqRemove(m map[string][]*entry, k string, e *entry) []*entry {
+	s := m[k]
+	i := sort.Search(len(s), func(i int) bool { return s[i].seq >= e.seq })
+	if i >= len(s) || s[i] != e {
+		return s
+	}
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	s = s[:len(s)-1]
+	if len(s) == 0 {
+		delete(m, k)
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,526 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The legacy engine: a single-file JSONL log. The log is append-only —
+// one self-contained JSON document per line, written in a single
+// write(2) call — so a crash can at worst truncate the final line,
+// which Reload detects and skips. Compaction rewrites the whole log
+// dropping superseded verdicts via a temp-file + rename so a crash
+// mid-compaction leaves either the old log or the new one, never a mix.
+// Reload and compaction are whole-file, which is why the segmented
+// engine replaced it as the default; it remains for logs already on
+// disk and as the migration source.
+
+// Store is the legacy single-file JSONL verdict store. All methods are
+// safe for concurrent use.
+//
+// Deprecated: construct stores through Open, which returns the engine
+// behind the Backend interface (Config.Backend selects BackendLegacy to
+// keep this engine). Direct *Store use remains supported for existing
+// callers only.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	sync bool
+	file *os.File
+
+	nextSeq      uint64
+	sinceCompact int
+	compactEvery int
+	// deadOnDisk counts log lines superseded by a later append — what
+	// the next compaction will reclaim.
+	deadOnDisk int64
+
+	// byKey holds the newest record per landing URL + fingerprint — the
+	// identity compaction preserves. byURL and byTarget index into the
+	// same records.
+	byKey    map[string]*Record
+	byURL    map[string][]*Record // landing URL → records, append order
+	byStart  map[string][]*Record // starting URL → records, append order
+	byTarget map[string][]*Record // identified target RDN → records
+
+	maxExplain int
+
+	appends       int64
+	compactions   int64
+	superseded    int64
+	compactErrors int64
+	explDropped   int64
+}
+
+// OpenLegacy opens (creating if necessary) the legacy JSONL store at
+// cfg.Path and replays the existing log into the in-memory index.
+//
+// Deprecated: use Open with Config.Backend set to BackendLegacy, which
+// returns the same engine behind the Backend interface.
+func OpenLegacy(cfg Config) (*Store, error) {
+	return openLegacy(cfg)
+}
+
+func openLegacy(cfg Config) (*Store, error) {
+	if cfg.Path == "" {
+		return nil, errors.New("store: Config.Path is required")
+	}
+	if dir := filepath.Dir(cfg.Path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+		}
+	}
+	s := &Store{
+		path:         cfg.Path,
+		sync:         cfg.Sync,
+		compactEvery: cfg.CompactEvery,
+		maxExplain:   cfg.MaxExplainBytes,
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = DefaultCompactEvery
+	}
+	if s.maxExplain == 0 {
+		s.maxExplain = DefaultMaxExplainBytes
+	}
+	if err := s.Reload(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reload closes the log, re-reads it from disk and rebuilds the index —
+// the startup path, also usable to pick up a log replaced underneath the
+// process. Counters (appends, compactions) survive; the index is rebuilt
+// from scratch.
+func (s *Store) Reload() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reloadLocked()
+}
+
+func (s *Store) reloadLocked() error {
+	if s.file != nil {
+		_ = s.file.Close()
+		s.file = nil
+	}
+	s.byKey = make(map[string]*Record)
+	s.byURL = make(map[string][]*Record)
+	s.byStart = make(map[string][]*Record)
+	s.byTarget = make(map[string][]*Record)
+	s.nextSeq = 1
+	s.sinceCompact = 0
+	s.deadOnDisk = 0
+
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening %s: %w", s.path, err)
+	}
+	// Replay line by line, tracking the byte offset of the last cleanly
+	// terminated, parseable line. Anything past it — an unterminated
+	// tail or a corrupt line — is the residue of a torn write (crash
+	// mid-append); truncate it away so new appends start on a clean
+	// line boundary instead of gluing onto the fragment.
+	r := bufio.NewReaderSize(f, 64<<10)
+	var good int64
+	for {
+		line, rerr := r.ReadBytes('\n')
+		if rerr != nil {
+			if rerr == io.EOF {
+				break // any bytes in line are an unterminated torn tail
+			}
+			_ = f.Close()
+			return fmt.Errorf("store: reading %s: %w", s.path, rerr)
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var rec Record
+			if err := json.Unmarshal(trimmed, &rec); err != nil {
+				break // corrupt line; nothing after it can be trusted
+			}
+			s.indexLocked(&rec)
+		}
+		good += int64(len(line))
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("store: truncating torn tail of %s: %w", s.path, err)
+		}
+	}
+	_ = f.Close()
+	s.file, err = os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopening %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// indexLocked installs rec into the in-memory maps, superseding any older
+// record with the same landing URL + fingerprint.
+func (s *Store) indexLocked(rec *Record) {
+	if rec.Seq >= s.nextSeq {
+		s.nextSeq = rec.Seq + 1
+	}
+	key := rec.key()
+	if old, ok := s.byKey[key]; ok {
+		s.dropLocked(old)
+		s.deadOnDisk++
+	}
+	s.byKey[key] = rec
+	s.byURL[rec.LandingURL] = append(s.byURL[rec.LandingURL], rec)
+	if rec.URL != rec.LandingURL {
+		s.byStart[rec.URL] = append(s.byStart[rec.URL], rec)
+	}
+	if rec.Target != "" {
+		s.byTarget[rec.Target] = append(s.byTarget[rec.Target], rec)
+	}
+}
+
+// dropLocked removes a superseded record from the secondary indexes.
+func (s *Store) dropLocked(old *Record) {
+	remove := func(m map[string][]*Record, k string) {
+		rs := m[k]
+		for i, r := range rs {
+			if r == old {
+				m[k] = append(rs[:i], rs[i+1:]...)
+				break
+			}
+		}
+		if len(m[k]) == 0 {
+			delete(m, k)
+		}
+	}
+	remove(s.byURL, old.LandingURL)
+	if old.URL != old.LandingURL {
+		remove(s.byStart, old.URL)
+	}
+	if old.Target != "" {
+		remove(s.byTarget, old.Target)
+	}
+}
+
+// Append assigns the record a sequence number and timestamp (when unset),
+// writes it to the log and indexes it. Triggers compaction when the
+// append budget since the last one is spent.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return ErrClosed
+	}
+	if prepare(&rec, s.nextSeq, s.maxExplain) {
+		s.explDropped++
+	}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	// One write call for line + newline: the log stays line-atomic under
+	// concurrent process crashes (a torn write truncates, never
+	// interleaves).
+	if _, err := s.file.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	if s.sync {
+		if err := s.file.Sync(); err != nil {
+			return fmt.Errorf("store: syncing %s: %w", s.path, err)
+		}
+	}
+	s.indexLocked(&rec)
+	s.appends++
+	s.sinceCompact++
+	if s.compactEvery > 0 && s.sinceCompact >= s.compactEvery {
+		// The append itself is durable at this point; a failed
+		// compaction must not make it look lost. Count the failure (it
+		// surfaces in Stats/metrics) and retry at the next trigger.
+		if err := s.compactLocked(); err != nil {
+			s.compactErrors++
+			s.sinceCompact = 0
+		}
+	}
+	return nil
+}
+
+// Compact rewrites the log keeping only live records (the newest per
+// landing URL + fingerprint), dropping everything superseded.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	live := make([]*Record, 0, len(s.byKey))
+	for _, rec := range s.byKey {
+		live = append(live, rec)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].Seq < live[j].Seq })
+
+	tmp := s.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmp, err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, rec := range live {
+		if err := enc.Encode(rec); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: syncing compacted log: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing compacted log: %w", err)
+	}
+	// Atomic cutover: rename leaves either the full old log or the full
+	// new one. Swap the write handle only after it succeeds.
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("store: installing compacted log: %w", err)
+	}
+	_ = s.file.Close()
+	s.file, err = os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The data on disk is complete and consistent (the rename
+		// landed); only the write handle is gone. Appends fail until
+		// Reload reopens the log — they must not silently write to the
+		// unlinked pre-compaction inode.
+		return fmt.Errorf("store: reopening compacted log (Reload recovers): %w", err)
+	}
+	s.compactions++
+	s.superseded += s.deadOnDisk
+	s.deadOnDisk = 0
+	s.sinceCompact = 0
+	return nil
+}
+
+// Get returns the newest record whose landing URL or starting URL equals
+// url.
+func (s *Store) Get(url string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *Record
+	for _, rec := range s.byURL[url] {
+		if best == nil || rec.Seq > best.Seq {
+			best = rec
+		}
+	}
+	for _, rec := range s.byStart[url] {
+		if best == nil || rec.Seq > best.Seq {
+			best = rec
+		}
+	}
+	if best == nil {
+		return Record{}, false
+	}
+	return *best, true
+}
+
+// recMatches applies the Query filters to a full record — the legacy
+// mirror of the index-row matches; the two must agree so the engines
+// answer identically.
+func recMatches(rec *Record, q Query) bool {
+	if q.Target != "" && rec.Target != q.Target {
+		return false
+	}
+	if q.URL != "" && rec.LandingURL != q.URL && rec.URL != q.URL {
+		return false
+	}
+	if q.ModelVersion != "" && rec.ModelVersion != q.ModelVersion {
+		return false
+	}
+	if !q.Since.IsZero() && rec.ScoredAt.Before(q.Since) {
+		return false
+	}
+	if !q.Until.IsZero() && !rec.ScoredAt.Before(q.Until) {
+		return false
+	}
+	if q.PhishOnly && !rec.Outcome.FinalPhish {
+		return false
+	}
+	return true
+}
+
+// pageLocked collects one page matching q: filter, sort newest-first
+// (strictly descending Seq — the deterministic order every query path
+// guarantees), apply the limit, and report whether more records follow.
+func (s *Store) pageLocked(q Query, cursor uint64, hasCursor bool) ([]Record, bool) {
+	var candidates []*Record
+	switch {
+	case q.Target != "":
+		candidates = s.byTarget[q.Target]
+	case q.URL != "":
+		candidates = append(append([]*Record{}, s.byURL[q.URL]...), s.byStart[q.URL]...)
+	default:
+		candidates = make([]*Record, 0, len(s.byKey))
+		for _, rec := range s.byKey {
+			candidates = append(candidates, rec)
+		}
+	}
+	matched := make([]*Record, 0, len(candidates))
+	for _, rec := range candidates {
+		if hasCursor && rec.Seq >= cursor {
+			continue
+		}
+		if !recMatches(rec, q) {
+			continue
+		}
+		matched = append(matched, rec)
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].Seq > matched[j].Seq })
+	more := false
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+		more = true
+	}
+	out := make([]Record, len(matched))
+	for i, rec := range matched {
+		out[i] = *rec
+	}
+	return out, more
+}
+
+// Select returns live records matching q, newest (highest Seq) first.
+// A malformed q.Cursor is ignored (Select has no error path); use the
+// Backend Scan for validated cursor pagination.
+func (s *Store) Select(q Query) []Record {
+	cursor, hasCursor, err := parseCursor(q.Cursor)
+	if err != nil {
+		cursor, hasCursor = 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, _ := s.pageLocked(q, cursor, hasCursor)
+	return out
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey)
+}
+
+// Stats returns the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Backend:             BackendLegacy,
+		Records:             len(s.byKey),
+		Appends:             s.appends,
+		Compactions:         s.compactions,
+		Superseded:          s.superseded,
+		CompactErrors:       s.compactErrors,
+		ExplanationsDropped: s.explDropped,
+	}
+}
+
+// Path returns the log file path.
+func (s *Store) Path() string { return s.path }
+
+// Close flushes and closes the log. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Sync()
+	if cerr := s.file.Close(); err == nil {
+		err = cerr
+	}
+	s.file = nil
+	return err
+}
+
+// liveAscending returns every live record ordered by Seq ascending —
+// the migration read path (append order is reproduced in the new log).
+func (s *Store) liveAscending() []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := make([]*Record, 0, len(s.byKey))
+	for _, rec := range s.byKey {
+		live = append(live, rec)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].Seq < live[j].Seq })
+	return live
+}
+
+// Backend adapts the legacy store to the Backend interface — the
+// bridge for callers still holding a *Store while the rest of the
+// system speaks Backend. Both views share the same engine and lock.
+func (s *Store) Backend() Backend { return &legacyBackend{s: s} }
+
+// legacyBackend adapts *Store to the Backend interface: same engine,
+// context-aware signatures and cursor-paginated scans on top.
+type legacyBackend struct {
+	s *Store
+}
+
+func (b *legacyBackend) Append(ctx context.Context, rec Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.s.Append(rec)
+}
+
+func (b *legacyBackend) Get(ctx context.Context, url string) (Record, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Record{}, false, err
+	}
+	rec, ok := b.s.Get(url)
+	return rec, ok, nil
+}
+
+func (b *legacyBackend) Scan(ctx context.Context, q Query) (ScanPage, error) {
+	cursor, hasCursor, err := parseCursor(q.Cursor)
+	if err != nil {
+		return ScanPage{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return ScanPage{}, err
+	}
+	b.s.mu.Lock()
+	if b.s.file == nil {
+		b.s.mu.Unlock()
+		return ScanPage{}, ErrClosed
+	}
+	recs, more := b.s.pageLocked(q, cursor, hasCursor)
+	b.s.mu.Unlock()
+	page := ScanPage{Records: recs}
+	if more {
+		page.NextCursor = encodeCursor(recs[len(recs)-1].Seq)
+	}
+	return page, nil
+}
+
+func (b *legacyBackend) Compact(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return b.s.Compact()
+}
+
+func (b *legacyBackend) Stats() Stats { return b.s.Stats() }
+func (b *legacyBackend) Len() int     { return b.s.Len() }
+func (b *legacyBackend) Path() string { return b.s.Path() }
+func (b *legacyBackend) Close() error { return b.s.Close() }

@@ -15,9 +15,9 @@ func openTemp(t *testing.T, cfg Config) *Store {
 	if cfg.Path == "" {
 		cfg.Path = filepath.Join(t.TempDir(), "verdicts.jsonl")
 	}
-	s, err := Open(cfg)
+	s, err := OpenLegacy(cfg)
 	if err != nil {
-		t.Fatalf("Open: %v", err)
+		t.Fatalf("OpenLegacy: %v", err)
 	}
 	t.Cleanup(func() { _ = s.Close() })
 	return s
@@ -238,12 +238,18 @@ func TestSelectFilters(t *testing.T) {
 }
 
 func TestOpenValidates(t *testing.T) {
-	if _, err := Open(Config{}); err == nil {
+	if _, err := OpenLegacy(Config{}); err == nil {
 		t.Error("empty path: want error")
+	}
+	if _, err := Open(Config{}); err == nil {
+		t.Error("empty path (segmented): want error")
+	}
+	if _, err := Open(Config{Path: filepath.Join(t.TempDir(), "x"), Backend: "bogus"}); err == nil {
+		t.Error("unknown backend: want error")
 	}
 	// Parent directories are created.
 	path := filepath.Join(t.TempDir(), "deep", "nested", "v.jsonl")
-	s, err := Open(Config{Path: path})
+	s, err := OpenLegacy(Config{Path: path})
 	if err != nil {
 		t.Fatalf("Open with nested path: %v", err)
 	}

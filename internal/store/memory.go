@@ -1,0 +1,147 @@
+package store
+
+import (
+	"context"
+	"sync"
+)
+
+// memStore is the in-memory engine: the shared index with records held
+// inline and nothing on disk. It exists for tests and for callers that
+// want the Backend query surface without persistence.
+type memStore struct {
+	path       string
+	maxExplain int
+
+	mu     sync.Mutex
+	ix     *memIndex
+	closed bool
+
+	appends     int64
+	compactions int64
+	superseded  int64
+	explDropped int64
+}
+
+func newMemStore(cfg Config) *memStore {
+	s := &memStore{path: cfg.Path, maxExplain: cfg.MaxExplainBytes, ix: newMemIndex()}
+	if s.maxExplain == 0 {
+		s.maxExplain = DefaultMaxExplainBytes
+	}
+	return s
+}
+
+func (s *memStore) Append(ctx context.Context, rec Record) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if prepare(&rec, s.ix.nextSeq, s.maxExplain) {
+		s.explDropped++
+	}
+	e := metaOf(&rec)
+	e.rec = &rec
+	if displaced, _ := s.ix.insert(e); displaced != nil {
+		// No disk to reclaim from: a superseded record is gone the
+		// moment its replacement lands.
+		s.superseded++
+	}
+	s.appends++
+	return nil
+}
+
+func (s *memStore) Get(ctx context.Context, url string) (Record, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Record{}, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Record{}, false, ErrClosed
+	}
+	if e := s.ix.get(url); e != nil {
+		return *e.rec, true, nil
+	}
+	return Record{}, false, nil
+}
+
+func (s *memStore) Scan(ctx context.Context, q Query) (ScanPage, error) {
+	cursor, hasCursor, err := parseCursor(q.Cursor)
+	if err != nil {
+		return ScanPage{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return ScanPage{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ScanPage{}, ErrClosed
+	}
+	ents, more := s.ix.scan(q, cursor, hasCursor)
+	recs := make([]Record, len(ents))
+	for i, e := range ents {
+		recs[i] = *e.rec
+	}
+	page := ScanPage{Records: recs}
+	if more && len(recs) > 0 {
+		page.NextCursor = encodeCursor(recs[len(recs)-1].Seq)
+	}
+	return page, nil
+}
+
+// Compact reclaims index holes (there is no log to rewrite).
+func (s *memStore) Compact(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	live := s.ix.bySeq[:0]
+	for _, e := range s.ix.bySeq {
+		if !e.dead {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(s.ix.bySeq); i++ {
+		s.ix.bySeq[i] = nil
+	}
+	s.ix.bySeq = live
+	s.ix.holes = 0
+	s.compactions++
+	return nil
+}
+
+func (s *memStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Backend:             BackendMemory,
+		Records:             s.ix.live(),
+		Appends:             s.appends,
+		Compactions:         s.compactions,
+		Superseded:          s.superseded,
+		ExplanationsDropped: s.explDropped,
+	}
+}
+
+func (s *memStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.live()
+}
+
+func (s *memStore) Path() string { return s.path }
+
+func (s *memStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

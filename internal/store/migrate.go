@@ -1,0 +1,90 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// migrationBackupSuffix is appended to a migrated legacy log's path.
+const migrationBackupSuffix = ".pre-migration.jsonl"
+
+// migrationSideSuffix names the side directory a migration builds in.
+const migrationSideSuffix = ".migrating"
+
+// maybeMigrate converts a legacy JSONL log at cfg.Path into a segmented
+// store directory at the same path, one-shot; it is a no-op when the
+// path already holds a directory (or nothing). Sequence numbers,
+// timestamps and explanations are preserved verbatim, so queries answer
+// identically before and after.
+//
+// The dance is crash-safe at every step: the segmented store is built
+// in a side directory ("<Path>.migrating") while the legacy log is
+// untouched; the log is then renamed to its backup name
+// ("<Path>.pre-migration.jsonl") and the side directory renamed into
+// place. A crash before the first rename leaves the legacy log
+// authoritative (a stale side directory is discarded and rebuilt on the
+// next attempt); a crash between the renames leaves the path absent and
+// the finished side directory present, which the next open completes.
+func maybeMigrate(cfg Config) error {
+	side := cfg.Path + migrationSideSuffix
+	fi, err := os.Stat(cfg.Path)
+	switch {
+	case err == nil && !fi.Mode().IsRegular():
+		return nil // already a segment directory
+	case os.IsNotExist(err):
+		// Resume a crash between the two renames: the side directory,
+		// if present, is complete (it is renamed away before the legacy
+		// log is) — install it.
+		if _, serr := os.Stat(side); serr == nil {
+			return os.Rename(side, cfg.Path)
+		}
+		return nil // fresh store; nothing to migrate
+	case err != nil:
+		return err
+	}
+
+	// Read every live record out of the legacy log. MaxExplainBytes is
+	// effectively unbounded here: whatever survived the original
+	// append-time cap must survive migration byte-for-byte.
+	src, err := openLegacy(Config{Path: cfg.Path, CompactEvery: -1, MaxExplainBytes: 1 << 30})
+	if err != nil {
+		return err
+	}
+	recs := src.liveAscending()
+	if err := src.Close(); err != nil {
+		return err
+	}
+
+	if err := os.RemoveAll(side); err != nil {
+		return err
+	}
+	dstCfg := cfg
+	dstCfg.Path = side
+	dstCfg.Backend = BackendSegmented
+	dstCfg.CompactEvery = -1         // nothing to supersede in a replay
+	dstCfg.MaxExplainBytes = 1 << 30 // preserve stored evidence verbatim
+	dst, err := openSegmented(dstCfg)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		r := *rec
+		dst.mu.Lock()
+		err := dst.appendLocked(&r, true)
+		dst.mu.Unlock()
+		if err != nil {
+			_ = dst.Close()
+			return fmt.Errorf("replaying record seq %d: %w", rec.Seq, err)
+		}
+	}
+	// Close seals durability and writes the index snapshot — the new
+	// store opens via the fast-start path immediately.
+	if err := dst.Close(); err != nil {
+		return err
+	}
+
+	if err := os.Rename(cfg.Path, cfg.Path+migrationBackupSuffix); err != nil {
+		return err
+	}
+	return os.Rename(side, cfg.Path)
+}

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Index snapshot ("snapshot.bin"): the segmented engine's fast-start
+// path. It holds every live index row (meta + on-disk location, not
+// the records themselves) plus a watermark; reopening loads it and
+// replays only frames with seq > watermark, so startup cost is
+// proportional to the index plus the un-snapshotted tail instead of the
+// whole log. The format is a hand-rolled varint codec rather than JSON
+// because the snapshot is read on every open and decoding 100k JSON
+// rows would eat most of the fast-start budget.
+//
+// Layout: magic, then uvarint(nextSeq), uvarint(watermark), the active
+// segment state (uvarint id — 0 for none — then uvarint offset,
+// uvarint count, uvarint minSeq, uvarint maxSeq, uvarint sparse count
+// and that many seq/off pairs), uvarint(count), count rows, and a
+// trailing CRC-32C of everything after the magic. A row is:
+//
+//	uvarint seq · varint scoredAt · flag byte (bit0 phish) ·
+//	uvarint seg · uvarint off · uvarint frameLen ·
+//	5 length-prefixed strings (landing, start, fp, target, model)
+//
+// The active state lets reopen resume the active segment's replay at
+// the watermark's byte offset (frames below it are already in the
+// snapshot rows) — without it, a clean restart would re-parse the whole
+// unsealed segment, which for a hot store is most of a segment's worth
+// of JSON. The embedded segMeta seeds the sidecar-to-be so a later seal
+// still records the segment's true count, seq range, and sparse index.
+//
+// A snapshot that fails its magic or CRC is ignored — recovery falls
+// back to a full segment replay, never to a partial index.
+const (
+	snapshotFile  = "snapshot.bin"
+	snapshotMagic = "KPSNAP1\n"
+)
+
+var errBadSnapshot = errors.New("store: unreadable snapshot")
+
+// appendSnapshotString appends a length-prefixed string.
+func appendSnapshotString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// activeState is the active segment's position at snapshot time: which
+// segment was being appended to, how many framed bytes it held (all of
+// them indexed by the snapshot rows), and the sidecar meta accumulated
+// so far. id 0 means no active segment.
+type activeState struct {
+	id   uint64
+	off  int64
+	meta segMeta
+}
+
+// encodeSnapshot serializes live index rows (callers pass them seq-
+// ascending so decode can rebuild the bySeq slice with append-only
+// inserts).
+func encodeSnapshot(nextSeq, watermark uint64, act activeState, rows []*entry) []byte {
+	buf := make([]byte, 0, 64+len(rows)*96)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.AppendUvarint(buf, nextSeq)
+	buf = binary.AppendUvarint(buf, watermark)
+	buf = binary.AppendUvarint(buf, act.id)
+	buf = binary.AppendUvarint(buf, uint64(act.off))
+	buf = binary.AppendUvarint(buf, uint64(act.meta.count))
+	buf = binary.AppendUvarint(buf, act.meta.minSeq)
+	buf = binary.AppendUvarint(buf, act.meta.maxSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(act.meta.sparse)))
+	for _, p := range act.meta.sparse {
+		buf = binary.AppendUvarint(buf, p.Seq)
+		buf = binary.AppendUvarint(buf, uint64(p.Off))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for _, e := range rows {
+		buf = binary.AppendUvarint(buf, e.seq)
+		buf = binary.AppendVarint(buf, e.scoredAt)
+		var flags byte
+		if e.phish {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, e.seg)
+		buf = binary.AppendUvarint(buf, uint64(e.off))
+		buf = binary.AppendUvarint(buf, uint64(e.n))
+		buf = appendSnapshotString(buf, e.landing)
+		buf = appendSnapshotString(buf, e.start)
+		buf = appendSnapshotString(buf, e.fp)
+		buf = appendSnapshotString(buf, e.target)
+		buf = appendSnapshotString(buf, e.model)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[len(snapshotMagic):], castagnoli))
+}
+
+// snapshotReader decodes the varint stream with sticky error state so
+// row decoding reads linearly without per-field error plumbing. str is
+// the same bytes as one shared string: decoded strings are substrings
+// of it, so a 100k-row snapshot costs one string allocation instead of
+// several hundred thousand (the rows retain the body, which is mostly
+// those strings anyway).
+type snapshotReader struct {
+	buf []byte
+	str string
+	bad bool
+}
+
+func (r *snapshotReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *snapshotReader) varint() int64 {
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *snapshotReader) byte() byte {
+	if len(r.buf) < 1 {
+		r.bad = true
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *snapshotReader) string() string {
+	n := r.uvarint()
+	if r.bad || uint64(len(r.buf)) < n {
+		r.bad = true
+		return ""
+	}
+	off := len(r.str) - len(r.buf)
+	s := r.str[off : off+int(n)]
+	r.buf = r.buf[n:]
+	return s
+}
+
+// decodeSnapshot parses a snapshot payload back into index rows.
+func decodeSnapshot(data []byte) (rows []*entry, nextSeq, watermark uint64, act activeState, err error) {
+	if len(data) < len(snapshotMagic)+4 || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, 0, 0, act, errBadSnapshot
+	}
+	body := data[len(snapshotMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return nil, 0, 0, act, errBadSnapshot
+	}
+	r := &snapshotReader{buf: body, str: string(body)}
+	nextSeq = r.uvarint()
+	watermark = r.uvarint()
+	act.id = r.uvarint()
+	act.off = int64(r.uvarint())
+	act.meta.count = int(r.uvarint())
+	act.meta.minSeq = r.uvarint()
+	act.meta.maxSeq = r.uvarint()
+	sparseCount := r.uvarint()
+	if r.bad || sparseCount > uint64(len(body)) {
+		return nil, 0, 0, activeState{}, errBadSnapshot
+	}
+	for i := uint64(0); i < sparseCount; i++ {
+		seq := r.uvarint()
+		off := int64(r.uvarint())
+		act.meta.sparse = append(act.meta.sparse, sparsePoint{Seq: seq, Off: off})
+	}
+	count := r.uvarint()
+	if r.bad || count > uint64(len(body)) { // a row is >1 byte; cheap sanity bound
+		return nil, 0, 0, activeState{}, errBadSnapshot
+	}
+	// One contiguous entry block instead of count tiny allocations: the
+	// row count is CRC-protected and bounded by the body size above.
+	block := make([]entry, count)
+	rows = make([]*entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		e := &block[i]
+		e.seq = r.uvarint()
+		e.scoredAt = r.varint()
+		e.phish = r.byte()&1 != 0
+		e.seg = r.uvarint()
+		e.off = int64(r.uvarint())
+		e.n = uint32(r.uvarint())
+		e.landing = r.string()
+		e.start = r.string()
+		e.fp = r.string()
+		e.target = r.string()
+		e.model = r.string()
+		if r.bad {
+			return nil, 0, 0, activeState{}, errBadSnapshot
+		}
+		rows = append(rows, e)
+	}
+	return rows, nextSeq, watermark, act, nil
+}
+
+// writeSnapshot persists an encoded snapshot atomically.
+func writeSnapshot(dir string, data []byte, fp func() error) error {
+	if err := fp(); err != nil { // failpoint: crash before the snapshot lands
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, snapshotFile), data)
+}
+
+// loadSnapshot reads and decodes the directory's snapshot; ok is false
+// (full replay) when absent or unreadable.
+func loadSnapshot(dir string) (rows []*entry, nextSeq, watermark uint64, act activeState, ok bool) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, 0, 0, act, false
+	}
+	rows, nextSeq, watermark, act, err = decodeSnapshot(data)
+	if err != nil {
+		return nil, 0, 0, activeState{}, false
+	}
+	return rows, nextSeq, watermark, act, true
+}

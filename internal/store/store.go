@@ -1,33 +1,78 @@
 // Package store is the durable verdict store of the feed-ingestion
-// pipeline: every scored URL becomes a Record appended to a JSONL log on
-// disk and indexed in memory by URL and by identified target. The log is
-// append-only — one self-contained JSON document per line, written in a
-// single write(2) call — so a crash can at worst truncate the final
-// line, which Reload detects and skips. Compaction periodically rewrites
-// the log dropping superseded verdicts (an older record for the same
-// landing URL + content fingerprint) via a temp-file + rename so a crash
-// mid-compaction leaves either the old log or the new one, never a mix.
+// pipeline: every scored URL becomes a Record, persisted by a pluggable
+// storage engine behind the Backend interface and queryable through
+// secondary indexes (by URL, by identified target brand, by model
+// version, by time range) with cursor-based pagination.
+//
+// Three engines implement Backend:
+//
+//   - segmented (the default): a segmented write-ahead log. Records are
+//     appended to a fixed-size active segment as CRC-framed JSON;
+//     full segments are sealed with a per-segment sparse index sidecar
+//     and become immutable. Only the in-memory index (seq, URLs,
+//     target, model version, timestamp, on-disk location) is held in
+//     RAM — records are read back from their segment on demand, so
+//     memory stays proportional to the index, not the log. Recovery
+//     loads a binary snapshot of the index plus the log tail past the
+//     snapshot's watermark (skipping sealed segments the snapshot
+//     already covers), and truncates a torn tail on the active segment
+//     only. Background merge compaction rewrites sealed segments
+//     dropping superseded verdicts (an older record for the same
+//     landing URL + content fingerprint) without ever blocking appends:
+//     sealed segments are immutable, so the rewrite happens outside the
+//     store lock and only the index repointing takes it.
+//   - memory: the same index with records held in RAM and no files —
+//     the test engine.
+//   - legacy: the original single-file JSONL log (one self-contained
+//     JSON document per line, whole-file reload and compaction),
+//     kept as an adapter for existing logs. Open migrates a legacy
+//     file to the segmented layout one-shot when asked for the
+//     segmented engine over a path that holds a JSONL log.
 //
 // This is the persistence layer the paper's deployment sketch (Section
 // VI) needs but the batch evaluation never built: verdicts outlive the
 // process, and a restarted service answers queries about everything it
-// ever scored.
+// ever scored — at a scale (months of traffic, millions of verdicts)
+// the single-file log could not reopen in bounded time.
 package store
 
 import (
-	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
-	"sort"
-	"sync"
+	"strconv"
+	"strings"
 	"time"
 
 	"knowphish/internal/core"
+)
+
+// Backend names accepted by Config.Backend.
+const (
+	// BackendSegmented is the segmented write-ahead log, the default.
+	BackendSegmented = "segmented"
+	// BackendLegacy is the single-file JSONL log.
+	BackendLegacy = "legacy"
+	// BackendMemory is the in-memory engine (tests; nothing persists).
+	BackendMemory = "memory"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultCompactEvery is the append count between automatic
+	// compactions.
+	DefaultCompactEvery = 4096
+	// DefaultMaxExplainBytes is the per-record explanation size cap.
+	DefaultMaxExplainBytes = 8192
+	// DefaultSegmentBytes is the segmented engine's segment size: the
+	// active segment seals and a new one opens when it would grow past
+	// this.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultSnapshotEvery is the segmented engine's append count
+	// between periodic index snapshots (snapshots are also written on
+	// compaction and Close, so a cleanly closed store always fast-starts).
+	DefaultSnapshotEvery = 65536
 )
 
 // Record is one persisted verdict: the URL as it entered the feed, where
@@ -68,18 +113,31 @@ type Record struct {
 	Error string `json:"error,omitempty"`
 }
 
-// Config assembles a Store.
+// key is the supersede identity: verdicts sharing it describe the same
+// page content at the same address, and only the newest one is live.
+func (r *Record) key() string { return r.LandingURL + "\x00" + r.Fingerprint }
+
+// Config assembles a Backend.
 type Config struct {
-	// Path is the JSONL log file; created (with parent directories) if
-	// missing. Required.
+	// Path locates the store: a directory for the segmented engine, a
+	// JSONL file for the legacy engine (created, with parents, if
+	// missing). Ignored by the memory engine. Required otherwise.
 	Path string
+	// Backend selects the engine: BackendSegmented (the default, ""),
+	// BackendLegacy or BackendMemory. Opening the segmented engine over
+	// a path that holds a legacy JSONL file migrates it one-shot: the
+	// records are rewritten into a segment directory at Path and the
+	// original file is kept beside it as "<Path>.pre-migration.jsonl".
+	Backend string
 	// Sync forces an fsync after every append. Durable against power
 	// loss, but serializes appends on disk latency; leave false when
 	// the OS page cache is trustworthy enough (the default, matching
-	// most log pipelines).
+	// most log pipelines). Sealed segments are always fsynced before
+	// the seal is recorded, whatever this says.
 	Sync bool
 	// CompactEvery triggers compaction after that many appends
-	// (0 → DefaultCompactEvery, negative → never automatically).
+	// (0 → DefaultCompactEvery, negative → never automatically). The
+	// segmented engine compacts in the background; appends never wait.
 	CompactEvery int
 	// MaxExplainBytes caps the serialized size of a record's
 	// Explanation (0 → DefaultMaxExplainBytes, negative → never
@@ -88,16 +146,20 @@ type Config struct {
 	// explanation of a 212-feature model can dwarf the verdict it
 	// explains, and an append-only log amplifies that forever.
 	MaxExplainBytes int
+	// SegmentBytes is the segmented engine's segment size
+	// (0 → DefaultSegmentBytes). Ignored by the other engines.
+	SegmentBytes int
+	// SnapshotEvery is the segmented engine's append count between
+	// periodic index snapshots (0 → DefaultSnapshotEvery, negative →
+	// snapshot only on compaction and Close). Ignored by the other
+	// engines.
+	SnapshotEvery int
 }
-
-// DefaultCompactEvery is the append count between automatic compactions.
-const DefaultCompactEvery = 4096
-
-// DefaultMaxExplainBytes is the per-record explanation size cap.
-const DefaultMaxExplainBytes = 8192
 
 // Stats are the store counters exported at /metrics.
 type Stats struct {
+	// Backend names the engine serving the store.
+	Backend string `json:"backend,omitempty"`
 	// Records is the number of live (indexed) verdicts.
 	Records int `json:"records"`
 	// Appends counts records written since Open.
@@ -113,410 +175,166 @@ type Stats struct {
 	// ExplanationsDropped counts appended records whose evidence was
 	// discarded for exceeding the explanation size cap.
 	ExplanationsDropped int64 `json:"explanations_dropped,omitempty"`
-}
-
-// Store is a durable verdict store. All methods are safe for concurrent
-// use.
-type Store struct {
-	mu   sync.Mutex
-	path string
-	sync bool
-	file *os.File
-
-	nextSeq      uint64
-	sinceCompact int
-	compactEvery int
-	// deadOnDisk counts log lines superseded by a later append — what
-	// the next compaction will reclaim.
-	deadOnDisk int64
-
-	// byKey holds the newest record per landing URL + fingerprint — the
-	// identity compaction preserves. byURL and byTarget index into the
-	// same records.
-	byKey    map[string]*Record
-	byURL    map[string][]*Record // landing URL → records, append order
-	byStart  map[string][]*Record // starting URL → records, append order
-	byTarget map[string][]*Record // identified target RDN → records
-
-	maxExplain int
-
-	appends       int64
-	compactions   int64
-	superseded    int64
-	compactErrors int64
-	explDropped   int64
-}
-
-// Open opens (creating if necessary) the store at cfg.Path and replays
-// the existing log into the in-memory index.
-func Open(cfg Config) (*Store, error) {
-	if cfg.Path == "" {
-		return nil, errors.New("store: Config.Path is required")
-	}
-	if dir := filepath.Dir(cfg.Path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("store: creating %s: %w", dir, err)
-		}
-	}
-	s := &Store{
-		path:         cfg.Path,
-		sync:         cfg.Sync,
-		compactEvery: cfg.CompactEvery,
-		maxExplain:   cfg.MaxExplainBytes,
-	}
-	if s.compactEvery == 0 {
-		s.compactEvery = DefaultCompactEvery
-	}
-	if s.maxExplain == 0 {
-		s.maxExplain = DefaultMaxExplainBytes
-	}
-	if err := s.Reload(); err != nil {
-		return nil, err
-	}
-	return s, nil
-}
-
-// Reload closes the log, re-reads it from disk and rebuilds the index —
-// the startup path, also usable to pick up a log replaced underneath the
-// process. Counters (appends, compactions) survive; the index is rebuilt
-// from scratch.
-func (s *Store) Reload() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reloadLocked()
-}
-
-func (s *Store) reloadLocked() error {
-	if s.file != nil {
-		_ = s.file.Close()
-		s.file = nil
-	}
-	s.byKey = make(map[string]*Record)
-	s.byURL = make(map[string][]*Record)
-	s.byStart = make(map[string][]*Record)
-	s.byTarget = make(map[string][]*Record)
-	s.nextSeq = 1
-	s.sinceCompact = 0
-	s.deadOnDisk = 0
-
-	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: opening %s: %w", s.path, err)
-	}
-	// Replay line by line, tracking the byte offset of the last cleanly
-	// terminated, parseable line. Anything past it — an unterminated
-	// tail or a corrupt line — is the residue of a torn write (crash
-	// mid-append); truncate it away so new appends start on a clean
-	// line boundary instead of gluing onto the fragment.
-	r := bufio.NewReaderSize(f, 64<<10)
-	var good int64
-	for {
-		line, rerr := r.ReadBytes('\n')
-		if rerr != nil {
-			if rerr == io.EOF {
-				break // any bytes in line are an unterminated torn tail
-			}
-			_ = f.Close()
-			return fmt.Errorf("store: reading %s: %w", s.path, rerr)
-		}
-		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
-			var rec Record
-			if err := json.Unmarshal(trimmed, &rec); err != nil {
-				break // corrupt line; nothing after it can be trusted
-			}
-			s.indexLocked(&rec)
-		}
-		good += int64(len(line))
-	}
-	if fi, err := f.Stat(); err == nil && fi.Size() > good {
-		if err := f.Truncate(good); err != nil {
-			_ = f.Close()
-			return fmt.Errorf("store: truncating torn tail of %s: %w", s.path, err)
-		}
-	}
-	_ = f.Close()
-	s.file, err = os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: reopening %s: %w", s.path, err)
-	}
-	return nil
-}
-
-// indexLocked installs rec into the in-memory maps, superseding any older
-// record with the same landing URL + fingerprint.
-func (s *Store) indexLocked(rec *Record) {
-	if rec.Seq >= s.nextSeq {
-		s.nextSeq = rec.Seq + 1
-	}
-	key := rec.LandingURL + "\x00" + rec.Fingerprint
-	if old, ok := s.byKey[key]; ok {
-		s.dropLocked(old)
-		s.deadOnDisk++
-	}
-	s.byKey[key] = rec
-	s.byURL[rec.LandingURL] = append(s.byURL[rec.LandingURL], rec)
-	if rec.URL != rec.LandingURL {
-		s.byStart[rec.URL] = append(s.byStart[rec.URL], rec)
-	}
-	if rec.Target != "" {
-		s.byTarget[rec.Target] = append(s.byTarget[rec.Target], rec)
-	}
-}
-
-// dropLocked removes a superseded record from the secondary indexes.
-func (s *Store) dropLocked(old *Record) {
-	remove := func(m map[string][]*Record, k string) {
-		rs := m[k]
-		for i, r := range rs {
-			if r == old {
-				m[k] = append(rs[:i], rs[i+1:]...)
-				break
-			}
-		}
-		if len(m[k]) == 0 {
-			delete(m, k)
-		}
-	}
-	remove(s.byURL, old.LandingURL)
-	if old.URL != old.LandingURL {
-		remove(s.byStart, old.URL)
-	}
-	if old.Target != "" {
-		remove(s.byTarget, old.Target)
-	}
-}
-
-// Append assigns the record a sequence number and timestamp (when unset),
-// writes it to the log and indexes it. Triggers compaction when the
-// append budget since the last one is spent.
-func (s *Store) Append(rec Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.file == nil {
-		return errors.New("store: closed")
-	}
-	rec.Seq = s.nextSeq
-	if rec.ScoredAt.IsZero() {
-		rec.ScoredAt = time.Now().UTC()
-	}
-	if rec.Explanation != nil {
-		drop := s.maxExplain < 0
-		if !drop {
-			// This encodes the explanation once for measurement and the
-			// record marshal below encodes it again — accepted: evidence
-			// persistence is an opt-in diagnostic path, and splicing a
-			// pre-encoded RawMessage would leak wire concerns into the
-			// Record type every reader shares.
-			ej, err := json.Marshal(rec.Explanation)
-			drop = err != nil || len(ej) > s.maxExplain
-		}
-		if drop {
-			// The verdict is the durable fact; oversized evidence is
-			// recomputable on demand and not worth log amplification.
-			rec.Explanation = nil
-			s.explDropped++
-		}
-	}
-	line, err := json.Marshal(&rec)
-	if err != nil {
-		return fmt.Errorf("store: encoding record: %w", err)
-	}
-	// One write call for line + newline: the log stays line-atomic under
-	// concurrent process crashes (a torn write truncates, never
-	// interleaves).
-	if _, err := s.file.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("store: appending to %s: %w", s.path, err)
-	}
-	if s.sync {
-		if err := s.file.Sync(); err != nil {
-			return fmt.Errorf("store: syncing %s: %w", s.path, err)
-		}
-	}
-	s.indexLocked(&rec)
-	s.appends++
-	s.sinceCompact++
-	if s.compactEvery > 0 && s.sinceCompact >= s.compactEvery {
-		// The append itself is durable at this point; a failed
-		// compaction must not make it look lost. Count the failure (it
-		// surfaces in Stats/metrics) and retry at the next trigger.
-		if err := s.compactLocked(); err != nil {
-			s.compactErrors++
-			s.sinceCompact = 0
-		}
-	}
-	return nil
-}
-
-// Compact rewrites the log keeping only live records (the newest per
-// landing URL + fingerprint), dropping everything superseded.
-func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.file == nil {
-		return errors.New("store: closed")
-	}
-	return s.compactLocked()
-}
-
-func (s *Store) compactLocked() error {
-	live := make([]*Record, 0, len(s.byKey))
-	for _, rec := range s.byKey {
-		live = append(live, rec)
-	}
-	sort.Slice(live, func(i, j int) bool { return live[i].Seq < live[j].Seq })
-
-	tmp := s.path + ".compact"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: creating %s: %w", tmp, err)
-	}
-	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
-	for _, rec := range live {
-		if err := enc.Encode(rec); err != nil {
-			_ = f.Close()
-			return fmt.Errorf("store: compacting: %w", err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("store: compacting: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("store: syncing compacted log: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("store: closing compacted log: %w", err)
-	}
-	// Atomic cutover: rename leaves either the full old log or the full
-	// new one. Swap the write handle only after it succeeds.
-	if err := os.Rename(tmp, s.path); err != nil {
-		return fmt.Errorf("store: installing compacted log: %w", err)
-	}
-	_ = s.file.Close()
-	s.file, err = os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		// The data on disk is complete and consistent (the rename
-		// landed); only the write handle is gone. Appends fail until
-		// Reload reopens the log — they must not silently write to the
-		// unlinked pre-compaction inode.
-		return fmt.Errorf("store: reopening compacted log (Reload recovers): %w", err)
-	}
-	s.compactions++
-	s.superseded += s.deadOnDisk
-	s.deadOnDisk = 0
-	s.sinceCompact = 0
-	return nil
-}
-
-// Get returns the newest record whose landing URL or starting URL equals
-// url.
-func (s *Store) Get(url string) (Record, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var best *Record
-	for _, rec := range s.byURL[url] {
-		if best == nil || rec.Seq > best.Seq {
-			best = rec
-		}
-	}
-	for _, rec := range s.byStart[url] {
-		if best == nil || rec.Seq > best.Seq {
-			best = rec
-		}
-	}
-	if best == nil {
-		return Record{}, false
-	}
-	return *best, true
+	// Segments is the segment-file count of the segmented engine.
+	Segments int `json:"segments,omitempty"`
+	// SnapshotSeq is the watermark of the last index snapshot written
+	// by the segmented engine (0 → none yet this process).
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	// TailReplayed counts records replayed past the snapshot watermark
+	// when the store was opened — the cost of the last fast-start.
+	TailReplayed int64 `json:"tail_replayed,omitempty"`
 }
 
 // Query filters the live records. Zero-valued fields match everything.
+// All query paths return records newest-first (strictly descending
+// Seq) — a deterministic order that pagination cursors rely on.
 type Query struct {
 	// Target restricts to records whose identified target RDN matches.
 	Target string
 	// URL restricts to records whose landing or starting URL matches.
 	URL string
-	// Since restricts to records scored at or after this time.
+	// ModelVersion restricts to records scored by that registry version.
+	ModelVersion string
+	// Since restricts to records scored at or after this time
+	// (inclusive lower bound).
 	Since time.Time
+	// Until restricts to records scored before this time (exclusive
+	// upper bound; half-open [Since, Until) ranges compose cleanly).
+	Until time.Time
 	// PhishOnly restricts to final phishing verdicts.
 	PhishOnly bool
-	// Limit caps the result count (0 → no cap). Newest first.
+	// Limit caps the page size (0 → no cap). Newest first.
 	Limit int
+	// Cursor resumes a paginated Scan where the previous page left off
+	// (the previous ScanPage.NextCursor). Empty starts from the newest
+	// record. Cursors are opaque; they stay valid across appends and
+	// compactions (new records land after the cursor position and are
+	// not seen by an in-progress walk).
+	Cursor string
 }
 
-// Select returns live records matching q, newest (highest Seq) first.
-func (s *Store) Select(q Query) []Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var candidates []*Record
-	switch {
-	case q.Target != "":
-		candidates = s.byTarget[q.Target]
-	case q.URL != "":
-		candidates = append(append([]*Record{}, s.byURL[q.URL]...), s.byStart[q.URL]...)
+// ScanPage is one page of a cursor-paginated Scan.
+type ScanPage struct {
+	// Records are the matching records, newest first.
+	Records []Record `json:"records"`
+	// NextCursor resumes the scan after the last record of this page.
+	// Empty when the scan is exhausted.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// ErrBadCursor reports a Query.Cursor that is not a cursor this store
+// issued.
+var ErrBadCursor = errors.New("store: malformed scan cursor")
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// cursorPrefix versions the cursor wire format.
+const cursorPrefix = "s1-"
+
+// encodeCursor makes the opaque resume token for "records older than
+// seq".
+func encodeCursor(seq uint64) string {
+	return cursorPrefix + strconv.FormatUint(seq, 36)
+}
+
+// parseCursor validates and decodes a Query.Cursor ("" → no cursor).
+func parseCursor(s string) (seq uint64, ok bool, err error) {
+	if s == "" {
+		return 0, false, nil
+	}
+	raw, found := strings.CutPrefix(s, cursorPrefix)
+	if !found {
+		return 0, false, fmt.Errorf("%w: %q", ErrBadCursor, s)
+	}
+	seq, perr := strconv.ParseUint(raw, 36, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("%w: %q", ErrBadCursor, s)
+	}
+	return seq, true, nil
+}
+
+// Backend is the pluggable verdict-store engine: append-only writes,
+// point lookups, cursor-paginated scans over the secondary indexes,
+// and compaction that drops superseded verdicts. All implementations
+// are safe for concurrent use; every method observes ctx.
+type Backend interface {
+	// Append assigns the record a sequence number and timestamp (when
+	// unset), persists it and indexes it.
+	Append(ctx context.Context, rec Record) error
+	// Get returns the newest record whose landing URL or starting URL
+	// equals url.
+	Get(ctx context.Context, url string) (Record, bool, error)
+	// Scan returns one page of live records matching q, newest first,
+	// with a cursor resuming after the page's last record.
+	Scan(ctx context.Context, q Query) (ScanPage, error)
+	// Compact reclaims superseded records. The segmented engine merges
+	// sealed segments in place without blocking concurrent appends.
+	Compact(ctx context.Context) error
+	// Stats returns the engine counters.
+	Stats() Stats
+	// Len returns the number of live records.
+	Len() int
+	// Path locates the store on disk ("" for the memory engine).
+	Path() string
+	// Close flushes and closes the store. Further appends fail.
+	Close() error
+}
+
+// Open opens (creating if necessary) the store described by cfg and
+// returns its engine behind the Backend interface. With the default
+// segmented backend, a cfg.Path holding a legacy JSONL log is migrated
+// one-shot into the segmented layout first (the original file survives
+// as "<Path>.pre-migration.jsonl").
+func Open(cfg Config) (Backend, error) {
+	switch cfg.Backend {
+	case BackendMemory:
+		return newMemStore(cfg), nil
+	case BackendLegacy:
+		s, err := openLegacy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &legacyBackend{s: s}, nil
+	case "", BackendSegmented:
+		if cfg.Path == "" {
+			return nil, errors.New("store: Config.Path is required")
+		}
+		if err := maybeMigrate(cfg); err != nil {
+			return nil, fmt.Errorf("store: migrating legacy log %s: %w", cfg.Path, err)
+		}
+		return openSegmented(cfg)
 	default:
-		candidates = make([]*Record, 0, len(s.byKey))
-		for _, rec := range s.byKey {
-			candidates = append(candidates, rec)
-		}
-	}
-	out := make([]Record, 0, len(candidates))
-	for _, rec := range candidates {
-		if q.URL != "" && rec.LandingURL != q.URL && rec.URL != q.URL {
-			continue
-		}
-		if !q.Since.IsZero() && rec.ScoredAt.Before(q.Since) {
-			continue
-		}
-		if q.PhishOnly && !rec.Outcome.FinalPhish {
-			continue
-		}
-		out = append(out, *rec)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
-	if q.Limit > 0 && len(out) > q.Limit {
-		out = out[:q.Limit]
-	}
-	return out
-}
-
-// Len returns the number of live records.
-func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.byKey)
-}
-
-// Stats returns the store counters.
-func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
-		Records:             len(s.byKey),
-		Appends:             s.appends,
-		Compactions:         s.compactions,
-		Superseded:          s.superseded,
-		CompactErrors:       s.compactErrors,
-		ExplanationsDropped: s.explDropped,
+		return nil, fmt.Errorf("store: unknown backend %q (want %q, %q or %q)",
+			cfg.Backend, BackendSegmented, BackendLegacy, BackendMemory)
 	}
 }
 
-// Path returns the log file path.
-func (s *Store) Path() string { return s.path }
-
-// Close flushes and closes the log. Further appends fail.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.file == nil {
-		return nil
+// prepare fills a record's append-time fields: sequence number,
+// timestamp, and the explanation size cap. It returns whether oversized
+// evidence was dropped.
+func prepare(rec *Record, seq uint64, maxExplain int) (explainDropped bool) {
+	rec.Seq = seq
+	if rec.ScoredAt.IsZero() {
+		rec.ScoredAt = time.Now().UTC()
 	}
-	err := s.file.Sync()
-	if cerr := s.file.Close(); err == nil {
-		err = cerr
+	if rec.Explanation == nil {
+		return false
 	}
-	s.file = nil
-	return err
+	drop := maxExplain < 0
+	if !drop {
+		// This encodes the explanation once for measurement and the
+		// record marshal that follows encodes it again — accepted:
+		// evidence persistence is an opt-in diagnostic path, and
+		// splicing a pre-encoded RawMessage would leak wire concerns
+		// into the Record type every reader shares.
+		ej, err := json.Marshal(rec.Explanation)
+		drop = err != nil || len(ej) > maxExplain
+	}
+	if drop {
+		// The verdict is the durable fact; oversized evidence is
+		// recomputable on demand and not worth log amplification.
+		rec.Explanation = nil
+	}
+	return drop
 }

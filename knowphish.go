@@ -219,17 +219,34 @@ type (
 	// Page is one fetchable resource of the (synthetic) web.
 	Page = webgen.Page
 
-	// VerdictStore is the durable append-only verdict log with an
-	// in-memory index by URL and identified target.
+	// VerdictBackend is the pluggable storage engine behind the verdict
+	// log: segmented write-ahead log (default), legacy single-file
+	// JSONL, or in-memory. See OpenVerdictStore.
+	VerdictBackend = store.Backend
+	// VerdictStore is the legacy single-file JSONL verdict log.
+	//
+	// Deprecated: use VerdictBackend; OpenVerdictStore returns one.
 	VerdictStore = store.Store
-	// StoreConfig assembles a VerdictStore.
+	// StoreConfig assembles a VerdictBackend (Backend selects the
+	// engine; Path is a directory for the segmented engine).
 	StoreConfig = store.Config
 	// VerdictRecord is one persisted verdict.
 	VerdictRecord = store.Record
-	// VerdictQuery filters VerdictStore.Select.
+	// VerdictQuery filters VerdictBackend.Scan (and the deprecated
+	// VerdictStore.Select).
 	VerdictQuery = store.Query
-	// StoreStats are the store counters (records, compactions).
+	// VerdictPage is one cursor-paginated VerdictBackend.Scan result.
+	VerdictPage = store.ScanPage
+	// StoreStats are the store counters (records, segments,
+	// compactions, snapshot state).
 	StoreStats = store.Stats
+)
+
+// Storage engine names for StoreConfig.Backend.
+const (
+	BackendSegmented = store.BackendSegmented
+	BackendLegacy    = store.BackendLegacy
+	BackendMemory    = store.BackendMemory
 )
 
 // Feed rejection reasons returned by FeedScheduler.Enqueue.
@@ -244,9 +261,18 @@ var (
 // loop.
 func NewFeed(cfg FeedConfig) (*FeedScheduler, error) { return feed.New(cfg) }
 
-// OpenStore opens (creating if necessary) a verdict store and replays
-// its log into memory.
-func OpenStore(cfg StoreConfig) (*VerdictStore, error) { return store.Open(cfg) }
+// OpenVerdictStore opens (creating if necessary) a verdict store with
+// the engine named by cfg.Backend — the segmented write-ahead log by
+// default. A legacy JSONL log found at cfg.Path is migrated into
+// segments on first open.
+func OpenVerdictStore(cfg StoreConfig) (VerdictBackend, error) { return store.Open(cfg) }
+
+// OpenStore opens the legacy single-file JSONL verdict store and
+// replays its log into memory.
+//
+// Deprecated: use OpenVerdictStore, which defaults to the segmented
+// engine and migrates legacy logs in place.
+func OpenStore(cfg StoreConfig) (*VerdictStore, error) { return store.OpenLegacy(cfg) }
 
 // ---------------------------------------------------------------------
 // The model lifecycle subsystem: a versioned, content-hashed model
