@@ -8,7 +8,7 @@ GO ?= go
 # bench-* targets below inherit it by not setting BENCH. Override per
 # run with BENCH=<regexp>.
 
-.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long store-stress cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check ci
+.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long store-stress cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check profile ci
 
 all: build
 
@@ -133,5 +133,14 @@ registry-check:
 # this target is what makes the zero-alloc claim CI-enforced.
 alloc-check:
 	$(GO) test -count=1 -run Alloc ./internal/ml ./internal/features ./internal/core
+
+# 10-second CPU profile of a running kpserve started with the pprof
+# listener bound (kpserve -debug-addr :6060). Writes cpu.pprof; inspect
+# with `$(GO) tool pprof cpu.pprof`. Override the listener address with
+# DEBUG_ADDR=<host:port>.
+DEBUG_ADDR ?= localhost:6060
+profile:
+	curl -fsS "http://$(DEBUG_ADDR)/debug/pprof/profile?seconds=10" -o cpu.pprof
+	@echo "wrote cpu.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
 ci: fmt-check vet staticcheck vulncheck build race-cover registry-check alloc-check bench-smoke fuzz-smoke

@@ -32,6 +32,7 @@ import (
 	"knowphish/internal/features"
 	"knowphish/internal/feed"
 	"knowphish/internal/ml"
+	"knowphish/internal/obs"
 	"knowphish/internal/registry"
 	"knowphish/internal/serve"
 	"knowphish/internal/store"
@@ -395,6 +396,44 @@ func BenchmarkScoreHotPath(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTracedScore prices the observability layer on the scoring
+// hot path: the warm ScoreCtx loop of BenchmarkScoreHotPath wrapped in
+// Tracer.StartRequest/Finish. tracing=off is the production default for
+// untraced callers — a disabled tracer returns a nil trace and the
+// scorer's span calls are nil no-ops, so the variant must hold the
+// PR-5 zero-allocation contract. tracing=on records a pooled trace with
+// per-stage spans per iteration; its delta over off is the full cost of
+// tracing a request. The CI benchmark-regression gate watches both.
+func BenchmarkTracedScore(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := benchSnapshot(b, false)
+	a := webpage.Analyze(snap)
+	warm := core.NewScoreRequest(snap, core.WithAnalysis(a))
+	for _, enabled := range []bool{false, true} {
+		name := "tracing=off"
+		if enabled {
+			name = "tracing=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			tracer := obs.NewTracer(obs.Config{Disabled: !enabled})
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tctx, tr := tracer.StartRequest(ctx, "/bench", "")
+				if _, err := d.ScoreCtx(tctx, warm); err != nil {
+					b.Fatal(err)
+				}
+				tracer.Finish(tr)
+			}
+		})
+	}
 }
 
 func BenchmarkGBMTrain(b *testing.B) {

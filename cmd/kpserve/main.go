@@ -37,8 +37,13 @@
 // Endpoints: POST /v2/score, POST /v2/target, POST /v2/score/stream
 // (NDJSON), GET/POST /v2/models, POST /v2/models/promote, POST
 // /v1/score, POST /v1/score/batch, POST /v1/target, POST /v1/feed,
-// GET /v1/verdicts, GET /v2/verdicts, GET /healthz, GET /metrics. See
-// README.md for request formats and the v1 → v2 migration table.
+// GET /v1/verdicts, GET /v2/verdicts, GET /healthz, GET /metrics (JSON;
+// ?format=prometheus for the scrape surface) and GET /debug/traces
+// (recent + slow/error request traces). Structured logs go to stderr
+// (-log-level, -log-format); per-stage tracing is on by default
+// (-trace=false disables it) and -debug-addr binds net/http/pprof on a
+// separate listener. See README.md for request formats and the v1 → v2
+// migration table.
 package main
 
 import (
@@ -46,7 +51,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +64,7 @@ import (
 	"knowphish/internal/drift"
 	"knowphish/internal/feed"
 	"knowphish/internal/ml"
+	"knowphish/internal/obs"
 	"knowphish/internal/ranking"
 	"knowphish/internal/registry"
 	"knowphish/internal/search"
@@ -106,8 +114,20 @@ func run() error {
 		shadowFrac  = flag.Float64("shadow-frac", 0.25, "fraction of feed traffic the challenger shadow-scores (with -registry)")
 		driftWindow = flag.Int("drift-window", drift.DefaultWindow, "drift-monitor sliding window in observations (with -registry)")
 		autoRetrain = flag.Bool("auto-retrain", false, "close the loop: drift flag triggers retrain from the store, gated challenger promotion follows")
+
+		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
+		traceOn   = flag.Bool("trace", true, "record per-stage request traces (GET /debug/traces, stage histograms in /metrics)")
+		traceSlow = flag.Duration("trace-slow", obs.DefaultSlowThreshold, "slow-request threshold: traces over it are kept as exemplars and logged (sampled)")
+		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof profiling endpoints (empty: disabled)")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	tracer := obs.NewTracer(obs.Config{SlowThreshold: *traceSlow, Disabled: !*traceOn})
 
 	explainLevel, err := core.ParseExplainLevel(*explain)
 	if err != nil {
@@ -132,6 +152,7 @@ func run() error {
 		if *modelPath != "" {
 			return errors.New("-registry and -model are mutually exclusive; import a model file with kptrain -registry")
 		}
+		logger.Info("building corpus", "scale", *scale)
 		corpus, err := buildCorpus(*scale, *seed)
 		if err != nil {
 			return err
@@ -142,17 +163,17 @@ func run() error {
 			return err
 		}
 		if reg.ChampionVersion() == "" {
-			fmt.Printf("kpserve: registry %s has no champion; training the initial version...\n", *registryDir)
+			logger.Info("registry has no champion; training the initial version", "registry", *registryDir)
 			if err := bootstrapChampion(reg, corpus, *seed); err != nil {
 				return err
 			}
 		}
 		m, _ := reg.Champion()
-		fmt.Printf("kpserve: serving champion %s (hash %s, %d registered versions)\n",
-			m.Manifest.Version, m.Manifest.Hash[:12], reg.Len())
+		logger.Info("serving champion",
+			"version", m.Manifest.Version, "hash", m.Manifest.Hash[:12], "registered_versions", reg.Len())
 	} else {
 		var err error
-		det, engine, world, err = loadArtifacts(*modelPath, *rankPath, *indexPath, *scale, *seed)
+		det, engine, world, err = loadArtifacts(*modelPath, *rankPath, *indexPath, *scale, *seed, logger)
 		if err != nil {
 			return err
 		}
@@ -174,12 +195,14 @@ func run() error {
 			CompactEvery:    *compactEvery,
 			MaxExplainBytes: *maxExplain,
 			SegmentBytes:    *segmentBytes,
+			Logger:          logger,
 		})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
-		fmt.Printf("kpserve: verdict store %s (%s engine, %d records)\n", *storePath, st.Stats().Backend, st.Len())
+		logger.Info("verdict store open",
+			"path", *storePath, "engine", st.Stats().Backend, "records", st.Len())
 		if world != nil {
 			// The full lifecycle loop needs the registry (models), the
 			// store (retrain corpus) and the world (re-crawl source) —
@@ -194,13 +217,14 @@ func run() error {
 					ShadowFraction: *shadowFrac,
 					AutoRetrain:    *autoRetrain,
 					Seed:           *seed,
+					Logger:         logger,
 				})
 				if err != nil {
 					return err
 				}
 				defer lc.Close()
-				fmt.Printf("kpserve: drift monitor window=%d shadow-frac=%.2f auto-retrain=%v\n",
-					*driftWindow, *shadowFrac, *autoRetrain)
+				logger.Info("drift monitor armed",
+					"window", *driftWindow, "shadow_frac", *shadowFrac, "auto_retrain", *autoRetrain)
 			}
 			pipeDet := det
 			if reg != nil {
@@ -217,6 +241,8 @@ func run() error {
 				DomainBurst: *domainBurst,
 				MaxAttempts: *feedRetries,
 				Explain:     feedExplainLevel,
+				Tracer:      tracer,
+				Logger:      logger,
 			}
 			if lc != nil {
 				feedCfg.OnVerdict = lc.OnVerdict
@@ -225,10 +251,10 @@ func run() error {
 				return err
 			}
 		} else {
-			fmt.Println("kpserve: warning: no crawl source with -model; POST /v1/feed disabled (GET /v1/verdicts still serves the store)")
+			logger.Warn("no crawl source with -model; POST /v1/feed disabled (GET /v1/verdicts still serves the store)")
 		}
 	} else if reg != nil && *autoRetrain {
-		fmt.Println("kpserve: warning: -auto-retrain needs -store (the retrain corpus); running registry without the retrain loop")
+		logger.Warn("-auto-retrain needs -store (the retrain corpus); running registry without the retrain loop")
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -244,9 +270,29 @@ func run() error {
 		ExplainTopN:     *topN,
 		Feed:            sched,
 		Store:           st,
+		Tracer:          tracer,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
+	}
+
+	// The pprof listener is its own server on its own address, never the
+	// scoring mux: profiling endpoints stay off the public surface unless
+	// an operator binds them explicitly.
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				logger.Error("pprof listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
 	}
 
 	// Full timeout set: without Read/Write/Idle timeouts a client that
@@ -268,7 +314,8 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("kpserve: listening on %s (index: %d docs)\n", *addr, engine.Len())
+		logger.Info("listening", "addr", *addr, "index_docs", engine.Len(),
+			"tracing", tracer.Enabled(), "slow_threshold", tracer.SlowThreshold())
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -281,7 +328,7 @@ func run() error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("kpserve: shutting down...")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -292,21 +339,21 @@ func run() error {
 	if sched != nil {
 		dropped := sched.Drain(time.Now().Add(*drainWait))
 		fs := sched.Stats()
-		fmt.Printf("kpserve: feed drained: %d processed, %d failed, %d dropped\n",
-			fs.Processed, fs.Failed, dropped)
+		logger.Info("feed drained",
+			"processed", fs.Processed, "failed", fs.Failed, "dropped", dropped)
 	}
 	if st != nil {
 		ss := st.Stats()
-		fmt.Printf("kpserve: store: %d records, %d compactions\n", ss.Records, ss.Compactions)
+		logger.Info("store closed", "records", ss.Records, "compactions", ss.Compactions)
 	}
 	if lc != nil {
 		ls := lc.Status()
-		fmt.Printf("kpserve: lifecycle: champion %s, %d retrains, %d promotions, drift flagged=%v\n",
-			ls.ChampionVersion, ls.Retrains, ls.Promotions, ls.Drift.Flagged)
+		logger.Info("lifecycle summary", "champion", ls.ChampionVersion,
+			"retrains", ls.Retrains, "promotions", ls.Promotions, "drift_flagged", ls.Drift.Flagged)
 	}
 	m := srv.Metrics()
-	fmt.Printf("kpserve: served %d requests, %d pages scored, cache hit rate %.2f\n",
-		m.Requests, m.PagesScored, m.CacheHitRate)
+	logger.Info("served", "requests", m.Requests, "pages_scored", m.PagesScored,
+		"cache_hit_rate", m.CacheHitRate)
 	return <-errc
 }
 
@@ -314,12 +361,12 @@ func run() error {
 // saved artifacts or by training a fresh stack on the synthetic world.
 // The returned world is non-nil only on the self-train path, where it
 // serves as the feed's crawl source.
-func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64) (*core.Detector, *search.Engine, *webgen.World, error) {
+func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64, logger *slog.Logger) (*core.Detector, *search.Engine, *webgen.World, error) {
 	if modelPath == "" {
 		if rankPath != "" || indexPath != "" {
 			return nil, nil, nil, errors.New("-ranking/-index require -model; the self-train path would silently ignore them")
 		}
-		return selfTrain(scale, seed)
+		return selfTrain(scale, seed, logger)
 	}
 
 	var rank *ranking.List
@@ -327,7 +374,7 @@ func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64)
 		// The ranking is not embedded in the model (see Detector.Save);
 		// without it the popularity feature sees every domain as
 		// unranked — a distribution the model never trained on.
-		fmt.Println("kpserve: warning: no -ranking; popularity feature will treat all domains as unranked")
+		logger.Warn("no -ranking; popularity feature will treat all domains as unranked")
 	}
 	if rankPath != "" {
 		f, err := os.Open(rankPath)
@@ -363,7 +410,7 @@ func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64)
 			return nil, nil, nil, fmt.Errorf("loading index %s: %w", indexPath, err)
 		}
 	} else {
-		fmt.Println("kpserve: warning: no -index; target identification will mostly report suspicious")
+		logger.Warn("no -index; target identification will mostly report suspicious")
 	}
 	return det, engine, nil, nil
 }
@@ -371,7 +418,6 @@ func loadArtifacts(modelPath, rankPath, indexPath string, scale int, seed int64)
 // buildCorpus generates the synthetic world and evaluation campaigns —
 // the substrate of the self-train and registry modes.
 func buildCorpus(scale int, seed int64) (*dataset.Corpus, error) {
-	fmt.Printf("kpserve: building corpus (scale 1/%d)...\n", scale)
 	return dataset.Build(dataset.Config{
 		Seed:              seed,
 		Scale:             scale,
@@ -428,8 +474,8 @@ func detectorSource(reg *registry.Registry) core.DetectorSource {
 
 // selfTrain builds a corpus and trains a detector — the zero-artifact
 // demo path.
-func selfTrain(scale int, seed int64) (*core.Detector, *search.Engine, *webgen.World, error) {
-	fmt.Println("kpserve: no -model given; self-training...")
+func selfTrain(scale int, seed int64, logger *slog.Logger) (*core.Detector, *search.Engine, *webgen.World, error) {
+	logger.Info("no -model given; self-training", "scale", scale)
 	corpus, err := buildCorpus(scale, seed)
 	if err != nil {
 		return nil, nil, nil, err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"knowphish/internal/features"
+	"knowphish/internal/obs"
 	"knowphish/internal/pool"
 	"knowphish/internal/target"
 	"knowphish/internal/webpage"
@@ -135,8 +136,14 @@ func (p *Pipeline) AnalyzeCtx(ctx context.Context, req ScoreRequest) (Verdict, e
 // Combined with a request-supplied analysis (WithAnalysis) and the
 // model's flattened tree layout this makes a warm score fully
 // allocation-free (pinned by TestScoreCtxWarmPathZeroAllocs).
+//
+// When the request context carries an obs.Trace, each stage is recorded
+// as a span reusing the StageTimings clock reads — tracing adds no extra
+// time.Now calls, and an untraced context costs one allocation-free
+// Value lookup (pinned by TestScoreCtxUntracedZeroAllocs).
 func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Identifier) (Verdict, error) {
 	t0 := time.Now()
+	tr := obs.TraceFrom(ctx)
 	a := req.analysis
 	if req.Snapshot == nil && a == nil {
 		return Verdict{}, ErrNoSnapshot
@@ -160,6 +167,7 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 		ts := time.Now()
 		a = webpage.Analyze(req.Snapshot)
 		v.Timings.AnalyzeNS = time.Since(ts).Nanoseconds()
+		tr.Span(obs.StageAnalyze, ts, v.Timings.AnalyzeNS)
 		if err := ctxCause(ctx); err != nil {
 			return Verdict{}, err
 		}
@@ -183,6 +191,7 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 		v.FeatureSet = req.featureSet.String()
 	}
 	v.Timings.FeaturesNS = time.Since(ts).Nanoseconds()
+	tr.Span(obs.StageExtract, ts, v.Timings.FeaturesNS)
 	if req.captureVector {
 		v.Vector = vec
 	}
@@ -207,6 +216,7 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 	v.DetectorPhish = v.Score >= d.threshold
 	v.FinalPhish = v.DetectorPhish
 	v.Timings.ScoreNS = time.Since(ts).Nanoseconds()
+	tr.Span(obs.StageScore, ts, v.Timings.ScoreNS)
 
 	// Stage 4: target identification confirms detector positives and
 	// overturns false ones (Section VI-D).
@@ -223,6 +233,7 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 			v.FinalPhish = false
 		}
 		v.Timings.TargetNS = time.Since(ts).Nanoseconds()
+		tr.Span(obs.StageIdentify, ts, v.Timings.TargetNS)
 	}
 
 	// Stage 5: evidence.
@@ -237,6 +248,7 @@ func (d *Detector) scoreCtx(ctx context.Context, req ScoreRequest, id *target.Id
 			Contributions: features.TopContributions(vec, contribs, d.columns, req.topFeatures()),
 		}
 		v.Timings.ExplainNS = time.Since(ts).Nanoseconds()
+		tr.Span(obs.StageExplain, ts, v.Timings.ExplainNS)
 	}
 
 	v.Label = label(v.FinalPhish)

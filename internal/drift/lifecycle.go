@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -85,6 +86,10 @@ type LifecycleConfig struct {
 	GBM ml.GBMConfig
 	// Seed drives shadow sampling and the retrain train/holdout split.
 	Seed int64
+	// Logger receives structured lifecycle-transition logs: drift flags,
+	// retrain outcomes, challenger installs/retirements and promotions
+	// (nil → discard).
+	Logger *slog.Logger
 }
 
 // Evaluation compares champion and challenger on the same held-out
@@ -216,6 +221,11 @@ func NewLifecycle(cfg LifecycleConfig) (*Lifecycle, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Logger == nil {
+		// Not obs.NopLogger: this package declares its own type named
+		// obs, so the import would shadow it.
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	l := &Lifecycle{
 		cfg:     cfg,
 		monitor: NewMonitor(cfg.Monitor),
@@ -260,6 +270,9 @@ func (l *Lifecycle) OnVerdict(snap *webpage.Snapshot, v core.Verdict) {
 		return
 	}
 	if l.monitor.Flagged() && l.challengerModel() == nil && !l.retraining.Load() {
+		st := l.monitor.Status()
+		l.cfg.Logger.Warn("drift flagged; starting background retrain",
+			"score_psi", st.ScorePSI, "max_feature_psi", st.MaxFeaturePSI, "rate_shift", st.RateShift)
 		_ = l.RetrainAsync() // already-running is fine; failures land in LastError
 	}
 	if ch := l.challengerModel(); ch != nil && l.shadowScored.Load() >= int64(l.cfg.MinShadow) {
@@ -295,6 +308,8 @@ func (l *Lifecycle) retireChallenger(ch *registry.Model, reason string) {
 	}
 	l.mu.Unlock()
 	l.retired.Add(1)
+	l.cfg.Logger.Info("challenger retired by the promotion gate",
+		"version", ch.Manifest.Version, "reason", reason)
 	l.setLastErr(fmt.Sprintf("challenger %s retired by the promotion gate: %s", ch.Manifest.Version, reason))
 	l.cooldown.Store(int64(l.monitor.Window()))
 }
@@ -378,10 +393,14 @@ func (l *Lifecycle) Retrain(ctx context.Context) (registry.Manifest, error) {
 	if err != nil {
 		l.retrainFails.Add(1)
 		l.setLastErr(err.Error())
+		l.cfg.Logger.Error("retrain failed", "err", err)
 		return registry.Manifest{}, err
 	}
 	l.retrains.Add(1)
 	l.setLastErr("")
+	l.cfg.Logger.Info("retrain completed; challenger installed",
+		"challenger_version", man.Version, "held_out_auc", man.Stats.HeldOutAUC,
+		"held_out_accuracy", man.Stats.HeldOutAccuracy, "samples", man.Stats.Samples)
 	return man, nil
 }
 
@@ -593,6 +612,8 @@ func (l *Lifecycle) Promote(version string, force bool) (registry.Model, error) 
 		return registry.Model{}, err
 	}
 	l.promotions.Add(1)
+	l.cfg.Logger.Info("champion promoted",
+		"version", version, "hash", m.Manifest.Hash, "forced", force)
 	l.mu.Lock()
 	if l.challenger != nil && l.challenger.Manifest.Version == version {
 		l.challenger = nil

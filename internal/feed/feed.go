@@ -33,12 +33,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"knowphish/internal/core"
 	"knowphish/internal/crawl"
+	"knowphish/internal/obs"
 	"knowphish/internal/pool"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
@@ -128,6 +130,13 @@ type Config struct {
 	// Default: core.ExplainNone — evidence costs an extra model walk
 	// per URL and log bytes forever.
 	Explain core.ExplainLevel
+	// Tracer, when set, records one trace per processed URL — crawl,
+	// the core scoring stages, store append — alongside the serving
+	// layer's request traces (optional).
+	Tracer *obs.Tracer
+	// Logger receives the scheduler's structured logs: exhausted fetch
+	// budgets, persistence failures, drops (nil → discard).
+	Logger *slog.Logger
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -233,6 +242,9 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
 	}
 	s := &Scheduler{
 		cfg:      cfg,
@@ -387,11 +399,21 @@ func (s *Scheduler) takeTokenLocked(domain string, now time.Time) (wait time.Dur
 func (s *Scheduler) process(it *item) {
 	defer func() {
 		if r := recover(); r != nil {
+			s.cfg.Logger.Error("feed item panicked", "url", it.url, "panic", fmt.Sprint(r))
 			s.finish(it, fmt.Errorf("feed: panic processing %s: %v", it.url, r))
 		}
 	}()
+	// Each processed URL gets its own trace: the crawl span here, the
+	// scoring stages recorded by core through the context, and the
+	// store-append span below. Finish runs on every exit, including a
+	// contained panic (deferred after the recover, so it runs first).
+	ctx, tr := s.cfg.Tracer.StartRequest(s.ctx, "feed", "")
+	defer s.cfg.Tracer.Finish(tr)
+	ts := time.Now()
 	snap, err := crawl.Visit(s.cfg.Fetcher, it.url)
+	tr.Span(obs.StageCrawl, ts, time.Since(ts).Nanoseconds())
 	if err != nil {
+		tr.SetError()
 		s.retryOrFail(it, err)
 		return
 	}
@@ -412,10 +434,11 @@ func (s *Scheduler) process(it *item) {
 			pipe = &core.Pipeline{Detector: det, Identifier: pipe.Identifier}
 		}
 	}
-	v, err := pipe.AnalyzeCtx(s.ctx, core.NewScoreRequest(snap, opts...))
+	v, err := pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snap, opts...))
 	if err != nil {
 		// The scheduler context was cancelled mid-scoring (expired
 		// drain): abandon the item without a verdict.
+		tr.SetError()
 		s.drop(it)
 		return
 	}
@@ -435,7 +458,14 @@ func (s *Scheduler) process(it *item) {
 	if out.TargetRun && out.Target.Verdict == target.VerdictPhish && len(out.Target.Candidates) > 0 {
 		rec.Target = out.Target.Candidates[0].RDN
 	}
+	ts = time.Now()
 	err = s.persist(rec)
+	tr.Span(obs.StageStoreAppend, ts, time.Since(ts).Nanoseconds())
+	if err != nil {
+		tr.SetError()
+		s.cfg.Logger.Error("feed verdict persistence failed",
+			"url", it.url, "trace_id", tr.TraceID(), "err", err)
+	}
 	if s.cfg.OnVerdict != nil {
 		// After persistence: the hook may trigger a retrain that reads
 		// the store, and this verdict should be part of what it learns
@@ -485,6 +515,8 @@ func (s *Scheduler) retryOrFail(it *item, err error) {
 		s.mu.Unlock()
 		return
 	}
+	s.cfg.Logger.Warn("feed fetch budget exhausted",
+		"url", it.url, "attempts", it.attempts, "err", err)
 	perr := s.persist(store.Record{
 		URL:        it.url,
 		LandingURL: it.url,

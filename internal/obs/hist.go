@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the bucket count of a Hist. Bucket i covers latencies
+// in [2^i, 2^(i+1)) microseconds; the last bucket is open-ended,
+// catching everything from ~34 s up.
+const NumBuckets = 26
+
+// Hist is a lock-free exponential latency histogram. Percentiles read
+// from bucket counts are approximate (within a factor of two, the
+// bucket width), which is what operational dashboards need. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Hist struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	// maxUS tracks the largest observation so the open-ended last
+	// bucket (and any bucket bound past the data) can report a real
+	// value instead of its theoretical 2^26 µs ≈ 67 s upper bound.
+	maxUS atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := 0
+	for v := us; v > 1 && b < NumBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// SumUS returns the sum of all observations in microseconds.
+func (h *Hist) SumUS() int64 { return h.sumUS.Load() }
+
+// MaxUS returns the largest observation in microseconds.
+func (h *Hist) MaxUS() int64 { return h.maxUS.Load() }
+
+// Percentile returns the upper bound (µs) of the bucket containing the
+// p-th percentile observation, 0 when empty. p in [0, 100]. The bound
+// is clamped to the largest observation actually recorded, so the
+// open-ended last bucket — whose theoretical bound of 2^26 µs ≈ 67 s
+// would otherwise be reported no matter the true value — and a
+// one-sample histogram both answer with a number the data supports.
+func (h *Hist) Percentile(p float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p / 100 * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	max := h.maxUS.Load()
+	var seen int64
+	for b := 0; b < NumBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen > rank {
+			if b == NumBuckets-1 {
+				// The open-ended last bucket has no meaningful upper
+				// bound; the observed max is the honest answer.
+				return max
+			}
+			bound := int64(1) << uint(b+1)
+			if bound > max {
+				bound = max
+			}
+			return bound
+		}
+	}
+	return max
+}
+
+// Mean returns the mean observation in microseconds, 0 when empty.
+func (h *Hist) Mean() int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sumUS.Load() / n
+}
+
+// BucketBoundUS returns bucket i's inclusive upper bound in
+// microseconds; the last bucket reports -1 (open-ended, rendered as
+// +Inf by the Prometheus writer).
+func BucketBoundUS(i int) int64 {
+	if i >= NumBuckets-1 {
+		return -1
+	}
+	return int64(1) << uint(i+1)
+}
+
+// Cumulative fills cum with the cumulative bucket counts (cum[i] =
+// observations at or below bucket i's bound) and returns the total
+// count and microsecond sum. The snapshot is not atomic across
+// buckets; concurrent observes can make the total differ from the last
+// cumulative entry by in-flight observations, which the caller must
+// reconcile (the Prometheus writer pins +Inf to the cumulative total).
+func (h *Hist) Cumulative(cum *[NumBuckets]int64) (count, sumUS int64) {
+	var run int64
+	for i := 0; i < NumBuckets; i++ {
+		run += h.buckets[i].Load()
+		cum[i] = run
+	}
+	return run, h.sumUS.Load()
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"knowphish/internal/racecheck"
+)
+
+func TestHistPercentileEmpty(t *testing.T) {
+	var h Hist
+	if h.Percentile(50) != 0 || h.Percentile(99) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zero")
+	}
+}
+
+func TestHistPercentileOneSample(t *testing.T) {
+	var h Hist
+	h.Observe(300 * time.Microsecond)
+	// A single sample defines every percentile; the answer must be the
+	// observed value, not the containing bucket's 512 µs upper bound.
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 300 {
+			t.Errorf("p%.0f = %d µs, want 300 (clamped to the observation)", p, got)
+		}
+	}
+}
+
+func TestHistPercentileLastBucketClamped(t *testing.T) {
+	var h Hist
+	// 10 minutes lands in the open-ended last bucket, whose theoretical
+	// bound is 2^26 µs ≈ 67 s. The percentile must report the real
+	// maximum, not the bucket bound.
+	h.Observe(10 * time.Minute)
+	want := (10 * time.Minute).Microseconds()
+	if got := h.Percentile(99); got != want {
+		t.Errorf("p99 = %d µs, want %d (observed max, not the 2^26 bucket bound)", got, want)
+	}
+	// Mixed: fast majority, one extreme outlier — p50 stays in the fast
+	// bucket, p100 reports the outlier's real value.
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	if p50 := h.Percentile(50); p50 > 256 {
+		t.Errorf("p50 = %d µs, want within the fast bucket", p50)
+	}
+	if p100 := h.Percentile(100); p100 != want {
+		t.Errorf("p100 = %d µs, want %d", p100, want)
+	}
+}
+
+func TestHistBoundNeverExceedsMax(t *testing.T) {
+	var h Hist
+	// 1000 µs lands in bucket [1024, 2048) whose bound is 2048; the
+	// reported percentile must clamp to the 1000 µs actually seen.
+	h.Observe(1000 * time.Microsecond)
+	h.Observe(900 * time.Microsecond)
+	if got := h.Percentile(99); got != 1000 {
+		t.Errorf("p99 = %d µs, want clamped to observed max 1000", got)
+	}
+}
+
+func TestHistCumulative(t *testing.T) {
+	var h Hist
+	h.Observe(1 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(time.Hour) // last bucket
+	var cum [NumBuckets]int64
+	count, sum := h.Cumulative(&cum)
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	if cum[NumBuckets-1] != 3 {
+		t.Errorf("final cumulative = %d, want 3", cum[NumBuckets-1])
+	}
+	for i := 1; i < NumBuckets; i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("cumulative decreases at bucket %d", i)
+		}
+	}
+	if sum != 1+100+time.Hour.Microseconds() {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(Config{})
+	ctx, trace := tr.StartRequest(context.Background(), "/v2/score", "")
+	if trace == nil {
+		t.Fatal("enabled tracer returned nil trace")
+	}
+	if TraceFrom(ctx) != trace {
+		t.Fatal("trace not attached to context")
+	}
+	hdr := trace.Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") {
+		t.Fatalf("traceparent %q is not a W3C header", hdr)
+	}
+	if id := trace.TraceID(); !strings.Contains(hdr, id) {
+		t.Errorf("traceparent %q does not carry trace id %s", hdr, id)
+	}
+	tr.Finish(trace)
+
+	// An incoming traceparent roots the new trace in the caller's id.
+	const in = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	_, child := tr.StartRequest(context.Background(), "/v2/score", in)
+	if got := child.TraceID(); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace id = %s, want the caller's", got)
+	}
+	out := child.Traceparent()
+	if !strings.HasPrefix(out, "00-0af7651916cd43dd8448eb211c80319c-") {
+		t.Errorf("echoed traceparent %q lost the caller's trace id", out)
+	}
+	if strings.Contains(out, "b7ad6b7169203331") {
+		t.Errorf("echoed traceparent %q reused the caller's span id", out)
+	}
+	tr.Finish(child)
+
+	doc := tr.Snapshot()
+	if len(doc.Recent) != 2 {
+		t.Fatalf("retained %d traces, want 2", len(doc.Recent))
+	}
+	// Newest first.
+	if doc.Recent[0].TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("newest trace id = %s", doc.Recent[0].TraceID)
+	}
+	if doc.Recent[0].ParentSpanID != "b7ad6b7169203331" {
+		t.Errorf("parent span id = %s", doc.Recent[0].ParentSpanID)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-short-01",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // future version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",  // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",  // zero span id
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01",  // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01x", // trailing junk
+	}
+	for _, h := range bad {
+		if _, _, ok := parseTraceparent(h); ok {
+			t.Errorf("parseTraceparent accepted %q", h)
+		}
+	}
+}
+
+func TestTraceSpansAndStageHists(t *testing.T) {
+	tr := NewTracer(Config{SlowThreshold: time.Hour})
+	_, trace := tr.StartRequest(context.Background(), "feed", "")
+	now := time.Now()
+	trace.Span(StageCrawl, now, int64(2*time.Millisecond))
+	trace.Span(StageScore, now, int64(300*time.Microsecond))
+	tr.Finish(trace)
+
+	if got := tr.StageHist(StageCrawl).Count(); got != 1 {
+		t.Errorf("crawl stage count = %d", got)
+	}
+	if got := tr.StageHist(StageScore).Mean(); got != 300 {
+		t.Errorf("score stage mean = %d µs, want 300", got)
+	}
+	doc := tr.Snapshot()
+	if len(doc.Recent) != 1 || len(doc.Recent[0].Spans) != 2 {
+		t.Fatalf("trace doc: %+v", doc)
+	}
+	if doc.Recent[0].Spans[0].Stage != "crawl" || doc.Recent[0].Spans[1].Stage != "score" {
+		t.Errorf("span stages: %+v", doc.Recent[0].Spans)
+	}
+}
+
+func TestTraceSpanOverflowCounted(t *testing.T) {
+	tr := NewTracer(Config{})
+	_, trace := tr.StartRequest(context.Background(), "x", "")
+	now := time.Now()
+	for i := 0; i < MaxSpans+3; i++ {
+		trace.Span(StageScore, now, 1)
+	}
+	tr.Finish(trace)
+	if s := tr.Summary(); s.SpansDropped != 3 {
+		t.Errorf("spans dropped = %d, want 3", s.SpansDropped)
+	}
+}
+
+func TestSlowAndErrorExemplars(t *testing.T) {
+	tr := NewTracer(Config{SlowThreshold: time.Nanosecond}) // everything is slow
+	_, a := tr.StartRequest(context.Background(), "slow", "")
+	tr.Finish(a)
+
+	fast := NewTracer(Config{SlowThreshold: time.Hour})
+	_, b := fast.StartRequest(context.Background(), "ok", "")
+	fast.Finish(b)
+	_, c := fast.StartRequest(context.Background(), "broken", "")
+	c.SetError()
+	fast.Finish(c)
+
+	if s := tr.Summary(); s.Slow != 1 || s.RetainedSlow != 1 {
+		t.Errorf("slow tracer summary: %+v", s)
+	}
+	doc := fast.Snapshot()
+	if len(doc.Exemplars) != 1 || doc.Exemplars[0].Endpoint != "broken" || !doc.Exemplars[0].Error {
+		t.Errorf("error exemplar not retained: %+v", doc.Exemplars)
+	}
+	if s := fast.Summary(); s.Errors != 1 {
+		t.Errorf("errors = %d", s.Errors)
+	}
+}
+
+func TestDisabledAndNilTracer(t *testing.T) {
+	var nilT *Tracer
+	ctx, trace := nilT.StartRequest(context.Background(), "x", "")
+	if trace != nil || TraceFrom(ctx) != nil {
+		t.Fatal("nil tracer must trace nothing")
+	}
+	nilT.Finish(trace) // must not panic
+	trace.Span(StageScore, time.Now(), 1)
+	trace.SetError()
+	if trace.TraceID() != "" || trace.Traceparent() != "" {
+		t.Error("nil trace ids must be empty")
+	}
+	if s := nilT.Summary(); s.Enabled || s.Started != 0 {
+		t.Errorf("nil summary: %+v", s)
+	}
+
+	off := NewTracer(Config{Disabled: true})
+	ctx2, tr2 := off.StartRequest(context.Background(), "x", "")
+	if tr2 != nil || ctx2 != context.Background() {
+		t.Fatal("disabled tracer must return the context unchanged")
+	}
+	off.SetEnabled(true)
+	if _, tr3 := off.StartRequest(context.Background(), "x", ""); tr3 == nil {
+		t.Fatal("re-enabled tracer must trace")
+	}
+}
+
+func TestRingBufferWraps(t *testing.T) {
+	tr := NewTracer(Config{RingSize: 4, SlowThreshold: time.Hour})
+	for i := 0; i < 10; i++ {
+		_, trace := tr.StartRequest(context.Background(), "x", "")
+		tr.Finish(trace)
+	}
+	doc := tr.Snapshot()
+	if len(doc.Recent) != 4 {
+		t.Fatalf("retained %d, want ring size 4", len(doc.Recent))
+	}
+	if s := tr.Summary(); s.Finished != 10 {
+		t.Errorf("finished = %d", s.Finished)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(Config{RingSize: 16, ExemplarSize: 8, SlowThreshold: time.Microsecond})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, trace := tr.StartRequest(context.Background(), "x", "")
+				TraceFrom(ctx).Span(StageScore, time.Now(), int64(i))
+				tr.Finish(trace)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := tr.Summary(); s.Started != 1600 || s.Finished != 1600 {
+		t.Errorf("summary after concurrent run: %+v", s)
+	}
+	_ = tr.Snapshot()
+}
+
+func TestTraceFromZeroAlloc(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		if TraceFrom(ctx) != nil {
+			t.Fatal("unexpected trace")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TraceFrom on an untraced context allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	tr := NewTracer(Config{})
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		_, trace := tr.StartRequest(context.Background(), "x", "")
+		id := trace.TraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace id %s", id)
+		}
+		seen[id] = true
+		tr.Finish(trace)
+	}
+}

@@ -240,7 +240,7 @@ func TestErrorResponsesExcludedFromLatency(t *testing.T) {
 			t.Fatalf("%s %s: status = %d, want an error", r.method, r.path, code)
 		}
 	}
-	if n := s.metrics.latency.count.Load(); n != 0 {
+	if n := s.metrics.latency.Count(); n != 0 {
 		t.Fatalf("latency observations after only-errors = %d, want 0", n)
 	}
 	if m := s.Metrics(); m.Errors != int64(len(bad)) {
@@ -255,7 +255,7 @@ func TestErrorResponsesExcludedFromLatency(t *testing.T) {
 	if code := call(t, s, http.MethodPost, "/v1/feed", FeedRequest{URLs: []string{"http://ok.test/"}}, &fr); code != http.StatusOK {
 		t.Fatalf("feed: status = %d", code)
 	}
-	if n := s.metrics.latency.count.Load(); n != 2 {
+	if n := s.metrics.latency.Count(); n != 2 {
 		t.Errorf("latency observations after two successes = %d, want 2", n)
 	}
 }

@@ -6,65 +6,15 @@ import (
 
 	"knowphish/internal/drift"
 	"knowphish/internal/feed"
+	"knowphish/internal/obs"
 	"knowphish/internal/store"
 )
 
-// latencyBuckets is the number of exponential histogram buckets. Bucket
-// i covers latencies in [2^i, 2^(i+1)) microseconds; the last bucket is
-// open-ended, reaching past one minute — far beyond any sane request.
-const latencyBuckets = 26
-
-// latencyHist is a lock-free exponential histogram of request latencies.
-// Percentiles read from bucket counts are approximate (within a factor
-// of two, the bucket width), which is what operational dashboards need.
-type latencyHist struct {
-	buckets [latencyBuckets]atomic.Int64
-	count   atomic.Int64
-	sumUS   atomic.Int64
-}
-
-func (h *latencyHist) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	b := 0
-	for v := us; v > 1 && b < latencyBuckets-1; v >>= 1 {
-		b++
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(us)
-}
-
-// percentile returns the upper bound (µs) of the bucket containing the
-// p-th percentile observation, 0 when empty. p in [0, 100].
-func (h *latencyHist) percentile(p float64) int64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(p / 100 * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen int64
-	for b := 0; b < latencyBuckets; b++ {
-		seen += h.buckets[b].Load()
-		if seen > rank {
-			return int64(1) << uint(b+1)
-		}
-	}
-	return int64(1) << latencyBuckets
-}
-
-func (h *latencyHist) mean() int64 {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return h.sumUS.Load() / n
-}
+// latencyHist is the serving layer's request-latency histogram — the
+// shared obs exponential histogram (26 buckets, bucket i covering
+// [2^i, 2^(i+1)) µs, percentiles clamped to the observed maximum so the
+// open-ended last bucket never reports its theoretical 2^26 µs bound).
+type latencyHist = obs.Hist
 
 // Metrics aggregates the serving counters exposed at /metrics. All
 // fields are updated atomically; reading while serving is safe.
@@ -137,6 +87,11 @@ type MetricsSnapshot struct {
 
 	BatchLatencyMeanUS int64 `json:"batch_latency_mean_us"`
 	BatchLatencyP99US  int64 `json:"batch_latency_p99_us"`
+
+	// Tracing reports the request-tracing aggregates (trace counts,
+	// per-stage latency summaries, exemplar retention) when a tracer is
+	// configured.
+	Tracing *obs.Summary `json:"tracing,omitempty"`
 }
 
 // Snapshot captures the current counters.
@@ -162,12 +117,12 @@ func (m *Metrics) Snapshot(cacheEntries int) MetricsSnapshot {
 		CacheHitRate: rate,
 		CacheEntries: cacheEntries,
 
-		LatencyMeanUS: m.latency.mean(),
-		LatencyP50US:  m.latency.percentile(50),
-		LatencyP90US:  m.latency.percentile(90),
-		LatencyP99US:  m.latency.percentile(99),
+		LatencyMeanUS: m.latency.Mean(),
+		LatencyP50US:  m.latency.Percentile(50),
+		LatencyP90US:  m.latency.Percentile(90),
+		LatencyP99US:  m.latency.Percentile(99),
 
-		BatchLatencyMeanUS: m.scoreBatch.mean(),
-		BatchLatencyP99US:  m.scoreBatch.percentile(99),
+		BatchLatencyMeanUS: m.scoreBatch.Mean(),
+		BatchLatencyP99US:  m.scoreBatch.Percentile(99),
 	}
 }

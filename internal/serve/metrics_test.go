@@ -8,18 +8,18 @@ import (
 
 func TestLatencyHistPercentiles(t *testing.T) {
 	var h latencyHist
-	if h.percentile(50) != 0 || h.mean() != 0 {
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
 		t.Error("empty histogram must report zero")
 	}
 	// 90 fast requests, 10 slow ones.
 	for i := 0; i < 90; i++ {
-		h.observe(100 * time.Microsecond)
+		h.Observe(100 * time.Microsecond)
 	}
 	for i := 0; i < 10; i++ {
-		h.observe(50 * time.Millisecond)
+		h.Observe(50 * time.Millisecond)
 	}
-	p50 := h.percentile(50)
-	p99 := h.percentile(99)
+	p50 := h.Percentile(50)
+	p99 := h.Percentile(99)
 	if p50 > 1000 {
 		t.Errorf("p50 = %dµs, want <= ~256µs bucket", p50)
 	}
@@ -29,20 +29,20 @@ func TestLatencyHistPercentiles(t *testing.T) {
 	if p50 > p99 {
 		t.Errorf("p50 %d > p99 %d", p50, p99)
 	}
-	if m := h.mean(); m <= 0 {
+	if m := h.Mean(); m <= 0 {
 		t.Errorf("mean = %d", m)
 	}
 }
 
 func TestLatencyHistExtremes(t *testing.T) {
 	var h latencyHist
-	h.observe(-time.Second) // clamped, must not panic or corrupt
-	h.observe(0)
-	h.observe(10 * time.Minute) // beyond last bucket boundary
-	if h.count.Load() != 3 {
-		t.Errorf("count = %d", h.count.Load())
+	h.Observe(-time.Second) // clamped, must not panic or corrupt
+	h.Observe(0)
+	h.Observe(10 * time.Minute) // beyond last bucket boundary
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
 	}
-	if h.percentile(100) == 0 {
+	if h.Percentile(100) == 0 {
 		t.Error("p100 of nonempty histogram is zero")
 	}
 }
@@ -54,7 +54,7 @@ func TestMetricsSnapshotCounters(t *testing.T) {
 	m.phish.Add(1)
 	m.cacheHits.Add(2)
 	m.cacheMiss.Add(2)
-	m.latency.observe(time.Millisecond)
+	m.latency.Observe(time.Millisecond)
 	snap := m.Snapshot(7)
 	if snap.Requests != 5 || snap.PagesScored != 3 || snap.PhishVerdicts != 1 {
 		t.Errorf("counters: %+v", snap)
@@ -79,7 +79,7 @@ func TestMetricsConcurrentObserve(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				m.requests.Add(1)
-				m.latency.observe(time.Duration(i) * time.Microsecond)
+				m.latency.Observe(time.Duration(i) * time.Microsecond)
 			}
 		}()
 	}
@@ -88,7 +88,7 @@ func TestMetricsConcurrentObserve(t *testing.T) {
 	if snap.Requests != 8000 {
 		t.Errorf("requests = %d, want 8000", snap.Requests)
 	}
-	if m.latency.count.Load() != 8000 {
-		t.Errorf("latency count = %d, want 8000", m.latency.count.Load())
+	if m.latency.Count() != 8000 {
+		t.Errorf("latency count = %d, want 8000", m.latency.Count())
 	}
 }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"knowphish/internal/obs"
+)
+
+// writePrometheus renders the full metrics surface in the Prometheus
+// text exposition format (version 0.0.4): serving counters and latency
+// histograms, per-stage pipeline histograms from the tracer, feed /
+// store / drift / lifecycle gauges when those subsystems are wired in,
+// the model info metric, and the Go runtime metrics. The JSON document
+// at /metrics stays the frozen default; this is the scrape surface
+// behind ?format=prometheus.
+//
+// Naming follows Prometheus conventions: monotonically increasing
+// values are *_total counters, point-in-time values are gauges,
+// latencies are *_seconds histograms, and model identity rides on an
+// info metric (a gauge fixed at 1 whose labels carry the metadata).
+func (s *Server) writePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	p := obs.NewPromWriter(w)
+	m := s.metrics
+
+	// Serving counters.
+	p.Gauge("knowphish_uptime_seconds", "Seconds since the server started.", time.Since(m.start).Seconds())
+	p.Counter("knowphish_http_requests_total", "HTTP requests received.", float64(m.requests.Load()))
+	p.Counter("knowphish_pages_scored_total", "Pages scored (batch items counted singly).", float64(m.scored.Load()))
+	p.Counter("knowphish_phish_verdicts_total", "Pages with a final phishing verdict.", float64(m.phish.Load()))
+	p.Counter("knowphish_http_errors_total", "4xx/5xx responses.", float64(m.errors.Load()))
+	p.Gauge("knowphish_requests_in_flight", "Requests currently being served.", float64(m.inFlight.Load()))
+	p.Counter("knowphish_batch_rejected_total", "Batch/stream/feed requests refused for exceeding the item limit.", float64(m.batchRejected.Load()))
+	p.Counter("knowphish_requests_cancelled_total", "Requests cut short by client disconnect.", float64(m.cancelled.Load()))
+	p.Counter("knowphish_streamed_items_total", "Result lines delivered on the streaming endpoint.", float64(m.streamed.Load()))
+
+	// Verdict cache.
+	p.Counter("knowphish_cache_hits_total", "Verdict-cache hits.", float64(m.cacheHits.Load()))
+	p.Counter("knowphish_cache_misses_total", "Verdict-cache misses.", float64(m.cacheMiss.Load()))
+	p.Gauge("knowphish_cache_entries", "Verdict-cache entries resident.", float64(s.cacheLen()))
+	if s.cache != nil {
+		p.Counter("knowphish_cache_evictions_total", "Verdict-cache evictions.", float64(s.cache.Evictions()))
+	}
+
+	// Request latency histograms.
+	p.Histogram("knowphish_request_duration_seconds", "Scoring-endpoint request latency.", &m.latency)
+	p.Histogram("knowphish_batch_duration_seconds", "Per-batch request latency.", &m.scoreBatch)
+
+	// Per-stage pipeline latency from the tracer, one label set per
+	// stage under a single family.
+	if s.tracer != nil {
+		sum := s.tracer.Summary()
+		p.Counter("knowphish_traces_started_total", "Request traces started.", float64(sum.Started))
+		p.Counter("knowphish_traces_finished_total", "Request traces finished.", float64(sum.Finished))
+		p.Counter("knowphish_traces_slow_total", "Finished traces over the slow threshold.", float64(sum.Slow))
+		p.Counter("knowphish_trace_errors_total", "Finished traces marked failed.", float64(sum.Errors))
+		p.Counter("knowphish_trace_spans_dropped_total", "Spans dropped for exceeding the per-trace capacity.", float64(sum.SpansDropped))
+		p.HistHeader("knowphish_stage_duration_seconds", "Per-stage pipeline latency of traced requests.")
+		for i, name := range obs.StageNames() {
+			p.HistFromHist("knowphish_stage_duration_seconds",
+				[]obs.Label{{Name: "stage", Value: name}}, s.tracer.StageHist(obs.Stage(i)))
+		}
+	}
+
+	// Model identity: version from the serving detector, artifact hash
+	// from the registry manifest when one backs this server.
+	if det := s.source.Current(); det != nil {
+		labels := []obs.Label{{Name: "version", Value: det.Version()}}
+		if s.registry != nil {
+			if mod, ok := s.registry.Champion(); ok {
+				labels = append(labels,
+					obs.Label{Name: "hash", Value: mod.Manifest.Hash},
+					obs.Label{Name: "feature_set", Value: mod.Manifest.FeatureSet})
+			}
+		}
+		p.Info("knowphish_model_info", "The model version serving traffic.", labels)
+	}
+
+	// Ingestion pipeline.
+	if s.feed != nil {
+		fs := s.feed.Stats()
+		p.Gauge("knowphish_feed_queue_depth", "Queued URLs (ready + deferred).", float64(fs.Depth))
+		p.Gauge("knowphish_feed_in_flight", "URLs being crawled or scored right now.", float64(fs.InFlight))
+		p.Counter("knowphish_feed_accepted_total", "URLs accepted into the queue.", float64(fs.Accepted))
+		p.Counter("knowphish_feed_processed_total", "URLs that reached a persisted verdict.", float64(fs.Processed))
+		p.Counter("knowphish_feed_failed_total", "URLs whose fetch budget was exhausted.", float64(fs.Failed))
+		p.Counter("knowphish_feed_retries_total", "Fetch attempts beyond the first.", float64(fs.Retries))
+		p.Counter("knowphish_feed_dropped_total", "Accepted URLs abandoned by an expired drain.", float64(fs.Dropped))
+		p.FamilyL("knowphish_feed_rejected_total", "URLs rejected at enqueue, by reason.", "counter", []obs.LabeledSample{
+			{Labels: []obs.Label{{Name: "reason", Value: "queue_full"}}, Value: float64(fs.RejectedFull)},
+			{Labels: []obs.Label{{Name: "reason", Value: "duplicate"}}, Value: float64(fs.RejectedDuplicate)},
+			{Labels: []obs.Label{{Name: "reason", Value: "invalid_url"}}, Value: float64(fs.RejectedInvalid)},
+			{Labels: []obs.Label{{Name: "reason", Value: "closed"}}, Value: float64(fs.RejectedClosed)},
+		})
+	}
+
+	// Verdict store.
+	if s.store != nil {
+		ss := s.store.Stats()
+		p.Gauge("knowphish_store_records", "Live (indexed) verdict records.", float64(ss.Records))
+		p.Gauge("knowphish_store_segments", "Segment files of the segmented engine.", float64(ss.Segments))
+		p.Counter("knowphish_store_appends_total", "Records appended since open.", float64(ss.Appends))
+		p.Counter("knowphish_store_compactions_total", "Log rewrites since open.", float64(ss.Compactions))
+		p.Counter("knowphish_store_superseded_total", "Records dropped by compaction.", float64(ss.Superseded))
+		p.Counter("knowphish_store_compact_errors_total", "Automatic compactions that failed.", float64(ss.CompactErrors))
+	}
+
+	// Drift and model lifecycle.
+	if s.lifecycle != nil {
+		ls := s.lifecycle.Status()
+		p.Gauge("knowphish_drift_score_psi", "Population stability index of the score distribution.", ls.Drift.ScorePSI)
+		p.Gauge("knowphish_drift_max_feature_psi", "Largest per-feature PSI observed.", ls.Drift.MaxFeaturePSI)
+		p.Gauge("knowphish_drift_phish_rate_shift", "Absolute phish-rate shift, current window vs baseline.", ls.Drift.RateShift)
+		p.Gauge("knowphish_drift_flagged", "1 while any drift monitor is over its threshold.", boolGauge(ls.Drift.Flagged))
+		p.Counter("knowphish_lifecycle_shadow_scored_total", "Challenger shadow scores.", float64(ls.ShadowScored))
+		p.Counter("knowphish_lifecycle_retrains_total", "Background retrains completed.", float64(ls.Retrains))
+		p.Counter("knowphish_lifecycle_retrain_failures_total", "Background retrains that failed.", float64(ls.RetrainFailures))
+		p.Counter("knowphish_lifecycle_promotions_total", "Champion promotions.", float64(ls.Promotions))
+		p.Gauge("knowphish_lifecycle_retraining", "1 while a background retrain is in flight.", boolGauge(ls.Retraining))
+	}
+
+	// Go runtime.
+	p.WriteRuntimeMetrics()
+
+	if err := p.Err(); err != nil {
+		// Headers are gone; the scrape is torn and the scraper retries.
+		s.metrics.errors.Add(1)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

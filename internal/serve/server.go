@@ -61,15 +61,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"knowphish/internal/core"
 	"knowphish/internal/drift"
 	"knowphish/internal/feed"
+	"knowphish/internal/obs"
 	"knowphish/internal/pool"
 	"knowphish/internal/registry"
 	"knowphish/internal/store"
@@ -143,6 +147,13 @@ type Config struct {
 	// GET /v2/verdicts (optional; without it both endpoints answer
 	// 503). Any store.Backend engine works; see store.Open.
 	Store store.Backend
+	// Tracer records per-request pipeline traces served at
+	// GET /debug/traces and summarized in /metrics (optional; nil
+	// disables tracing — every instrumented path is nil-safe).
+	Tracer *obs.Tracer
+	// Logger receives the server's structured logs: request-scoped slow
+	// and error records carrying trace ids (nil → discard).
+	Logger *slog.Logger
 }
 
 // Server is the HTTP scoring service. It is an http.Handler; wire it
@@ -166,7 +177,14 @@ type Server struct {
 	feed            *feed.Scheduler
 	store           store.Backend
 	metrics         *Metrics
-	mux             *http.ServeMux
+	tracer          *obs.Tracer
+	logger          *slog.Logger
+	// slowSeen counts slow requests for the sampled slow-request log:
+	// logging every slow request during an incident would flood the log
+	// exactly when it matters most, so only every slowLogSample-th one
+	// (and the first) is written. /debug/traces retains them all.
+	slowSeen atomic.Int64
+	mux      *http.ServeMux
 	// scoreSem bounds CPU-heavy work (parsing, hashing, scoring,
 	// identification) server-wide: per-request fan-out alone would let
 	// B concurrent batches run B × workers goroutines and oversubscribe
@@ -205,6 +223,11 @@ func New(cfg Config) (*Server, error) {
 		feed:            cfg.Feed,
 		store:           cfg.Store,
 		metrics:         newMetrics(),
+		tracer:          cfg.Tracer,
+		logger:          cfg.Logger,
+	}
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
 	}
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
@@ -242,6 +265,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v2/verdicts", s.instrument(s.get(s.handleVerdictsV2), &s.metrics.latency))
 	s.mux.HandleFunc("/healthz", s.instrument(s.get(s.handleHealthz), nil))
 	s.mux.HandleFunc("/metrics", s.instrument(s.get(s.handleMetrics), nil))
+	s.mux.HandleFunc("/debug/traces", s.instrument(s.get(s.handleDebugTraces), nil))
 	return s, nil
 }
 
@@ -300,6 +324,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.lifecycle != nil {
 		ls := s.lifecycle.Status()
 		snap.Lifecycle = &ls
+	}
+	if s.tracer != nil {
+		ts := s.tracer.Summary()
+		snap.Tracing = &ts
 	}
 	return snap
 }
@@ -437,10 +465,37 @@ type HealthResponse struct {
 	// ModelVersion is the serving champion's registry version ("" for a
 	// detector loaded outside a registry).
 	ModelVersion string `json:"model_version,omitempty"`
+	// ModelHash is the champion artifact's sha256 (registry-backed
+	// servers only) — together with ModelVersion it pins exactly which
+	// model bytes answer this instance's traffic.
+	ModelHash string `json:"model_hash,omitempty"`
+	// GoVersion and VCSRevision identify the running build, read once
+	// from debug.ReadBuildInfo (VCSRevision is empty when the binary
+	// was built outside a VCS checkout, e.g. in tests).
+	GoVersion    string `json:"go_version"`
+	VCSRevision  string `json:"vcs_revision,omitempty"`
 	Workers      int    `json:"workers"`
 	CacheEnabled bool   `json:"cache_enabled"`
 	FeedEnabled  bool   `json:"feed_enabled"`
 	StoreEnabled bool   `json:"store_enabled"`
+}
+
+// buildGoVersion / buildVCSRevision are read once at startup; every
+// /healthz response reuses them.
+var buildGoVersion, buildVCSRevision = readBuildInfo()
+
+func readBuildInfo() (goVersion, revision string) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return runtime.Version(), ""
+	}
+	goVersion = info.GoVersion
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			revision = kv.Value
+		}
+	}
+	return goVersion, revision
 }
 
 type errorResponse struct {
@@ -763,7 +818,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	s.metrics.scoreBatch.observe(time.Since(t0))
+	s.metrics.scoreBatch.Observe(time.Since(t0))
 	s.reply(w, http.StatusOK, BatchResponse{
 		Results:   results,
 		Count:     len(results),
@@ -1002,6 +1057,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		GoVersion:     buildGoVersion,
+		VCSRevision:   buildVCSRevision,
 		Workers:       s.workers,
 		CacheEnabled:  s.cache != nil,
 		FeedEnabled:   s.feed != nil,
@@ -1010,6 +1067,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if det := s.source.Current(); det != nil {
 		resp.Threshold = det.Threshold()
 		resp.ModelVersion = det.Version()
+		if s.registry != nil {
+			if m, ok := s.registry.Champion(); ok {
+				resp.ModelHash = m.Manifest.Hash
+			}
+		}
 	} else {
 		// Alive but unable to score: a registry-backed server waiting for
 		// its first champion. Liveness probes should not kill it, but the
@@ -1019,8 +1081,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, resp)
 }
 
+// handleMetrics serves the metrics snapshot. JSON is the frozen default
+// (pinned by goldens); ?format=prometheus switches to the text
+// exposition format for scrapers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.reply(w, http.StatusOK, s.Metrics())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.reply(w, http.StatusOK, s.Metrics())
+	case "prometheus":
+		s.writePrometheus(w)
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json or prometheus)", format))
+	}
+}
+
+// handleDebugTraces serves the tracer's retained traces: the recent
+// ring, the slow/error exemplar reservoir and the per-stage summaries.
+// Without a tracer it answers an empty document rather than 404, so
+// dashboards can poll unconditionally.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, s.tracer.Snapshot())
 }
 
 // ---------------------------------------------------------------------
@@ -1124,23 +1204,59 @@ func (sr *statusRecorder) Flush() {
 // Unwrap lets http.ResponseController reach the underlying writer.
 func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
 
+// slowLogSample is the slow-request log sampling interval: the first
+// slow request and every slowLogSample-th after it are logged.
+const slowLogSample = 8
+
 // instrument wraps a handler with request counting and, when hist is
 // non-nil, latency capture into that histogram. Only successful
 // responses are observed: microsecond-cheap 4xx rejections would
 // otherwise drag the percentiles operators alert on toward zero.
+//
+// It is also the tracing seam: with a tracer configured, every request
+// gets a trace attached to its context (rooted in the caller's
+// traceparent header when one is sent), the response echoes the
+// server's traceparent, 5xx responses mark the trace failed, and
+// requests past the slow threshold are logged — sampled, with their
+// trace id, so an operator can jump from a log line straight to the
+// retained trace in /debug/traces.
 func (s *Server) instrument(h http.HandlerFunc, hist *latencyHist) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		s.metrics.requests.Add(1)
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
+		ctx, tr := s.tracer.StartRequest(r.Context(), r.URL.Path, r.Header.Get("traceparent"))
+		if tr != nil {
+			w.Header().Set("Traceparent", tr.Traceparent())
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
+		dur := time.Since(t0)
+		if tr != nil {
+			if rec.status >= 500 {
+				tr.SetError()
+			}
+			// The slow log reads the trace before Finish returns it to
+			// the pool.
+			if slow := s.tracer.SlowThreshold(); slow > 0 && dur >= slow {
+				if n := s.slowSeen.Add(1); n == 1 || n%slowLogSample == 0 {
+					s.logger.Warn("slow request",
+						"path", r.URL.Path,
+						"status", rec.status,
+						"dur_ms", dur.Milliseconds(),
+						"trace_id", tr.TraceID(),
+						"sampled_1_in", slowLogSample)
+				}
+			}
+			s.tracer.Finish(tr)
+		}
 		// Cancelled requests wrote nothing (status stays 200) but their
 		// elapsed time is time-until-the-server-noticed, not a service
 		// latency — exclude them like error responses.
 		if hist != nil && rec.status < 400 && r.Context().Err() == nil {
-			hist.observe(time.Since(t0))
+			hist.Observe(dur)
 		}
 	}
 }

@@ -362,12 +362,15 @@ func seqRemove(m map[string][]*entry, k string, e *entry) []*entry {
 	if i >= len(s) || s[i] != e {
 		return s
 	}
-	copy(s[i:], s[i+1:])
-	s[len(s)-1] = nil
-	s = s[:len(s)-1]
-	if len(s) == 0 {
+	if len(s) == 1 {
+		// Never write into a single-entry list: materialize builds those
+		// as subslices of the bySeq/snapshot backing array, so nilling
+		// the slot would punch a nil into bySeq and crash the next scan.
 		delete(m, k)
 		return nil
 	}
+	copy(s[i:], s[i+1:])
+	s[len(s)-1] = nil
+	s = s[:len(s)-1]
 	return s
 }

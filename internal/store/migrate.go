@@ -86,5 +86,12 @@ func maybeMigrate(cfg Config) error {
 	if err := os.Rename(cfg.Path, cfg.Path+migrationBackupSuffix); err != nil {
 		return err
 	}
-	return os.Rename(side, cfg.Path)
+	if err := os.Rename(side, cfg.Path); err != nil {
+		return err
+	}
+	if cfg.Logger != nil {
+		cfg.Logger.Info("migrated legacy verdict log to segmented layout",
+			"path", cfg.Path, "records", len(recs), "backup", cfg.Path+migrationBackupSuffix)
+	}
+	return nil
 }

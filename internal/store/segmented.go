@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"sync"
+
+	"knowphish/internal/obs"
 )
 
 // The segmented engine. Appends go to a single active segment; when it
@@ -39,6 +42,7 @@ type segStore struct {
 	compactEvery int
 	maxExplain   int
 	snapEvery    int
+	log          *slog.Logger
 
 	mu         sync.Mutex
 	ix         *memIndex
@@ -146,8 +150,12 @@ func openSegmented(cfg Config) (*segStore, error) {
 		compactEvery: cfg.CompactEvery,
 		maxExplain:   cfg.MaxExplainBytes,
 		snapEvery:    cfg.SnapshotEvery,
+		log:          cfg.Logger,
 		ix:           newMemIndex(),
 		sealed:       map[uint64]*sidecar{},
+	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
 	}
 	s.readers.m = map[uint64]*os.File{}
 	if s.segBytes == 0 {
@@ -256,6 +264,12 @@ func (s *segStore) recover() error {
 	// snapshot-complete open stays clean, so closing it again skips the
 	// redundant snapshot rewrite.
 	s.snapDirty = s.tailReplayed > 0 || (!snapOK && len(s.ix.bySeq) > 0)
+	if s.tailReplayed > 0 {
+		// The replay cost of this open — the fast-start gauge an operator
+		// watches after a crash.
+		s.log.Info("recovered store by replaying log tail",
+			"dir", s.dir, "records_replayed", s.tailReplayed, "snapshot_found", snapOK)
+	}
 	if haveActive {
 		f, err := os.OpenFile(segName(s.dir, activeID), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -645,6 +659,10 @@ func (s *segStore) startBackgroundCompactLocked() {
 			s.mu.Lock()
 			s.compactErrors++
 			s.mu.Unlock()
+			// The triggering append was durable; the rewrite retries at
+			// the next trigger — but an operator should know disk-side
+			// maintenance is failing.
+			s.log.Error("background compaction failed", "dir", s.dir, "err", err)
 		}
 	}()
 }
@@ -787,6 +805,10 @@ func (s *segStore) runCompact(ctx context.Context) error {
 		_ = os.Remove(idxName(s.dir, id))
 	}
 	s.dropReaders(victims)
+	s.log.Debug("compaction merged segments",
+		"victims", len(victims),
+		"live_records", len(items),
+		"superseded_dropped", victimFrames-len(items))
 	return nil
 }
 

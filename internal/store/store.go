@@ -41,11 +41,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 	"time"
 
 	"knowphish/internal/core"
+	"knowphish/internal/obs"
 )
 
 // Backend names accepted by Config.Backend.
@@ -154,6 +156,10 @@ type Config struct {
 	// snapshot only on compaction and Close). Ignored by the other
 	// engines.
 	SnapshotEvery int
+	// Logger receives the engine's structured logs — compaction results
+	// and failures, legacy-log migration, recovery replay (nil →
+	// discard).
+	Logger *slog.Logger
 }
 
 // Stats are the store counters exported at /metrics.
@@ -287,6 +293,9 @@ type Backend interface {
 // one-shot into the segmented layout first (the original file survives
 // as "<Path>.pre-migration.jsonl").
 func Open(cfg Config) (Backend, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	switch cfg.Backend {
 	case BackendMemory:
 		return newMemStore(cfg), nil

@@ -20,7 +20,9 @@
 package knowphish
 
 import (
+	"context"
 	"io"
+	"log/slog"
 	"time"
 
 	"knowphish/internal/core"
@@ -30,6 +32,7 @@ import (
 	"knowphish/internal/features"
 	"knowphish/internal/feed"
 	"knowphish/internal/ml"
+	"knowphish/internal/obs"
 	"knowphish/internal/ocr"
 	"knowphish/internal/ranking"
 	"knowphish/internal/registry"
@@ -441,3 +444,57 @@ func BuildCorpus(cfg CorpusConfig) (*Corpus, error) { return dataset.Build(cfg) 
 func VisitSite(w *World, site *webgen.Site) (*Snapshot, error) {
 	return crawl.VisitSite(w, site)
 }
+
+// ---------------------------------------------------------------------
+// Observability: the internal/obs telemetry layer. A Tracer records
+// per-stage request traces (crawl → analyze → extract → score →
+// identify → persist) into a ring of recent traces plus a slow/error
+// exemplar reservoir; wire one into ServerConfig.Tracer and
+// FeedConfig.Tracer, and pass a structured Logger alongside. Both are
+// nil-safe: an unconfigured pipeline pays no tracing or logging cost.
+
+type (
+	// Tracer records request traces and per-stage latency histograms.
+	Tracer = obs.Tracer
+	// TracerConfig tunes the trace ring, exemplar reservoir and slow
+	// threshold.
+	TracerConfig = obs.Config
+	// TraceStage names one pipeline stage of a trace.
+	TraceStage = obs.Stage
+	// RequestTrace is one in-flight trace, carried on the context.
+	RequestTrace = obs.Trace
+	// TraceSummary aggregates tracer counters and per-stage latency for
+	// /metrics.
+	TraceSummary = obs.Summary
+	// LatencyHist is the lock-free exponential-bucket latency histogram
+	// shared by the server and the tracer.
+	LatencyHist = obs.Hist
+)
+
+// Trace stages, in pipeline order.
+const (
+	StageCrawl       = obs.StageCrawl
+	StageAnalyze     = obs.StageAnalyze
+	StageExtract     = obs.StageExtract
+	StageScore       = obs.StageScore
+	StageIdentify    = obs.StageIdentify
+	StageExplain     = obs.StageExplain
+	StageStoreAppend = obs.StageStoreAppend
+)
+
+// NewTracer builds a request tracer.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewTracer(cfg) }
+
+// NewLogger builds a structured logger writing to w. level is "debug",
+// "info", "warn" or "error"; format is "text" or "json".
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
+
+// NopLogger returns a logger that discards everything — the default
+// wherever a config Logger field is nil.
+func NopLogger() *slog.Logger { return obs.NopLogger() }
+
+// TraceFromContext returns the request trace carried by ctx, or nil.
+// The returned trace's methods are nil-safe, so callers never branch.
+func TraceFromContext(ctx context.Context) *RequestTrace { return obs.TraceFrom(ctx) }
