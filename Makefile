@@ -8,7 +8,7 @@ GO ?= go
 # bench-* targets below inherit it by not setting BENCH. Override per
 # run with BENCH=<regexp>.
 
-.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long store-stress cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check profile ci
+.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long store-stress load-smoke cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check profile ci
 
 all: build
 
@@ -101,6 +101,16 @@ bench-gate:
 # perf trajectory across PRs is tracked.
 bench-json:
 	BENCH="$(BENCH)" ./scripts/bench_json.sh
+
+# Load smoke: kpload drives a complete in-process kpserve (-self) for a
+# few seconds at a modest open-loop rate and writes LOAD_PR.json — the
+# macro health check nightly.yml runs and archives next to
+# BENCH_PR.json. LOAD_QPS / LOAD_DURATION override the defaults.
+LOAD_QPS ?= 100
+LOAD_DURATION ?= 5s
+load-smoke:
+	$(GO) run ./cmd/kpload run -self -scale 40 -qps $(LOAD_QPS) \
+		-duration $(LOAD_DURATION) -workers 4 -json LOAD_PR.json
 
 # Known-vulnerability scan over the module and its (empty) dependency
 # graph — effectively a stdlib advisory check pinned to the toolchain.

@@ -31,6 +31,7 @@ import (
 	"knowphish/internal/experiments"
 	"knowphish/internal/features"
 	"knowphish/internal/feed"
+	"knowphish/internal/loadgen"
 	"knowphish/internal/ml"
 	"knowphish/internal/obs"
 	"knowphish/internal/registry"
@@ -923,4 +924,87 @@ func BenchmarkStoreReopen(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkLoadEndToEnd is the macro benchmark behind `make load-smoke`
+// and the bench gate: a complete in-process kpserve (detector, feed
+// pipeline, in-memory verdict store) on a real HTTP listener, loaded by
+// the internal/loadgen closed loop with a fixed request budget per
+// iteration. One op is one full load run; the reported url/s is the
+// sustained submission throughput, and the benchmark fails if the
+// server loses a verdict (accepted but neither persisted nor failed).
+func BenchmarkLoadEndToEnd(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	world := r.Corpus.World
+	var corpus []string
+	for _, brand := range world.Brands {
+		corpus = append(corpus, world.BrandSiteURLs(brand)...)
+	}
+
+	const budget = 256 // requests per load run
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last loadgen.Report
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := store.Open(store.Config{Backend: store.BackendMemory})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched, err := feed.New(feed.Config{
+			Fetcher:    world,
+			Pipeline:   &core.Pipeline{Detector: d, Identifier: target.New(r.Corpus.Engine)},
+			Store:      st,
+			DomainRate: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := serve.New(serve.Config{
+			Detector:   d,
+			Identifier: target.New(r.Corpus.Engine),
+			Feed:       sched,
+			Store:      st,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		b.StartTimer()
+
+		rep, err := loadgen.Run(context.Background(), loadgen.Config{
+			TargetURL:      ts.URL,
+			Corpus:         corpus,
+			Workers:        runtime.GOMAXPROCS(0),
+			Requests:       budget,
+			ScrapeInterval: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		if dropped := sched.Drain(time.Now().Add(30 * time.Second)); dropped != 0 {
+			b.Fatalf("drain dropped %d accepted URLs", dropped)
+		}
+		fs := sched.Stats()
+		if fs.Processed+fs.Failed != fs.Accepted {
+			b.Fatalf("verdict loss: accepted %d, processed %d + failed %d", fs.Accepted, fs.Processed, fs.Failed)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("load run saw %d request errors", rep.Errors)
+		}
+		ts.Close()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+		b.StartTimer()
+	}
+	b.ReportMetric(last.SustainedQPS, "url/s")
+	b.ReportMetric(float64(last.LatencyP99US), "p99-µs")
 }

@@ -1,0 +1,315 @@
+// Command kpload is the load-generation harness for kpserve: it replays
+// a URL corpus against POST /v1/feed in a closed or open loop and
+// reports what the service sustained — throughput, latency percentiles
+// (p50/p99/p999), error and drop rates, and the feed queue depth
+// scraped from /metrics — as a human table and, with -json, as the
+// LOAD_PR.json artifact the CI smoke uploads.
+//
+// Two subcommands:
+//
+//	kpload gen  -seed 42 -out corpus.txt
+//	kpload run  -target http://127.0.0.1:8080 -corpus corpus.txt -qps 200 -duration 30s
+//	kpload run  -self -duration 5s -json LOAD_PR.json
+//
+// gen emits a synthetic corpus of brand-site URLs from the same
+// deterministic world a self-trained kpserve crawls. Pass kpserve's
+// -seed value: gen derives the world seed the same way kpserve does, so
+// every generated URL resolves in that server's world. Against a
+// kpserve with a live crawler, feed it a captured corpus instead — the
+// file format is one URL per line, #-comments ignored.
+//
+// run drives the load. With -qps 0 (the default) workers run a closed
+// loop — each fires its next request when the previous response lands —
+// measuring the service's throughput ceiling at that concurrency. With
+// -qps > 0 arrivals are paced at the target rate regardless of response
+// times (an open loop), so reported latency includes queueing delay,
+// the number closed loops hide. -self skips the network target and
+// boots a complete in-process kpserve (self-trained detector, feed
+// pipeline, in-memory verdict store) on a loopback listener, then loads
+// it: a one-command macro benchmark needing nothing running.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"knowphish/internal/core"
+	"knowphish/internal/dataset"
+	"knowphish/internal/feed"
+	"knowphish/internal/loadgen"
+	"knowphish/internal/ml"
+	"knowphish/internal/serve"
+	"knowphish/internal/store"
+	"knowphish/internal/target"
+	"knowphish/internal/webgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kpload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: kpload <gen|run> [flags]\nrun 'kpload gen -h' or 'kpload run -h' for flags")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:])
+	case "run":
+		return runLoad(args[1:])
+	case "-h", "-help", "--help":
+		return fmt.Errorf("usage: kpload <gen|run> [flags]")
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen or run)", args[0])
+	}
+}
+
+// runGen emits a corpus of resolvable brand-site URLs from the
+// deterministic synthetic world.
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("kpload gen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "kpserve's -seed; the world seed is derived from it the same way kpserve derives it")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	urls := genCorpus(*seed)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# kpload corpus: %d brand-site URLs from the seed-%d world\n", len(urls), *seed)
+	for _, u := range urls {
+		fmt.Fprintln(bw, u)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "kpload: wrote %d URLs to %s\n", len(urls), *out)
+	}
+	return nil
+}
+
+// genCorpus lists every persistent brand page of the world a kpserve
+// started with -seed serveSeed crawls. The +1 mirrors kpserve's
+// buildCorpus: the world seed is the service seed plus one.
+func genCorpus(serveSeed int64) []string {
+	w := webgen.New(webgen.Config{Seed: serveSeed + 1})
+	var urls []string
+	for _, b := range w.Brands {
+		urls = append(urls, w.BrandSiteURLs(b)...)
+	}
+	return urls
+}
+
+// runLoad drives one load test and prints the report.
+func runLoad(args []string) error {
+	fs := flag.NewFlagSet("kpload run", flag.ContinueOnError)
+	targetURL := fs.String("target", "", "kpserve base URL (e.g. http://127.0.0.1:8080); mutually exclusive with -self")
+	self := fs.Bool("self", false, "boot an in-process kpserve on loopback and load that instead of -target")
+	corpusPath := fs.String("corpus", "", "URL corpus file, one per line (-self defaults to the generated world corpus)")
+	qps := fs.Float64("qps", 0, "open-loop target rate in URLs/second (0 = closed loop: measure the ceiling)")
+	workers := fs.Int("workers", loadgen.DefaultWorkersForHost(), "concurrent request workers")
+	ramp := fs.Duration("ramp", 0, "stagger worker start over this window")
+	duration := fs.Duration("duration", 10*time.Second, "run length (ignored with -requests)")
+	requests := fs.Int("requests", 0, "fixed request budget instead of -duration (reproducible runs)")
+	batch := fs.Int("batch", 1, "URLs per /v1/feed request")
+	jsonOut := fs.String("json", "", "also write the report as JSON (the LOAD_PR.json artifact)")
+	seed := fs.Int64("seed", 42, "with -self: the service seed (detector, world)")
+	scale := fs.Int("scale", 20, "with -self: corpus downscale divisor for self-training (higher = faster boot)")
+	feedWorkers := fs.Int("feed-workers", 0, "with -self: feed pipeline workers (0 = GOMAXPROCS)")
+	feedQueue := fs.Int("feed-queue", 0, "with -self: feed queue depth (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*targetURL == "") == !*self {
+		return fmt.Errorf("exactly one of -target or -self is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var corpus []string
+	var err error
+	if *corpusPath != "" {
+		if corpus, err = readCorpus(*corpusPath); err != nil {
+			return err
+		}
+	}
+
+	if *self {
+		srv, shutdown, err := bootSelf(selfConfig{
+			seed: *seed, scale: *scale,
+			feedWorkers: *feedWorkers, feedQueue: *feedQueue,
+		})
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		*targetURL = srv
+		if corpus == nil {
+			corpus = genCorpus(*seed)
+		}
+	}
+	if len(corpus) == 0 {
+		return fmt.Errorf("-corpus is required with -target (generate one with 'kpload gen')")
+	}
+
+	fmt.Fprintf(os.Stderr, "kpload: loading %s with %d URLs (workers %d, %s)\n",
+		*targetURL, len(corpus), *workers, describeBudget(*requests, *duration))
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		TargetURL: *targetURL,
+		Corpus:    corpus,
+		QPS:       *qps,
+		Workers:   *workers,
+		Ramp:      *ramp,
+		Duration:  *duration,
+		Requests:  *requests,
+		BatchSize: *batch,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("kpload report")
+	fmt.Print(rep.Table())
+	if *jsonOut != "" {
+		if err := rep.WriteJSON(*jsonOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "kpload: wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+func describeBudget(requests int, d time.Duration) string {
+	if requests > 0 {
+		return fmt.Sprintf("%d requests", requests)
+	}
+	return d.String()
+}
+
+// readCorpus loads one URL per line; blank lines and #-comments are
+// skipped.
+func readCorpus(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var urls []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		urls = append(urls, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return urls, nil
+}
+
+type selfConfig struct {
+	seed        int64
+	scale       int
+	feedWorkers int
+	feedQueue   int
+}
+
+// bootSelf stands up a complete in-process kpserve — self-trained
+// detector, synthetic world as crawl source, feed pipeline, in-memory
+// verdict store — on a loopback listener, and returns its base URL plus
+// a shutdown function that drains the feed before exiting.
+func bootSelf(cfg selfConfig) (string, func(), error) {
+	fmt.Fprintf(os.Stderr, "kpload: self mode — training detector (seed %d, scale %d)\n", cfg.seed, cfg.scale)
+	corpus, err := dataset.Build(dataset.Config{
+		Seed:              cfg.seed,
+		Scale:             cfg.scale,
+		World:             webgen.Config{Seed: cfg.seed + 1},
+		SkipLanguageTests: true,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	snaps := append(corpus.LegTrain.Snapshots(), corpus.PhishTrain.Snapshots()...)
+	labels := append(corpus.LegTrain.Labels(), corpus.PhishTrain.Labels()...)
+	det, err := core.Train(snaps, labels, core.TrainConfig{
+		GBM:  ml.GBMConfig{Trees: 100, MaxDepth: 4, Subsample: 0.8, MinLeaf: 5, Seed: cfg.seed + 2},
+		Rank: corpus.World.Ranking(),
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	identifier := target.New(corpus.Engine)
+
+	st, err := store.Open(store.Config{Backend: store.BackendMemory})
+	if err != nil {
+		return "", nil, err
+	}
+	sched, err := feed.New(feed.Config{
+		Fetcher:    corpus.World,
+		Pipeline:   &core.Pipeline{Detector: det, Identifier: identifier},
+		Store:      st,
+		Workers:    cfg.feedWorkers,
+		QueueDepth: cfg.feedQueue,
+	})
+	if err != nil {
+		st.Close()
+		return "", nil, err
+	}
+	handler, err := serve.New(serve.Config{
+		Detector:   det,
+		Identifier: identifier,
+		Feed:       sched,
+		Store:      st,
+	})
+	if err != nil {
+		sched.Drain(time.Now())
+		st.Close()
+		return "", nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sched.Drain(time.Now())
+		st.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: handler}
+	go hs.Serve(ln)
+
+	shutdown := func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shCtx)
+		dropped := sched.Drain(time.Now().Add(10 * time.Second))
+		fs := sched.Stats()
+		ss := st.Stats()
+		fmt.Fprintf(os.Stderr, "kpload: self server drained — processed %d, failed %d, dropped %d, store appends %d\n",
+			fs.Processed, fs.Failed, dropped, ss.Appends)
+		st.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

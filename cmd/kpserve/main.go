@@ -16,9 +16,20 @@
 // JSONL engine or an in-memory store instead, and a legacy log found
 // at the -store path is migrated into segments on first open.
 //
+// Repeatable -feed-src flags (NAME=KIND:URL; kinds json, csv, ndjson)
+// attach external feed connectors on top of the feed pipeline: each is
+// polled with a resumable cursor (persisted under -feed-src-cursor),
+// rate-shared (-feed-src-rate) and deduped before its URLs enter the
+// scheduler, and every resulting verdict carries the source name in its
+// provenance — filterable at GET /v2/verdicts?source=NAME. Per-source
+// health (cursor, lag, rejects by reason) is exported at /metrics.
+//
 // Usage:
 //
 //	kpserve -addr :8080 -store verdicts/                     # demo + feed
+//	kpserve -addr :8080 -store verdicts/ -feed-src-cursor cursors/ \
+//	        -feed-src phishtank=json:https://feed.example/phish.json \
+//	        -feed-src ct=ndjson:https://ct.example/stream            # external feed connectors
 //	kpserve -addr :8080 -model model.json -ranking data/ranking.csv -index index.json
 //	kpserve -addr :8080 -deadline 250ms -explain top         # bounded, explainable verdicts
 //	kpserve -addr :8080 -registry models/ -store verdicts/ \
@@ -56,6 +67,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +75,7 @@ import (
 	"knowphish/internal/dataset"
 	"knowphish/internal/drift"
 	"knowphish/internal/feed"
+	"knowphish/internal/feedsrc"
 	"knowphish/internal/ml"
 	"knowphish/internal/obs"
 	"knowphish/internal/ranking"
@@ -107,8 +120,12 @@ func run() error {
 		domainBurst  = flag.Int("domain-burst", feed.DefaultDomainBurst, "per-domain token-bucket burst")
 		feedRetries  = flag.Int("feed-retries", feed.DefaultMaxAttempts, "fetch attempts per URL before the failure is persisted")
 		feedExplain  = flag.String("feed-explain", "none", "explain level for feed-ingested verdicts (persisted evidence): none, top or full")
-		maxExplain   = flag.Int("store-max-explain", 0, "verdict-store explanation size cap in bytes (0 = default, negative = never persist evidence)")
-		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max wait for the feed to drain on shutdown")
+
+		feedSrcCursor   = flag.String("feed-src-cursor", "", "directory persisting each connector's resume cursor across restarts (empty: in-memory only)")
+		feedSrcRate     = flag.Float64("feed-src-rate", 0, "per-connector delivery cap in URLs/sec; excess is shed, not queued (0 = unlimited)")
+		feedSrcInterval = flag.Duration("feed-src-interval", feedsrc.DefaultInterval, "idle poll interval per connector (a poll that yielded items re-polls immediately)")
+		maxExplain      = flag.Int("store-max-explain", 0, "verdict-store explanation size cap in bytes (0 = default, negative = never persist evidence)")
+		drainWait       = flag.Duration("drain-timeout", 30*time.Second, "max wait for the feed to drain on shutdown")
 
 		registryDir = flag.String("registry", "", "model registry directory (versioned artifacts, /v2/models, zero-downtime champion hot-swap)")
 		shadowFrac  = flag.Float64("shadow-frac", 0.25, "fraction of feed traffic the challenger shadow-scores (with -registry)")
@@ -121,6 +138,8 @@ func run() error {
 		traceSlow = flag.Duration("trace-slow", obs.DefaultSlowThreshold, "slow-request threshold: traces over it are kept as exemplars and logged (sampled)")
 		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof profiling endpoints (empty: disabled)")
 	)
+	var feedSrcs multiFlag
+	flag.Var(&feedSrcs, "feed-src", "external feed connector as NAME=KIND:URL, repeatable; KIND is json (PhishTank/OpenPhish-style feed), csv (ranked benign list) or ndjson (CT-log-style stream)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -257,6 +276,39 @@ func run() error {
 		logger.Warn("-auto-retrain needs -store (the retrain corpus); running registry without the retrain loop")
 	}
 
+	// External feed connectors fan into the scheduler; they only make
+	// sense when the feed pipeline exists to receive them.
+	var srcMux *feedsrc.Mux
+	if len(feedSrcs) > 0 {
+		if sched == nil {
+			return errors.New("-feed-src needs the feed pipeline: run with -store and a crawl source (the self-train world)")
+		}
+		sources, err := buildFeedSources(feedSrcs)
+		if err != nil {
+			return err
+		}
+		rates := make(map[string]float64)
+		if *feedSrcRate > 0 {
+			for _, s := range sources {
+				rates[s.Name()] = *feedSrcRate
+			}
+		}
+		srcMux, err = feedsrc.NewMux(feedsrc.MuxConfig{
+			Sink:      sched,
+			Sources:   sources,
+			Interval:  *feedSrcInterval,
+			Rates:     rates,
+			CursorDir: *feedSrcCursor,
+			Logger:    logger,
+		})
+		if err != nil {
+			return err
+		}
+		for _, s := range sources {
+			logger.Info("feed source armed", "source", s.Name(), "cursor", s.Cursor())
+		}
+	}
+
 	srv, err := serve.New(serve.Config{
 		Detector:        det,
 		Registry:        reg,
@@ -269,6 +321,7 @@ func run() error {
 		DefaultExplain:  explainLevel,
 		ExplainTopN:     *topN,
 		Feed:            sched,
+		FeedSources:     srcMux,
 		Store:           st,
 		Tracer:          tracer,
 		Logger:          logger,
@@ -337,6 +390,15 @@ func run() error {
 	// Drain the feed after HTTP intake stops: every accepted URL is
 	// either scored-and-persisted or reported dropped.
 	if sched != nil {
+		// Connectors stop first: no new URLs arrive while the queue
+		// drains, and each source's cursor is already persisted per poll.
+		if srcMux != nil {
+			srcMux.Close()
+			for name, ss := range srcMux.Stats() {
+				logger.Info("feed source stopped", "source", name,
+					"cursor", ss.Cursor, "enqueued", ss.Enqueued, "fetch_errors", ss.FetchErrors)
+			}
+		}
 		dropped := sched.Drain(time.Now().Add(*drainWait))
 		fs := sched.Stats()
 		logger.Info("feed drained",
@@ -485,4 +547,43 @@ func selfTrain(scale int, seed int64, logger *slog.Logger) (*core.Detector, *sea
 		return nil, nil, nil, err
 	}
 	return det, corpus.Engine, corpus.World, nil
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// buildFeedSources parses -feed-src specs (NAME=KIND:URL) into
+// connectors. Names must be unique — they tag verdict provenance and
+// name cursor files.
+func buildFeedSources(specs []string) ([]feedsrc.Source, error) {
+	seen := make(map[string]bool, len(specs))
+	sources := make([]feedsrc.Source, 0, len(specs))
+	for _, spec := range specs {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-feed-src %q: want NAME=KIND:URL", spec)
+		}
+		kind, url, ok := strings.Cut(rest, ":")
+		if !ok || url == "" {
+			return nil, fmt.Errorf("-feed-src %q: want NAME=KIND:URL", spec)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("-feed-src %q: duplicate source name %q", spec, name)
+		}
+		seen[name] = true
+		switch kind {
+		case "json":
+			sources = append(sources, feedsrc.NewJSONFeed(name, url, nil))
+		case "csv":
+			sources = append(sources, feedsrc.NewRankedCSV(name, url, nil, 0))
+		case "ndjson":
+			sources = append(sources, feedsrc.NewNDJSONStream(name, url, nil))
+		default:
+			return nil, fmt.Errorf("-feed-src %q: unknown kind %q (want json, csv or ndjson)", spec, kind)
+		}
+	}
+	return sources, nil
 }

@@ -172,6 +172,7 @@ type Stats struct {
 // item is one accepted URL moving through the scheduler.
 type item struct {
 	url      string
+	source   string // feed-connector provenance ("" for direct submits)
 	domain   string // registered domain (rate-limit + dedupe scope)
 	key      string // domain + url, the in-flight dedupe identity
 	attempts int    // fetch attempts made so far
@@ -290,6 +291,15 @@ func New(cfg Config) (*Scheduler, error) {
 // (nil) or rejected with ErrQueueFull, ErrDuplicate, ErrInvalidURL or
 // ErrClosed.
 func (s *Scheduler) Enqueue(url string) error {
+	return s.EnqueueFrom(url, "")
+}
+
+// EnqueueFrom is Enqueue with feed-connector provenance: source names
+// the connector that produced the URL and is carried to the persisted
+// verdict's Record.Source. Provenance plays no part in dedupe — the
+// same URL from two connectors is still one in-flight item, attributed
+// to whichever connector got there first.
+func (s *Scheduler) EnqueueFrom(url, source string) error {
 	parts, err := urlx.Parse(url)
 	domain := parts.RDN
 	if domain == "" {
@@ -317,7 +327,7 @@ func (s *Scheduler) Enqueue(url string) error {
 		return fmt.Errorf("%w (depth %d): %s", ErrQueueFull, s.cfg.QueueDepth, url)
 	}
 	s.inflight[key] = struct{}{}
-	s.ready = append(s.ready, &item{url: url, domain: domain, key: key})
+	s.ready = append(s.ready, &item{url: url, source: source, domain: domain, key: key})
 	s.stats.Accepted++
 	s.cond.Signal()
 	return nil
@@ -451,6 +461,7 @@ func (s *Scheduler) process(it *item) {
 		ModelVersion: v.ModelVersion,
 		Explanation:  v.Explanation,
 		ScoredAt:     s.now().UTC(),
+		Source:       it.source,
 	}
 	if p, perr := urlx.Parse(snap.LandingURL); perr == nil {
 		rec.RDN = p.RDN
@@ -521,6 +532,7 @@ func (s *Scheduler) retryOrFail(it *item, err error) {
 		URL:        it.url,
 		LandingURL: it.url,
 		ScoredAt:   s.now().UTC(),
+		Source:     it.source,
 		Error:      fmt.Sprintf("fetch failed after %d attempts: %v", it.attempts, err),
 	})
 	if perr != nil {

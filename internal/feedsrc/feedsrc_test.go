@@ -1,0 +1,311 @@
+package feedsrc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fixtureServer serves a testdata file over loopback HTTP (no Range
+// support — the connectors that need it have their own harness).
+func fixtureServer(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("reading fixture %s: %v", name, err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(data)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func urls(items []Item) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.URL
+	}
+	return out
+}
+
+func TestJSONFeedPollSkipsSeenAndMalformed(t *testing.T) {
+	srv := fixtureServer(t, "phishtank.json")
+	f := NewJSONFeed("phishtank", srv.URL, srv.Client())
+
+	items, cursor, err := f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	want := []string{
+		"https://login.paypa1-secure.example/verify",
+		"https://appleid-check.example/session",
+		"https://bank-0nline.example/login",
+		"https://secure-update.example/account",
+	}
+	got := urls(items)
+	if len(got) != len(want) {
+		t.Fatalf("got %d items %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("item %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if cursor != "105" {
+		t.Errorf("cursor = %q, want 105 (max id seen)", cursor)
+	}
+	if f.Malformed() != 2 {
+		t.Errorf("Malformed = %d, want 2 (id-less and url-less entries)", f.Malformed())
+	}
+
+	// The same document again: everything is at or below the watermark.
+	items, cursor, err = f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("second Next: %v", err)
+	}
+	if len(items) != 0 || cursor != "105" {
+		t.Errorf("second poll = %d items, cursor %q; want 0 items, cursor 105", len(items), cursor)
+	}
+}
+
+func TestJSONFeedCursorResume(t *testing.T) {
+	srv := fixtureServer(t, "phishtank.json")
+	f := NewJSONFeed("phishtank", srv.URL, srv.Client())
+	f.SetCursor("103")
+	items, cursor, err := f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if got := urls(items); len(got) != 1 || got[0] != "https://secure-update.example/account" {
+		t.Errorf("resumed poll = %v, want only the id-105 report", got)
+	}
+	if cursor != "105" {
+		t.Errorf("cursor = %q, want 105", cursor)
+	}
+}
+
+func TestRankedCSVBatchesAndSkipsCorruptRows(t *testing.T) {
+	srv := fixtureServer(t, "tranco.csv")
+	f := NewRankedCSV("tranco", srv.URL, srv.Client(), 3)
+
+	var all []string
+	for {
+		items, _, err := f.Next(context.Background())
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if len(items) == 0 {
+			break
+		}
+		if len(items) > 3 {
+			t.Fatalf("batch of %d exceeds MaxBatch 3", len(items))
+		}
+		all = append(all, urls(items)...)
+	}
+	want := []string{
+		"https://google.com/", "https://youtube.com/", "https://facebook.com/",
+		"https://example.org/", "https://wikipedia.org/",
+	}
+	if len(all) != len(want) {
+		t.Fatalf("got %d rows %v, want %d", len(all), all, len(want))
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, all[i], want[i])
+		}
+	}
+	if f.Malformed() != 3 {
+		t.Errorf("Malformed = %d, want 3 (comma-less, empty-domain, bad-rank rows)", f.Malformed())
+	}
+	if f.Cursor() != "8" {
+		t.Errorf("cursor = %q, want 8 (every row consumed)", f.Cursor())
+	}
+}
+
+func TestRankedCSVCursorResume(t *testing.T) {
+	srv := fixtureServer(t, "tranco.csv")
+	f := NewRankedCSV("tranco", srv.URL, srv.Client(), 100)
+	f.SetCursor("6") // rows 0-5 consumed; next unread is the bad-rank row
+	items, cursor, err := f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if got := urls(items); len(got) != 1 || got[0] != "https://wikipedia.org/" {
+		t.Errorf("resumed poll = %v, want only wikipedia.org", got)
+	}
+	if cursor != "8" {
+		t.Errorf("cursor = %q, want 8", cursor)
+	}
+}
+
+// rangeServer serves doc[:limit] with full Range support, so a test
+// can grow the visible document the way a live CT log grows.
+func rangeServer(t *testing.T, doc []byte, limit *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		visible := doc[:limit.Load()]
+		http.ServeContent(w, r, "feed.ndjson", time.Time{}, bytes.NewReader(visible))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestNDJSONTruncatedTailThenResume(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("testdata", "ctlog.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line1End := bytes.IndexByte(doc, '\n') + 1
+	var limit atomic.Int64
+	// Cut mid-way through line 2: the writer is mid-append.
+	limit.Store(int64(line1End + 10))
+	srv := rangeServer(t, doc, &limit)
+	f := NewNDJSONStream("ctlog", srv.URL, srv.Client())
+
+	items, cursor, err := f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if got := urls(items); len(got) != 1 || got[0] != "https://ct-entry-1.example/" {
+		t.Errorf("truncated poll = %v, want only the first complete line", got)
+	}
+	if f.offset != int64(line1End) {
+		t.Errorf("offset = %d, want %d (just past line 1's newline)", f.offset, line1End)
+	}
+	if f.Malformed() != 0 {
+		t.Errorf("Malformed = %d after truncated poll, want 0 (tail must not count)", f.Malformed())
+	}
+	_ = cursor
+
+	// The writer finishes: the next poll Range-reads only the tail and
+	// must re-parse the once-truncated line whole.
+	limit.Store(int64(len(doc)))
+	items, cursor, err = f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("resumed Next: %v", err)
+	}
+	want := []string{"https://ct-entry-2.example/", "https://ct-entry-3.example/"}
+	if got := urls(items); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("resumed poll = %v, want %v", urls(items), want)
+	}
+	if f.Malformed() != 2 {
+		t.Errorf("Malformed = %d, want 2 (non-JSON line and url-less object)", f.Malformed())
+	}
+	if f.offset != int64(len(doc)) {
+		t.Errorf("offset = %d, want %d (document fully consumed)", f.offset, len(doc))
+	}
+
+	// Nothing new: the Range request past EOF answers 416, which is
+	// "feed idle", not an error.
+	items, cursor, err = f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("idle Next: %v", err)
+	}
+	if len(items) != 0 {
+		t.Errorf("idle poll returned %v, want none", urls(items))
+	}
+	if cursor != f.Cursor() {
+		t.Errorf("idle poll moved the cursor to %q", cursor)
+	}
+}
+
+func TestNDJSONServerIgnoresRange(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("testdata", "ctlog.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A server that always replies 200 with the full document — the
+	// connector must skip the already-consumed prefix itself.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(doc)
+	}))
+	t.Cleanup(srv.Close)
+	f := NewNDJSONStream("ctlog", srv.URL, srv.Client())
+
+	first, _, err := f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if len(first) != 3 {
+		t.Fatalf("first poll = %d items, want 3", len(first))
+	}
+	again, _, err := f.Next(context.Background())
+	if err != nil {
+		t.Fatalf("second Next: %v", err)
+	}
+	if len(again) != 0 {
+		t.Errorf("second poll re-delivered %v", urls(again))
+	}
+}
+
+func TestHTTPErrorCarriesRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(srv.Close)
+	f := NewJSONFeed("phishtank", srv.URL, srv.Client())
+	_, cursor, err := f.Next(context.Background())
+	var herr *HTTPError
+	if !errors.As(err, &herr) {
+		t.Fatalf("err = %v, want *HTTPError", err)
+	}
+	if herr.Status != http.StatusTooManyRequests || herr.RetryAfter != 7*time.Second {
+		t.Errorf("HTTPError = %+v, want status 429 retry-after 7s", herr)
+	}
+	if cursor != "0" {
+		t.Errorf("cursor advanced to %q on a failed poll", cursor)
+	}
+}
+
+func TestHTTPErrorWithoutRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	f := NewNDJSONStream("ctlog", srv.URL, srv.Client())
+	_, _, err := f.Next(context.Background())
+	var herr *HTTPError
+	if !errors.As(err, &herr) {
+		t.Fatalf("err = %v, want *HTTPError", err)
+	}
+	if herr.Status != http.StatusInternalServerError || herr.RetryAfter != 0 {
+		t.Errorf("HTTPError = %+v, want status 500, no retry-after", herr)
+	}
+}
+
+func TestParseNDJSONEdgeCases(t *testing.T) {
+	tests := []struct {
+		name          string
+		in            string
+		wantItems     int
+		wantConsumed  int
+		wantMalformed int
+	}{
+		{"empty", "", 0, 0, 0},
+		{"only truncated tail", `{"url": "https://a/"`, 0, 0, 0},
+		{"one line no newline", `{"url": "https://a/"}`, 0, 0, 0},
+		{"one complete line", "{\"url\": \"https://a/\"}\n", 1, 22, 0},
+		{"crlf line", "{\"url\": \"https://a/\"}\r\n", 1, 23, 0},
+		{"blank lines are padding", "\n\n{\"url\": \"https://a/\"}\n", 1, 24, 0},
+		{"complete garbage line consumed", "not json\n", 0, 9, 1},
+		{"empty url is malformed", "{\"url\": \"\"}\n", 0, 12, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			items, consumed, malformed := parseNDJSON([]byte(tt.in))
+			if len(items) != tt.wantItems || consumed != tt.wantConsumed || malformed != tt.wantMalformed {
+				t.Errorf("parseNDJSON(%q) = %d items, %d consumed, %d malformed; want %d/%d/%d",
+					tt.in, len(items), consumed, malformed, tt.wantItems, tt.wantConsumed, tt.wantMalformed)
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package feedsrc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzNDJSONSource hammers the NDJSON line scanner with arbitrary
+// byte soup, seeded with the truncation shapes a live tail actually
+// produces. The invariants are the ones the byte-offset cursor
+// depends on: consumption always stops exactly at a newline (so the
+// next poll's Range request starts on a line boundary), and parsing
+// the consumed prefix again yields the identical result (so a crash
+// between parse and cursor-persist re-delivers, never corrupts).
+func FuzzNDJSONSource(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"url\": \"https://a.example/\"}\n"))
+	f.Add([]byte("{\"url\": \"https://a.example/\"}\n{\"url\": \"https://b.exam")) // cut mid-line
+	f.Add([]byte("{\"url\": \"https://a.example/\"}"))                             // no trailing newline
+	f.Add([]byte("{\"url\": \"https://a.example/\"\n"))                            // newline lands inside the JSON
+	f.Add([]byte("not json at all\n{\"url\": \"https://a.example/\"}\n"))
+	f.Add([]byte("\n\r\n\n"))
+	f.Add([]byte("{\"timestamp\": 1}\n{\"url\": \"\"}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, consumed, malformed := parseNDJSON(data)
+		if consumed < 0 || consumed > len(data) {
+			t.Fatalf("consumed %d outside [0, %d]", consumed, len(data))
+		}
+		if consumed > 0 && data[consumed-1] != '\n' {
+			t.Fatalf("consumed %d does not end on a newline (byte %q)", consumed, data[consumed-1])
+		}
+		if bytes.IndexByte(data[consumed:], '\n') != -1 {
+			t.Fatalf("unconsumed tail %q still holds a complete line", data[consumed:])
+		}
+		// Re-parsing the consumed prefix must reproduce the result
+		// exactly — this is what makes the cursor crash-safe.
+		items2, consumed2, malformed2 := parseNDJSON(data[:consumed])
+		if consumed2 != consumed || malformed2 != malformed || len(items2) != len(items) {
+			t.Fatalf("re-parse of consumed prefix diverged: %d/%d/%d vs %d/%d/%d",
+				len(items2), consumed2, malformed2, len(items), consumed, malformed)
+		}
+		for i := range items {
+			if items[i].URL == "" {
+				t.Fatalf("item %d has empty URL", i)
+			}
+			if items2[i] != items[i] {
+				t.Fatalf("re-parse item %d = %q, want %q", i, items2[i].URL, items[i].URL)
+			}
+		}
+	})
+}

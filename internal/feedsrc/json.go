@@ -1,0 +1,81 @@
+package feedsrc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// JSONFeed polls a PhishTank/OpenPhish-style endpoint that publishes a
+// JSON array of report objects, each carrying a monotonically
+// increasing numeric id ("phish_id" or "id") and a "url". The cursor
+// is the highest id seen, so a poll emits only reports newer than the
+// previous poll and a restart resumes past everything already
+// ingested. Entries without a usable id or URL are skipped and
+// counted, never fatal — one mangled report must not stall the feed.
+type JSONFeed struct {
+	name      string
+	url       string
+	client    *http.Client
+	lastID    uint64
+	malformed int64
+}
+
+// NewJSONFeed builds a poller for a JSON report feed at url. name
+// becomes the provenance tag on resulting verdicts. client may be nil
+// (http.DefaultClient).
+func NewJSONFeed(name, url string, client *http.Client) *JSONFeed {
+	return &JSONFeed{name: name, url: url, client: client}
+}
+
+func (f *JSONFeed) Name() string { return f.name }
+
+// SetCursor resumes past the given id watermark; a cursor this feed
+// never produced (non-numeric) restarts from the beginning, which is
+// safe — re-delivered URLs dedupe downstream.
+func (f *JSONFeed) SetCursor(cursor string) {
+	f.lastID, _ = strconv.ParseUint(cursor, 10, 64)
+}
+
+func (f *JSONFeed) Cursor() string { return strconv.FormatUint(f.lastID, 10) }
+
+// Malformed reports how many feed entries were skipped as unusable.
+func (f *JSONFeed) Malformed() int64 { return f.malformed }
+
+func (f *JSONFeed) Next(ctx context.Context) ([]Item, string, error) {
+	_, body, err := fetch(ctx, f.client, f.url, "")
+	if err != nil {
+		return nil, f.Cursor(), err
+	}
+	var reports []struct {
+		PhishID *uint64 `json:"phish_id"`
+		ID      *uint64 `json:"id"`
+		URL     string  `json:"url"`
+	}
+	if err := json.Unmarshal(body, &reports); err != nil {
+		return nil, f.Cursor(), fmt.Errorf("feedsrc: %s: decoding feed: %w", f.name, err)
+	}
+	var items []Item
+	max := f.lastID
+	for _, r := range reports {
+		id := r.PhishID
+		if id == nil {
+			id = r.ID
+		}
+		if id == nil || r.URL == "" {
+			f.malformed++
+			continue
+		}
+		if *id <= f.lastID {
+			continue // already delivered by an earlier poll
+		}
+		items = append(items, Item{URL: r.URL})
+		if *id > max {
+			max = *id
+		}
+	}
+	f.lastID = max
+	return items, f.Cursor(), nil
+}

@@ -1,0 +1,106 @@
+package feedsrc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// NDJSONStream tails a CT-log-style newline-delimited JSON stream: an
+// append-only document of one {"url": ...} object per line. The cursor
+// is a byte offset just past the last complete line consumed, and each
+// poll asks the server for only the new tail with an HTTP Range
+// request — the natural protocol for a log that only ever grows.
+//
+// The offset advances strictly newline-to-newline: a line the server
+// has only half-written when we read it (the truncation case every
+// tailer must survive) is left unconsumed and re-read whole on the
+// next poll. A complete line that fails to parse, by contrast, will
+// never get better — it is skipped, counted, and consumed.
+type NDJSONStream struct {
+	name      string
+	url       string
+	client    *http.Client
+	offset    int64
+	malformed int64
+}
+
+// NewNDJSONStream builds a tailing reader over the NDJSON document at
+// url. client may be nil (http.DefaultClient).
+func NewNDJSONStream(name, url string, client *http.Client) *NDJSONStream {
+	return &NDJSONStream{name: name, url: url, client: client}
+}
+
+func (f *NDJSONStream) Name() string { return f.name }
+
+func (f *NDJSONStream) SetCursor(cursor string) {
+	f.offset, _ = strconv.ParseInt(cursor, 10, 64)
+	if f.offset < 0 {
+		f.offset = 0
+	}
+}
+
+func (f *NDJSONStream) Cursor() string { return strconv.FormatInt(f.offset, 10) }
+
+// Malformed reports how many complete-but-unparsable lines were
+// skipped.
+func (f *NDJSONStream) Malformed() int64 { return f.malformed }
+
+func (f *NDJSONStream) Next(ctx context.Context) ([]Item, string, error) {
+	status, body, err := fetch(ctx, f.client, f.url, "bytes="+strconv.FormatInt(f.offset, 10)+"-")
+	if err != nil {
+		return nil, f.Cursor(), err
+	}
+	switch status {
+	case http.StatusRequestedRangeNotSatisfiable:
+		// Offset is at (or past) the end of the document: nothing new.
+		return nil, f.Cursor(), nil
+	case http.StatusOK:
+		// The server ignored the Range header and sent the whole
+		// document; skip what we already consumed ourselves.
+		if f.offset >= int64(len(body)) {
+			return nil, f.Cursor(), nil
+		}
+		body = body[f.offset:]
+	}
+	items, consumed, malformed := parseNDJSON(body)
+	f.offset += int64(consumed)
+	f.malformed += int64(malformed)
+	return items, f.Cursor(), nil
+}
+
+// parseNDJSON scans buf for complete (newline-terminated) NDJSON
+// lines, returning the items they yield, how many bytes were consumed
+// — always through a final newline, so an unterminated tail is left
+// for the next read — and how many complete lines were skipped as
+// malformed (invalid JSON, or no "url"). Factored pure so the fuzzer
+// can hammer it with truncations directly.
+func parseNDJSON(buf []byte) (items []Item, consumed, malformed int) {
+	for consumed < len(buf) {
+		end := consumed
+		for end < len(buf) && buf[end] != '\n' {
+			end++
+		}
+		if end == len(buf) {
+			break // unterminated tail: the writer is mid-line, retry later
+		}
+		line := buf[consumed:end]
+		consumed = end + 1
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			continue // blank lines are padding, not malformations
+		}
+		var entry struct {
+			URL string `json:"url"`
+		}
+		if err := json.Unmarshal(line, &entry); err != nil || entry.URL == "" {
+			malformed++
+			continue
+		}
+		items = append(items, Item{URL: entry.URL})
+	}
+	return items, consumed, malformed
+}

@@ -1,0 +1,486 @@
+// Package loadgen is the load-generation engine behind cmd/kpload and
+// the end-to-end throughput benchmark: it replays a URL corpus against
+// a running kpserve's POST /v1/feed and measures what the service
+// actually sustains — throughput, latency percentiles, error and drop
+// rates, and the feed queue depth scraped from /metrics.
+//
+// Two loop disciplines, because they answer different questions:
+//
+//   - Closed loop (QPS = 0): each worker issues its next request the
+//     moment the previous response lands. Offered load adapts to the
+//     service, so the result is the ceiling — the maximum sustained
+//     throughput at the configured concurrency.
+//   - Open loop (QPS > 0): arrivals are paced at the target rate
+//     regardless of how fast responses come back, the way real feed
+//     traffic arrives. Latency then includes queueing delay, which is
+//     exactly the number a closed loop hides (coordinated omission).
+//     Arrivals that find every worker busy and the arrival queue full
+//     are counted as missed, never silently dropped.
+//
+// The engine lives in an internal package rather than in cmd/kpload so
+// the benchmark gate and the serve e2e tests drive the same code path
+// operators use.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knowphish/internal/serve"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultWorkers is the concurrency when Config.Workers is unset.
+	DefaultWorkers = 8
+	// DefaultScrapeInterval is the /metrics queue-depth poll cadence.
+	DefaultScrapeInterval = 200 * time.Millisecond
+)
+
+// Config describes one load run.
+type Config struct {
+	// TargetURL is the kpserve base URL, e.g. "http://127.0.0.1:8080"
+	// (required).
+	TargetURL string
+	// Client issues the requests (nil → a dedicated client with a
+	// per-request timeout).
+	Client *http.Client
+	// Corpus is the URL set to replay, round-robin (required).
+	Corpus []string
+	// QPS is the open-loop target arrival rate in URL submissions per
+	// second; 0 runs the closed loop (workers back-to-back, measuring
+	// the throughput ceiling).
+	QPS float64
+	// Workers is the concurrent request count (0 → DefaultWorkers).
+	Workers int
+	// Ramp staggers worker start over this window so the target warms
+	// (connection setup, cache fill) instead of taking the full
+	// concurrency as a step function (0 → no ramp).
+	Ramp time.Duration
+	// Duration bounds the run. Ignored when Requests is set.
+	Duration time.Duration
+	// Requests, when positive, runs a fixed request budget instead of a
+	// duration — the reproducible mode the benchmark gate uses.
+	Requests int
+	// BatchSize is how many corpus URLs ride one POST /v1/feed request
+	// (0 → 1).
+	BatchSize int
+	// ScrapeInterval is how often the run polls GET /metrics for the
+	// feed queue depth (0 → DefaultScrapeInterval, negative →
+	// disabled).
+	ScrapeInterval time.Duration
+}
+
+// Report is the outcome of a run — the LOAD_PR.json document.
+type Report struct {
+	// Mode is "closed" or "open".
+	Mode string `json:"mode"`
+	// TargetQPS is the configured arrival rate (0 in closed mode).
+	TargetQPS float64 `json:"target_qps"`
+	Workers   int     `json:"workers"`
+	BatchSize int     `json:"batch_size"`
+	// DurationSeconds is the measured wall-clock span of the run.
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	// Requests counts completed HTTP requests; SustainedQPS is URL
+	// submissions per second actually achieved (requests × batch over
+	// the measured duration).
+	Requests     int64   `json:"requests"`
+	SustainedQPS float64 `json:"sustained_qps"`
+
+	// URLsSubmitted counts URLs carried by completed requests;
+	// Accepted is how many the scheduler took; Rejected breaks the
+	// rest down by the server's rejection reason.
+	URLsSubmitted int64            `json:"urls_submitted"`
+	Accepted      int64            `json:"accepted"`
+	Rejected      map[string]int64 `json:"rejected"`
+	// DropRate is rejected / submitted.
+	DropRate float64 `json:"drop_rate"`
+
+	// Errors counts failed requests (transport errors and non-200
+	// responses); ErrorRate is errors / (requests + errors).
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	// MissedArrivals counts open-loop arrivals discarded because the
+	// arrival queue was full — offered load the service never saw.
+	// Nonzero means the measured rate understates the target.
+	MissedArrivals int64 `json:"missed_arrivals"`
+
+	LatencyMeanUS int64 `json:"latency_mean_us"`
+	LatencyP50US  int64 `json:"latency_p50_us"`
+	LatencyP90US  int64 `json:"latency_p90_us"`
+	LatencyP99US  int64 `json:"latency_p99_us"`
+	LatencyP999US int64 `json:"latency_p999_us"`
+	LatencyMaxUS  int64 `json:"latency_max_us"`
+
+	// QueueDepthMax is the deepest feed queue observed — from the
+	// per-response queue_depth field and the /metrics scrape combined;
+	// QueueDepthFinal is the depth at the end of the run.
+	QueueDepthMax   int `json:"queue_depth_max"`
+	QueueDepthFinal int `json:"queue_depth_final"`
+	// ScrapeErrors counts failed /metrics polls (0 when scraping is
+	// disabled).
+	ScrapeErrors int64 `json:"scrape_errors"`
+}
+
+// run is the engine's mutable state while a load test executes.
+type run struct {
+	cfg    Config
+	client *http.Client
+
+	next      atomic.Int64 // corpus round-robin position
+	budget    atomic.Int64 // remaining requests (fixed-budget mode)
+	requests  atomic.Int64
+	submitted atomic.Int64
+	accepted  atomic.Int64
+	errors    atomic.Int64
+	missed    atomic.Int64
+	scrapeErr atomic.Int64
+
+	mu        sync.Mutex
+	latencies []int64 // µs, one per completed request
+	rejected  map[string]int64
+	depthMax  int
+}
+
+// Run executes one load test and reports what the service sustained.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.TargetURL == "" {
+		return Report{}, errors.New("loadgen: Config.TargetURL is required")
+	}
+	if len(cfg.Corpus) == 0 {
+		return Report{}, errors.New("loadgen: Config.Corpus is empty")
+	}
+	if cfg.Duration <= 0 && cfg.Requests <= 0 {
+		return Report{}, errors.New("loadgen: Config needs a Duration or a Requests budget")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.ScrapeInterval == 0 {
+		cfg.ScrapeInterval = DefaultScrapeInterval
+	}
+	r := &run{
+		cfg:      cfg,
+		client:   cfg.Client,
+		rejected: make(map[string]int64),
+	}
+	if r.client == nil {
+		r.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Requests > 0 {
+		r.budget.Store(int64(cfg.Requests))
+	} else {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	// The queue-depth scraper rides its own goroutine for the whole
+	// run; its last successful read is the final depth.
+	scrapeCtx, stopScrape := context.WithCancel(context.Background())
+	var finalDepth atomic.Int64
+	var scrapeWG sync.WaitGroup
+	if cfg.ScrapeInterval > 0 {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			t := time.NewTicker(cfg.ScrapeInterval)
+			defer t.Stop()
+			for {
+				r.scrapeDepth(&finalDepth)
+				select {
+				case <-scrapeCtx.Done():
+					return
+				case <-t.C:
+				}
+			}
+		}()
+	}
+
+	// Open loop: a pacer goroutine emits arrivals at the target rate
+	// into a bounded queue (one second of arrivals); workers drain it.
+	// Closed loop: no pacer, workers self-pace on response completion.
+	var arrivals chan struct{}
+	if cfg.QPS > 0 {
+		depth := int(cfg.QPS)
+		if depth < cfg.Workers {
+			depth = cfg.Workers
+		}
+		arrivals = make(chan struct{}, depth)
+		go func() {
+			t := time.NewTicker(time.Duration(float64(time.Second) / cfg.QPS * float64(cfg.BatchSize)))
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					close(arrivals)
+					return
+				case <-t.C:
+					select {
+					case arrivals <- struct{}{}:
+					default:
+						r.missed.Add(1) // queue full: offered load lost
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if cfg.Ramp > 0 && i > 0 {
+				delay := time.Duration(int64(cfg.Ramp) * int64(i) / int64(cfg.Workers))
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(delay):
+				}
+			}
+			for {
+				if cfg.Requests > 0 && r.budget.Add(-1) < 0 {
+					return
+				}
+				if arrivals != nil {
+					select {
+					case <-ctx.Done():
+						return
+					case _, ok := <-arrivals:
+						if !ok {
+							return
+						}
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				r.shoot(ctx)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stopScrape()
+	scrapeWG.Wait()
+
+	return r.report(elapsed, int(finalDepth.Load())), nil
+}
+
+// shoot issues one feed submission and records its outcome.
+func (r *run) shoot(ctx context.Context) {
+	urls := make([]string, r.cfg.BatchSize)
+	for i := range urls {
+		n := r.next.Add(1) - 1
+		urls[i] = r.cfg.Corpus[int(n)%len(r.cfg.Corpus)]
+	}
+	body, _ := json.Marshal(serve.FeedRequest{URLs: urls})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.TargetURL+"/v1/feed", bytes.NewReader(body))
+	if err != nil {
+		r.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := r.client.Do(req)
+	lat := time.Since(t0).Microseconds()
+	if err != nil {
+		// A request cut off by the run deadline is neither a completed
+		// request nor a service error — it just did not finish in time.
+		if ctx.Err() == nil {
+			r.errors.Add(1)
+		}
+		return
+	}
+	defer resp.Body.Close()
+	var fr serve.FeedResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&fr) != nil {
+		r.errors.Add(1)
+		return
+	}
+	r.requests.Add(1)
+	r.submitted.Add(int64(len(urls)))
+	r.accepted.Add(int64(fr.Accepted))
+	r.mu.Lock()
+	r.latencies = append(r.latencies, lat)
+	if fr.QueueDepth > r.depthMax {
+		r.depthMax = fr.QueueDepth
+	}
+	for _, res := range fr.Results {
+		if !res.Accepted {
+			r.rejected[res.Reason]++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// scrapeDepth polls GET /metrics for the feed queue depth.
+func (r *run) scrapeDepth(final *atomic.Int64) {
+	resp, err := r.client.Get(r.cfg.TargetURL + "/metrics")
+	if err != nil {
+		r.scrapeErr.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	var snap serve.MetricsSnapshot
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		r.scrapeErr.Add(1)
+		return
+	}
+	if snap.Feed == nil {
+		return
+	}
+	final.Store(int64(snap.Feed.Depth))
+	r.mu.Lock()
+	if snap.Feed.Depth > r.depthMax {
+		r.depthMax = snap.Feed.Depth
+	}
+	r.mu.Unlock()
+}
+
+// report assembles the final document from the run's counters.
+func (r *run) report(elapsed time.Duration, finalDepth int) Report {
+	rep := Report{
+		Mode:            "closed",
+		TargetQPS:       r.cfg.QPS,
+		Workers:         r.cfg.Workers,
+		BatchSize:       r.cfg.BatchSize,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        r.requests.Load(),
+		URLsSubmitted:   r.submitted.Load(),
+		Accepted:        r.accepted.Load(),
+		Errors:          r.errors.Load(),
+		MissedArrivals:  r.missed.Load(),
+		Rejected:        r.rejected,
+		QueueDepthMax:   r.depthMax,
+		QueueDepthFinal: finalDepth,
+		ScrapeErrors:    r.scrapeErr.Load(),
+	}
+	if r.cfg.QPS > 0 {
+		rep.Mode = "open"
+	}
+	if elapsed > 0 {
+		rep.SustainedQPS = float64(rep.URLsSubmitted) / elapsed.Seconds()
+	}
+	if rep.URLsSubmitted > 0 {
+		rep.DropRate = float64(rep.URLsSubmitted-rep.Accepted) / float64(rep.URLsSubmitted)
+	}
+	if total := rep.Requests + rep.Errors; total > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(total)
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	if n := len(r.latencies); n > 0 {
+		var sum int64
+		for _, l := range r.latencies {
+			sum += l
+		}
+		rep.LatencyMeanUS = sum / int64(n)
+		rep.LatencyP50US = percentile(r.latencies, 0.50)
+		rep.LatencyP90US = percentile(r.latencies, 0.90)
+		rep.LatencyP99US = percentile(r.latencies, 0.99)
+		rep.LatencyP999US = percentile(r.latencies, 0.999)
+		rep.LatencyMaxUS = r.latencies[n-1]
+	}
+	return rep
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample set
+// (nearest-rank): exact over the recorded population, no bucketing
+// error — a load report's p999 should not be an approximation.
+func percentile(sorted []int64, q float64) int64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Table renders the human-readable summary cmd/kpload prints.
+func (r Report) Table() string {
+	var b strings.Builder
+	w := func(k, format string, args ...any) {
+		fmt.Fprintf(&b, "  %-16s %s\n", k, fmt.Sprintf(format, args...))
+	}
+	target := "unlimited (closed loop)"
+	if r.TargetQPS > 0 {
+		target = fmt.Sprintf("%.0f URL/s", r.TargetQPS)
+	}
+	w("mode", "%s", r.Mode)
+	w("target rate", "%s", target)
+	w("workers", "%d (batch %d)", r.Workers, r.BatchSize)
+	w("duration", "%.1f s", r.DurationSeconds)
+	w("sustained", "%.1f URL/s (%d requests, %d URLs)", r.SustainedQPS, r.Requests, r.URLsSubmitted)
+	w("accepted", "%d (drop rate %.2f%%)", r.Accepted, r.DropRate*100)
+	if len(r.Rejected) > 0 {
+		reasons := make([]string, 0, len(r.Rejected))
+		for reason := range r.Rejected {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		parts := make([]string, len(reasons))
+		for i, reason := range reasons {
+			parts[i] = fmt.Sprintf("%s %d", reason, r.Rejected[reason])
+		}
+		w("rejected", "%s", strings.Join(parts, ", "))
+	}
+	w("errors", "%d (%.2f%%)", r.Errors, r.ErrorRate*100)
+	if r.MissedArrivals > 0 {
+		w("missed", "%d arrivals (generator could not keep pace)", r.MissedArrivals)
+	}
+	w("latency", "p50 %s  p90 %s  p99 %s  p999 %s  max %s",
+		us(r.LatencyP50US), us(r.LatencyP90US), us(r.LatencyP99US), us(r.LatencyP999US), us(r.LatencyMaxUS))
+	w("queue depth", "max %d, final %d", r.QueueDepthMax, r.QueueDepthFinal)
+	return b.String()
+}
+
+// us renders a microsecond latency with a human unit.
+func us(v int64) string {
+	d := time.Duration(v) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", v)
+	}
+}
+
+// WriteJSON writes the report as an indented JSON document — the
+// LOAD_PR.json artifact CI uploads next to BENCH_PR.json.
+func (r Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// DefaultWorkersForHost picks a worker count for CLI defaults: enough
+// concurrency to saturate the scoring pool without swamping a laptop.
+func DefaultWorkersForHost() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < DefaultWorkers {
+		return DefaultWorkers
+	}
+	return n
+}

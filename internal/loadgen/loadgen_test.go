@@ -1,0 +1,221 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"knowphish/internal/feed"
+	"knowphish/internal/serve"
+)
+
+// feedStatsStub is the /metrics feed block the stub server reports;
+// its depth (7) deliberately exceeds the per-response depth (3) so the
+// tests can tell the scrape path contributed.
+var feedStatsStub = feed.Stats{Depth: 7}
+
+// stubServer fakes kpserve's /v1/feed and /metrics surface: every Nth
+// URL is rejected as queue_full, and /metrics reports a fixed queue
+// depth.
+func stubServer(t *testing.T, rejectEvery int, depth int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var urlsSeen atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/feed", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.FeedRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := serve.FeedResponse{QueueDepth: depth}
+		for _, u := range req.URLs {
+			n := urlsSeen.Add(1)
+			res := serve.FeedResult{URL: u, Accepted: true}
+			if rejectEvery > 0 && n%int64(rejectEvery) == 0 {
+				res.Accepted = false
+				res.Reason = "queue_full"
+				resp.Rejected++
+			} else {
+				resp.Accepted++
+			}
+			resp.Results = append(resp.Results, res)
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := serve.MetricsSnapshot{Feed: &feedStatsStub}
+		json.NewEncoder(w).Encode(snap)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &urlsSeen
+}
+
+func TestClosedLoopFixedBudget(t *testing.T) {
+	srv, seen := stubServer(t, 0, 3)
+	rep, err := Run(context.Background(), Config{
+		TargetURL: srv.URL,
+		Corpus:    []string{"https://a.example/", "https://b.example/"},
+		Workers:   4,
+		Requests:  40,
+		BatchSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" {
+		t.Fatalf("mode = %q, want closed", rep.Mode)
+	}
+	if rep.Requests != 40 {
+		t.Fatalf("requests = %d, want exactly the 40-request budget", rep.Requests)
+	}
+	if rep.URLsSubmitted != 80 || seen.Load() != 80 {
+		t.Fatalf("urls: report %d, server saw %d, want 80", rep.URLsSubmitted, seen.Load())
+	}
+	if rep.Accepted != 80 || rep.DropRate != 0 {
+		t.Fatalf("accepted = %d drop = %v, want all accepted", rep.Accepted, rep.DropRate)
+	}
+	if rep.Errors != 0 || rep.ErrorRate != 0 {
+		t.Fatalf("errors = %d, want none", rep.Errors)
+	}
+	if rep.SustainedQPS <= 0 {
+		t.Fatalf("sustained qps = %v, want > 0", rep.SustainedQPS)
+	}
+	// Percentiles come from a sorted sample set: monotone, max is max.
+	if rep.LatencyP50US > rep.LatencyP99US || rep.LatencyP99US > rep.LatencyP999US || rep.LatencyP999US > rep.LatencyMaxUS {
+		t.Fatalf("percentiles not monotone: p50 %d p99 %d p999 %d max %d",
+			rep.LatencyP50US, rep.LatencyP99US, rep.LatencyP999US, rep.LatencyMaxUS)
+	}
+	// Queue depth is visible from both the per-response field and the
+	// /metrics scrape; the stub reports 3 and 7 respectively.
+	if rep.QueueDepthMax != 7 {
+		t.Fatalf("queue depth max = %d, want 7 (scraped beats per-response 3)", rep.QueueDepthMax)
+	}
+}
+
+func TestOpenLoopPacesAndCountsRejects(t *testing.T) {
+	srv, _ := stubServer(t, 4, 1) // every 4th URL rejected queue_full
+	start := time.Now()
+	rep, err := Run(context.Background(), Config{
+		TargetURL:      srv.URL,
+		Corpus:         []string{"https://a.example/"},
+		QPS:            200,
+		Workers:        4,
+		Duration:       300 * time.Millisecond,
+		ScrapeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.TargetQPS != 200 {
+		t.Fatalf("mode/target = %q/%v, want open/200", rep.Mode, rep.TargetQPS)
+	}
+	// Open loop must not finish early (arrivals pace the run) and must
+	// not exceed the offered load.
+	if el := time.Since(start); el < 250*time.Millisecond {
+		t.Fatalf("run finished in %v, want the full 300ms window", el)
+	}
+	if rep.SustainedQPS > 260 {
+		t.Fatalf("sustained %v URL/s, want ≤ target 200 (+tolerance)", rep.SustainedQPS)
+	}
+	if rep.Rejected["queue_full"] == 0 {
+		t.Fatalf("rejected = %v, want queue_full counts from per-URL results", rep.Rejected)
+	}
+	want := rep.URLsSubmitted - rep.Accepted
+	if got := rep.Rejected["queue_full"]; got != want {
+		t.Fatalf("queue_full = %d, want %d (submitted-accepted)", got, want)
+	}
+	if rep.DropRate <= 0 {
+		t.Fatal("drop rate = 0, want > 0 with forced rejects")
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	rep, err := Run(context.Background(), Config{
+		TargetURL:      srv.URL,
+		Corpus:         []string{"https://a.example/"},
+		Workers:        2,
+		Requests:       10,
+		ScrapeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 10 || rep.Requests != 0 {
+		t.Fatalf("errors/requests = %d/%d, want 10/0", rep.Errors, rep.Requests)
+	}
+	if rep.ErrorRate != 1 {
+		t.Fatalf("error rate = %v, want 1", rep.ErrorRate)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},                      // no target
+		{TargetURL: "http://x"}, // no corpus
+		{TargetURL: "http://x", Corpus: []string{"u"}}, // no budget
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("case %d: Run accepted an invalid config", i)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 100}, {0.999, 100}} {
+		if got := percentile(s, tc.q); got != tc.want {
+			t.Fatalf("p%v = %d, want %d", tc.q*100, got, tc.want)
+		}
+	}
+	if got := percentile([]int64{42}, 0.999); got != 42 {
+		t.Fatalf("single sample p999 = %d, want 42", got)
+	}
+}
+
+func TestReportTableAndJSON(t *testing.T) {
+	rep := Report{
+		Mode: "open", TargetQPS: 100, Workers: 4, BatchSize: 1,
+		DurationSeconds: 5, Requests: 480, URLsSubmitted: 480,
+		Accepted: 470, Rejected: map[string]int64{"queue_full": 10},
+		SustainedQPS: 96, DropRate: 10.0 / 480,
+		LatencyP50US: 900, LatencyP99US: 4200, LatencyP999US: 9000, LatencyMaxUS: 12000,
+		QueueDepthMax: 64, QueueDepthFinal: 0,
+	}
+	table := rep.Table()
+	for _, want := range []string{"open", "96.0 URL/s", "queue_full 10", "p999 9.0ms", "max 64, final 0"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+
+	path := t.TempDir() + "/LOAD_PR.json"
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SustainedQPS != rep.SustainedQPS || back.Rejected["queue_full"] != 10 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"knowphish/internal/drift"
 	"knowphish/internal/feed"
+	"knowphish/internal/feedsrc"
 	"knowphish/internal/obs"
 	"knowphish/internal/store"
 )
@@ -75,6 +76,10 @@ type MetricsSnapshot struct {
 	// those subsystems are configured.
 	Feed  *feed.Stats  `json:"feed,omitempty"`
 	Store *store.Stats `json:"store,omitempty"`
+	// FeedSources reports each feed connector's health (cursor, lag,
+	// fetch/error counts, per-reason rejects), keyed by source name,
+	// when a connector mux is configured.
+	FeedSources map[string]feedsrc.SourceStats `json:"feed_sources,omitempty"`
 	// Lifecycle reports the model-lifecycle gauges (drift PSI values,
 	// phish-rate shift, shadow-scoring and retrain/promotion counters)
 	// when the lifecycle controller is configured.

@@ -13,8 +13,14 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
+	"knowphish/internal/core"
+	"knowphish/internal/feed"
+	"knowphish/internal/feedsrc"
 	"knowphish/internal/obs"
+	"knowphish/internal/store"
+	"knowphish/internal/target"
 )
 
 // rawCall sends a request and returns the recorder (for tests that need
@@ -123,7 +129,7 @@ func baseFamily(name string) string {
 }
 
 func TestPrometheusExpositionGrammar(t *testing.T) {
-	s := tracedServer(t, 5)
+	s := fullSurfaceServer(t, 5)
 	rec := rawCall(t, s, http.MethodGet, "/metrics?format=prometheus", nil, nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
@@ -153,10 +159,31 @@ func TestPrometheusExpositionGrammar(t *testing.T) {
 		"knowphish_stage_duration_seconds":   "histogram",
 		"knowphish_traces_finished_total":    "counter",
 		"knowphish_model_info":               "gauge",
+		"knowphish_feed_rejected_total":      "counter",
+		"knowphish_feedsrc_lag_seconds":      "gauge",
+		"knowphish_feedsrc_rejected_total":   "counter",
 		"go_goroutines":                      "gauge",
 	} {
 		if got := types[fam]; got != typ {
 			t.Errorf("family %s: TYPE %q, want %q", fam, got, typ)
+		}
+	}
+
+	// The per-source reject family carries one sample per reason —
+	// including the mux's own rate_limited shedding — for every wired
+	// source.
+	reasonRe := regexp.MustCompile(`reason="([^"]+)"`)
+	rejectReasons := make(map[string]bool)
+	for _, smp := range samples {
+		if smp.name == "knowphish_feedsrc_rejected_total" && strings.Contains(smp.labels, `source="phishtank"`) {
+			if m := reasonRe.FindStringSubmatch(smp.labels); m != nil {
+				rejectReasons[m[1]] = true
+			}
+		}
+	}
+	for _, want := range []string{"queue_full", "rate_limited", "duplicate", "invalid_url", "closed"} {
+		if !rejectReasons[want] {
+			t.Errorf("knowphish_feedsrc_rejected_total missing reason=%q sample for source phishtank", want)
 		}
 	}
 
@@ -317,13 +344,70 @@ func keyPaths(prefix string, v any, out map[string]bool) {
 	}
 }
 
+// fullSurfaceServer builds a server with every optional metrics
+// subsystem this package wires in — tracer, feed scheduler, verdict
+// store, and a feed-source mux with one idle connector — and scores n
+// pages, so the /metrics document carries its complete key surface.
+func fullSurfaceServer(t *testing.T, n int) *Server {
+	t.Helper()
+	c, d := fixtures(t)
+	st, err := store.Open(store.Config{Backend: store.BackendMemory})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	sched, err := feed.New(feed.Config{
+		Fetcher:  c.World,
+		Pipeline: &core.Pipeline{Detector: d, Identifier: target.New(c.Engine)},
+		Store:    st,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatalf("feed.New: %v", err)
+	}
+	t.Cleanup(func() { sched.Drain(time.Now().Add(10 * time.Second)) })
+	// An idle JSON connector with a fixed name: the shape golden needs
+	// the feed_sources subtree present, not traffic through it.
+	feedSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("[]"))
+	}))
+	t.Cleanup(feedSrv.Close)
+	mux, err := feedsrc.NewMux(feedsrc.MuxConfig{
+		Sink:    sched,
+		Sources: []feedsrc.Source{feedsrc.NewJSONFeed("phishtank", feedSrv.URL, feedSrv.Client())},
+	})
+	if err != nil {
+		t.Fatalf("feedsrc.NewMux: %v", err)
+	}
+	t.Cleanup(func() { _ = mux.Close() })
+	s, err := New(Config{
+		Detector:    d,
+		Identifier:  target.New(c.Engine),
+		Feed:        sched,
+		FeedSources: mux,
+		Store:       st,
+		Tracer:      obs.NewTracer(obs.Config{}),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < n && i < len(c.PhishTest.Examples); i++ {
+		snap := c.PhishTest.Examples[i].Snapshot
+		if code := call(t, s, http.MethodPost, "/v1/score", PageRequest{Snapshot: snap}, nil); code != http.StatusOK {
+			t.Fatalf("score %d: status %d", i, code)
+		}
+	}
+	return s
+}
+
 // TestMetricsJSONShapeGolden pins the key shape of the default JSON
-// /metrics document. The JSON form is the frozen v1 surface — new
-// telemetry must ride ?format=prometheus or new optional keys, and any
-// removed or renamed key here is a breaking change for deployed
-// dashboards.
+// /metrics document, with every optional subsystem wired in so the
+// optional subtrees (feed, feed_sources, store, tracing) are covered
+// too. The JSON form is the frozen v1 surface — new telemetry must
+// ride ?format=prometheus or new optional keys, and any removed or
+// renamed key here is a breaking change for deployed dashboards.
 func TestMetricsJSONShapeGolden(t *testing.T) {
-	s := tracedServer(t, 2)
+	s := fullSurfaceServer(t, 2)
 	rec := rawCall(t, s, http.MethodGet, "/metrics", nil, nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"net/http"
+	"sort"
 	"time"
 
 	"knowphish/internal/obs"
@@ -93,6 +94,57 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 			{Labels: []obs.Label{{Name: "reason", Value: "invalid_url"}}, Value: float64(fs.RejectedInvalid)},
 			{Labels: []obs.Label{{Name: "reason", Value: "closed"}}, Value: float64(fs.RejectedClosed)},
 		})
+	}
+
+	// Feed connectors: one labelled sample per source (and per reason
+	// for the reject family), sorted by name so the exposition is
+	// byte-stable between scrapes.
+	if s.feedSources != nil {
+		stats := s.feedSources.Stats()
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		lag := make([]obs.LabeledSample, 0, len(names))
+		fetches := make([]obs.LabeledSample, 0, len(names))
+		fetchErrs := make([]obs.LabeledSample, 0, len(names))
+		items := make([]obs.LabeledSample, 0, len(names))
+		enq := make([]obs.LabeledSample, 0, len(names))
+		malformed := make([]obs.LabeledSample, 0, len(names))
+		rejected := make([]obs.LabeledSample, 0, len(names)*3)
+		for _, name := range names {
+			st := stats[name]
+			l := []obs.Label{{Name: "source", Value: name}}
+			lag = append(lag, obs.LabeledSample{Labels: l, Value: st.LagSeconds})
+			fetches = append(fetches, obs.LabeledSample{Labels: l, Value: float64(st.Fetches)})
+			fetchErrs = append(fetchErrs, obs.LabeledSample{Labels: l, Value: float64(st.FetchErrors)})
+			items = append(items, obs.LabeledSample{Labels: l, Value: float64(st.Items)})
+			enq = append(enq, obs.LabeledSample{Labels: l, Value: float64(st.Enqueued)})
+			malformed = append(malformed, obs.LabeledSample{Labels: l, Value: float64(st.Malformed)})
+			for _, rr := range []struct {
+				reason string
+				n      int64
+			}{
+				{"queue_full", st.Rejected.QueueFull},
+				{"rate_limited", st.Rejected.RateLimited},
+				{"duplicate", st.Rejected.Duplicate},
+				{"invalid_url", st.Rejected.Invalid},
+				{"closed", st.Rejected.Closed},
+			} {
+				rejected = append(rejected, obs.LabeledSample{
+					Labels: []obs.Label{{Name: "source", Value: name}, {Name: "reason", Value: rr.reason}},
+					Value:  float64(rr.n),
+				})
+			}
+		}
+		p.FamilyL("knowphish_feedsrc_lag_seconds", "Seconds since the source's last successful poll (-1 before the first).", "gauge", lag)
+		p.FamilyL("knowphish_feedsrc_fetches_total", "Successful polls per source.", "counter", fetches)
+		p.FamilyL("knowphish_feedsrc_fetch_errors_total", "Failed polls per source.", "counter", fetchErrs)
+		p.FamilyL("knowphish_feedsrc_items_total", "URLs produced per source.", "counter", items)
+		p.FamilyL("knowphish_feedsrc_enqueued_total", "URLs accepted into the scheduler per source.", "counter", enq)
+		p.FamilyL("knowphish_feedsrc_malformed_total", "Feed entries skipped as unusable per source.", "counter", malformed)
+		p.FamilyL("knowphish_feedsrc_rejected_total", "URLs a source produced that were not enqueued, by reason.", "counter", rejected)
 	}
 
 	// Verdict store.

@@ -18,8 +18,9 @@
 //	GET  /v1/verdicts      query the durable verdict store (frozen
 //	                       wire format; adapter over the v2 path)
 //	GET  /v2/verdicts      cursor-paginated verdict queries with
-//	                       target, model_version and time-range
-//	                       filters (next_cursor resumes the scan)
+//	                       target, model_version, source and
+//	                       time-range filters (next_cursor resumes
+//	                       the scan)
 //	GET  /v2/models        list registry versions, champion, drift and
 //	                       shadow-scoring gauges
 //	POST /v2/models        trigger a background retrain from the store
@@ -73,6 +74,7 @@ import (
 	"knowphish/internal/core"
 	"knowphish/internal/drift"
 	"knowphish/internal/feed"
+	"knowphish/internal/feedsrc"
 	"knowphish/internal/obs"
 	"knowphish/internal/pool"
 	"knowphish/internal/registry"
@@ -143,6 +145,10 @@ type Config struct {
 	// Feed is the continuous ingestion scheduler backing POST /v1/feed
 	// (optional; without it the endpoint answers 503).
 	Feed *feed.Scheduler
+	// FeedSources is the connector mux feeding the scheduler from
+	// external URL feeds; wiring it here exports its per-source health
+	// counters at /metrics (optional).
+	FeedSources *feedsrc.Mux
 	// Store is the durable verdict store backing GET /v1/verdicts and
 	// GET /v2/verdicts (optional; without it both endpoints answer
 	// 503). Any store.Backend engine works; see store.Open.
@@ -175,6 +181,7 @@ type Server struct {
 	explainTopN     int
 	cache           *verdictCache
 	feed            *feed.Scheduler
+	feedSources     *feedsrc.Mux
 	store           store.Backend
 	metrics         *Metrics
 	tracer          *obs.Tracer
@@ -221,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 		defaultExplain:  cfg.DefaultExplain,
 		explainTopN:     cfg.ExplainTopN,
 		feed:            cfg.Feed,
+		feedSources:     cfg.FeedSources,
 		store:           cfg.Store,
 		metrics:         newMetrics(),
 		tracer:          cfg.Tracer,
@@ -316,6 +324,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.feed != nil {
 		fs := s.feed.Stats()
 		snap.Feed = &fs
+	}
+	if s.feedSources != nil {
+		snap.FeedSources = s.feedSources.Stats()
 	}
 	if s.store != nil {
 		ss := s.store.Stats()
@@ -937,8 +948,8 @@ func feedReason(err error) string {
 
 // parseVerdictQuery builds a store.Query from request parameters. The
 // v1 and v2 verdict endpoints share the core filters (target, url,
-// since, phish_only, limit); the v2 surface adds model_version, until
-// and the pagination cursor.
+// since, phish_only, limit); the v2 surface adds model_version,
+// source, until and the pagination cursor.
 func parseVerdictQuery(r *http.Request, v2 bool) (store.Query, error) {
 	p := r.URL.Query()
 	q := store.Query{
@@ -971,6 +982,7 @@ func parseVerdictQuery(r *http.Request, v2 bool) (store.Query, error) {
 		return q, nil
 	}
 	q.ModelVersion = p.Get("model_version")
+	q.Source = p.Get("source")
 	q.Cursor = p.Get("cursor")
 	if v := p.Get("until"); v != "" {
 		t, err := time.Parse(time.RFC3339, v)

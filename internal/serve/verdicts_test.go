@@ -298,3 +298,77 @@ func TestV2VerdictsPagination(t *testing.T) {
 		}
 	}
 }
+
+// TestV2VerdictsSourceFilter covers the feed-connector provenance
+// filter: /v2/verdicts?source= restricts to records ingested through
+// that connector and composes with pagination, while the frozen /v1
+// surface ignores the parameter entirely.
+func TestV2VerdictsSourceFilter(t *testing.T) {
+	b, err := store.Open(store.Config{Backend: store.BackendMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	base := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	sources := []string{"phishtank", "tranco", "phishtank", "", "ctlog", "phishtank"}
+	for i, src := range sources {
+		r := store.Record{
+			URL:        "http://s.test/" + string(rune('a'+i)),
+			LandingURL: "http://s.test/" + string(rune('a'+i)),
+			Source:     src,
+			ScoredAt:   base.Add(time.Duration(i) * time.Minute),
+		}
+		if err := b.Append(context.Background(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := newServer(t, func(cfg *Config) { cfg.Store = b })
+
+	var pr VerdictsPageResponse
+	if code := call(t, s, http.MethodGet, "/v2/verdicts?source=phishtank", nil, &pr); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if pr.Count != 3 {
+		t.Fatalf("source=phishtank returned %d records, want 3", pr.Count)
+	}
+	for _, r := range pr.Records {
+		if r.Source != "phishtank" {
+			t.Errorf("record %s has source %q, want phishtank", r.URL, r.Source)
+		}
+	}
+
+	// The filter composes with the pagination cursor.
+	var first VerdictsPageResponse
+	if code := call(t, s, http.MethodGet, "/v2/verdicts?source=phishtank&limit=2", nil, &first); code != http.StatusOK {
+		t.Fatalf("paged status = %d", code)
+	}
+	if first.Count != 2 || first.NextCursor == "" {
+		t.Fatalf("first page = %d records, cursor %q; want 2 with a cursor", first.Count, first.NextCursor)
+	}
+	var rest VerdictsPageResponse
+	if code := call(t, s, http.MethodGet, "/v2/verdicts?source=phishtank&limit=2&cursor="+first.NextCursor, nil, &rest); code != http.StatusOK {
+		t.Fatalf("second page status = %d", code)
+	}
+	if rest.Count != 1 || rest.NextCursor != "" {
+		t.Fatalf("second page = %d records, cursor %q; want the final 1", rest.Count, rest.NextCursor)
+	}
+
+	// An unknown source is an empty result, not an error.
+	var none VerdictsPageResponse
+	if code := call(t, s, http.MethodGet, "/v2/verdicts?source=nosuch", nil, &none); code != http.StatusOK {
+		t.Fatalf("unknown source status = %d", code)
+	}
+	if none.Count != 0 {
+		t.Errorf("unknown source returned %d records", none.Count)
+	}
+
+	// /v1/verdicts predates provenance: the parameter is ignored, not
+	// rejected, and the response still carries every record.
+	var v1 VerdictsResponse
+	if code := call(t, s, http.MethodGet, "/v1/verdicts?source=phishtank", nil, &v1); code != http.StatusOK {
+		t.Fatalf("v1 status = %d", code)
+	}
+	if v1.Count != len(sources) {
+		t.Errorf("v1 with source param returned %d records, want all %d (param must be ignored)", v1.Count, len(sources))
+	}
+}

@@ -14,7 +14,8 @@ type entry struct {
 	fp       string
 	target   string
 	model    string
-	scoredAt int64 // Record.ScoredAt.UnixNano()
+	source   string // Record.Source (feed-connector provenance)
+	scoredAt int64  // Record.ScoredAt.UnixNano()
 	phish    bool
 
 	// dead marks a superseded entry still occupying its bySeq slot.
@@ -38,6 +39,7 @@ func metaOf(rec *Record) *entry {
 		fp:       rec.Fingerprint,
 		target:   rec.Target,
 		model:    rec.ModelVersion,
+		source:   rec.Source,
 		scoredAt: rec.ScoredAt.UnixNano(),
 		phish:    rec.Outcome.FinalPhish,
 	}
@@ -327,6 +329,13 @@ func matches(e *entry, q Query) bool {
 		return false
 	}
 	if q.ModelVersion != "" && e.model != q.ModelVersion {
+		return false
+	}
+	// Source has no dedicated index: its cardinality is the connector
+	// count (a handful), so a per-source list would cover most of the
+	// log anyway — filtering the seq walk costs the same and keeps the
+	// index (and its snapshot) lean.
+	if q.Source != "" && e.source != q.Source {
 		return false
 	}
 	if !q.Since.IsZero() && e.scoredAt < q.Since.UnixNano() {

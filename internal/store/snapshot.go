@@ -25,7 +25,8 @@ import (
 //
 //	uvarint seq · varint scoredAt · flag byte (bit0 phish) ·
 //	uvarint seg · uvarint off · uvarint frameLen ·
-//	5 length-prefixed strings (landing, start, fp, target, model)
+//	6 length-prefixed strings (landing, start, fp, target, model,
+//	source)
 //
 // The active state lets reopen resume the active segment's replay at
 // the watermark's byte offset (frames below it are already in the
@@ -35,10 +36,13 @@ import (
 // still records the segment's true count, seq range, and sparse index.
 //
 // A snapshot that fails its magic or CRC is ignored — recovery falls
-// back to a full segment replay, never to a partial index.
+// back to a full segment replay, never to a partial index. The magic
+// doubles as the format version: KPSNAP2 added the source string, and
+// a store opened with a KPSNAP1 snapshot simply replays its segments
+// once and writes the current format on the next snapshot.
 const (
 	snapshotFile  = "snapshot.bin"
-	snapshotMagic = "KPSNAP1\n"
+	snapshotMagic = "KPSNAP2\n"
 )
 
 var errBadSnapshot = errors.New("store: unreadable snapshot")
@@ -94,6 +98,7 @@ func encodeSnapshot(nextSeq, watermark uint64, act activeState, rows []*entry) [
 		buf = appendSnapshotString(buf, e.fp)
 		buf = appendSnapshotString(buf, e.target)
 		buf = appendSnapshotString(buf, e.model)
+		buf = appendSnapshotString(buf, e.source)
 	}
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[len(snapshotMagic):], castagnoli))
 }
@@ -200,6 +205,7 @@ func decodeSnapshot(data []byte) (rows []*entry, nextSeq, watermark uint64, act 
 		e.fp = r.string()
 		e.target = r.string()
 		e.model = r.string()
+		e.source = r.string()
 		if r.bad {
 			return nil, 0, 0, activeState{}, errBadSnapshot
 		}

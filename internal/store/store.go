@@ -108,6 +108,12 @@ type Record struct {
 	// Target is the top identified target RDN for phishing verdicts
 	// ("" when identification did not run or named nothing).
 	Target string `json:"target,omitempty"`
+	// Source names the feed connector that produced the URL ("" for
+	// URLs submitted directly, e.g. over POST /v1/feed) — the
+	// provenance that distinguishes a PhishTank-style report from a
+	// benign-baseline crawl in the same log. Omitted when empty, so
+	// pre-provenance logs render byte-identically.
+	Source string `json:"source,omitempty"`
 	// ScoredAt is when the verdict was produced (UTC).
 	ScoredAt time.Time `json:"scored_at"`
 	// Error records a terminal ingestion failure (e.g. unreachable
@@ -201,6 +207,9 @@ type Query struct {
 	URL string
 	// ModelVersion restricts to records scored by that registry version.
 	ModelVersion string
+	// Source restricts to records ingested through that feed connector
+	// (Record.Source).
+	Source string
 	// Since restricts to records scored at or after this time
 	// (inclusive lower bound).
 	Since time.Time

@@ -23,6 +23,7 @@ import (
 	"context"
 	"io"
 	"log/slog"
+	"net/http"
 	"time"
 
 	"knowphish/internal/core"
@@ -31,6 +32,8 @@ import (
 	"knowphish/internal/drift"
 	"knowphish/internal/features"
 	"knowphish/internal/feed"
+	"knowphish/internal/feedsrc"
+	"knowphish/internal/loadgen"
 	"knowphish/internal/ml"
 	"knowphish/internal/obs"
 	"knowphish/internal/ocr"
@@ -276,6 +279,66 @@ func OpenVerdictStore(cfg StoreConfig) (VerdictBackend, error) { return store.Op
 // Deprecated: use OpenVerdictStore, which defaults to the segmented
 // engine and migrates legacy logs in place.
 func OpenStore(cfg StoreConfig) (*VerdictStore, error) { return store.OpenLegacy(cfg) }
+
+// Feed-connector types: the external URL-feed sources of
+// internal/feedsrc (PhishTank/OpenPhish-style JSON feeds, ranked benign
+// CSV lists, CT-log-style NDJSON streams) and the Mux that polls them
+// with resumable cursors, per-source rate shares and cross-source
+// dedupe, fanning accepted URLs into the FeedScheduler with provenance
+// carried to VerdictRecord.Source.
+type (
+	// FeedSource is one pollable external URL feed.
+	FeedSource = feedsrc.Source
+	// FeedItem is one URL a source produced.
+	FeedItem = feedsrc.Item
+	// FeedMux drives a set of FeedSources into the scheduler.
+	FeedMux = feedsrc.Mux
+	// FeedMuxConfig assembles a FeedMux.
+	FeedMuxConfig = feedsrc.MuxConfig
+	// FeedSourceStats is one connector's health snapshot (cursor, lag,
+	// fetch/error/reject counters), exported at /metrics.
+	FeedSourceStats = feedsrc.SourceStats
+	// FeedRejectStats breaks a source's non-enqueued URLs down by
+	// reason.
+	FeedRejectStats = feedsrc.RejectStats
+)
+
+// NewFeedMux validates the configuration, restores persisted cursors
+// and starts one polling goroutine per source.
+func NewFeedMux(cfg FeedMuxConfig) (*FeedMux, error) { return feedsrc.NewMux(cfg) }
+
+// NewJSONFeedSource polls a PhishTank/OpenPhish-style JSON feed,
+// resuming past the highest entry id seen.
+func NewJSONFeedSource(name, url string, client *http.Client) FeedSource {
+	return feedsrc.NewJSONFeed(name, url, client)
+}
+
+// NewRankedCSVSource walks a Tranco-style "rank,domain" CSV benign
+// list in batches, resuming at the last consumed row.
+func NewRankedCSVSource(name, url string, client *http.Client, maxBatch int) FeedSource {
+	return feedsrc.NewRankedCSV(name, url, client, maxBatch)
+}
+
+// NewNDJSONStreamSource tails a CT-log-style NDJSON stream with HTTP
+// range requests, resuming at the byte offset past the last complete
+// line.
+func NewNDJSONStreamSource(name, url string, client *http.Client) FeedSource {
+	return feedsrc.NewNDJSONStream(name, url, client)
+}
+
+// Load-generation types: the closed/open-loop harness of
+// internal/loadgen behind cmd/kpload, replaying a URL corpus against a
+// running server's POST /v1/feed and measuring sustained throughput,
+// latency percentiles and queue depth.
+type (
+	// LoadConfig describes one load run.
+	LoadConfig = loadgen.Config
+	// LoadReport is the outcome (the LOAD_PR.json document).
+	LoadReport = loadgen.Report
+)
+
+// RunLoad executes one load test against a running server.
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) { return loadgen.Run(ctx, cfg) }
 
 // ---------------------------------------------------------------------
 // The model lifecycle subsystem: a versioned, content-hashed model
