@@ -8,7 +8,7 @@ GO ?= go
 # bench-* targets below inherit it by not setting BENCH. Override per
 # run with BENCH=<regexp>.
 
-.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long store-stress load-smoke cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check profile ci
+.PHONY: all build test race race-cover bench bench-smoke bench-compare bench-gate bench-json fuzz-smoke fuzz-long store-stress load-smoke overload-smoke cover fmt fmt-check vet staticcheck vulncheck serve registry-check alloc-check profile ci
 
 all: build
 
@@ -112,6 +112,22 @@ load-smoke:
 	$(GO) run ./cmd/kpload run -self -scale 40 -qps $(LOAD_QPS) \
 		-duration $(LOAD_DURATION) -workers 4 -json LOAD_PR.json
 
+# Overload smoke: drive an in-process kpserve well past its sustainable
+# rate (1 scoring worker, 64KiB pages, tight 5ms p99 objective on short
+# engine windows so the episode fits in seconds) and assert the full
+# overload story end to end: admission control sheds with 503 +
+# Retry-After, every accepted request is accounted for (zero-loss
+# ledger: scored + cache hits >= accepted), and the engine recovers to
+# ok / shed level 0 once the load stops. -expect-shed makes a run that
+# never sheds exit nonzero, so the guarantee is CI-enforced, not
+# aspirational. Writes OVERLOAD_PR.json; nightly.yml runs and archives
+# it.
+overload-smoke:
+	$(GO) run ./cmd/kpload run -self -endpoint score -serve-workers 1 \
+		-slo "score:p99<5ms,avail>99" -slo-fast 5s -slo-slow 30s \
+		-slo-holddown 2s -qps 600 -workers 32 -duration 15s \
+		-expect-shed -json OVERLOAD_PR.json
+
 # Known-vulnerability scan over the module and its (empty) dependency
 # graph — effectively a stdlib advisory check pinned to the toolchain.
 # Skips gracefully when the binary is missing so offline dev machines
@@ -137,12 +153,13 @@ registry-check:
 
 # Allocation contracts in a non-race build: 0 allocs on the warm
 # cached-score path (flat model + pooled vectors + precomputed
-# analysis), a fixed budget on the full-extraction path. These tests
+# analysis), a fixed budget on the full-extraction path, and 0 allocs
+# on the per-request admission check in the serving layer. These tests
 # skip themselves under -race (the detector's own allocations would
 # poison the counts), so the race suite alone would never run them —
-# this target is what makes the zero-alloc claim CI-enforced.
+# this target is what makes the zero-alloc claims CI-enforced.
 alloc-check:
-	$(GO) test -count=1 -run Alloc ./internal/ml ./internal/features ./internal/core
+	$(GO) test -count=1 -run Alloc ./internal/ml ./internal/features ./internal/core ./internal/serve
 
 # 10-second CPU profile of a running kpserve started with the pprof
 # listener bound (kpserve -debug-addr :6060). Writes cpu.pprof; inspect

@@ -36,6 +36,7 @@ import (
 	"knowphish/internal/obs"
 	"knowphish/internal/registry"
 	"knowphish/internal/serve"
+	"knowphish/internal/slo"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/terms"
@@ -922,6 +923,42 @@ func BenchmarkStoreReopen(b *testing.B) {
 					b.StartTimer()
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkWindowedHist prices one windowed-latency observation — the
+// cost the serving layer adds to every successful request for the
+// rolling 1m/5m/1h percentile view. The path is two ring-slot epoch
+// checks plus two histogram increments, all atomics; the gate pins it
+// at 0 allocs/op.
+func BenchmarkWindowedHist(b *testing.B) {
+	w := obs.NewWindowedHist(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+// BenchmarkAdmission prices the admission-control fast path as the
+// serving layer executes it on every request: one atomic shed-level
+// load from the SLO engine plus a priority comparison. Runs against an
+// armed engine in the healthy state (shed level 0, everything
+// admitted) — the path every request pays whether or not overload ever
+// happens. The gate pins it at 0 allocs/op.
+func BenchmarkAdmission(b *testing.B) {
+	objs, err := slo.ParseObjectives([]string{"score:p99<250ms,avail>99.9"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := slo.New(slo.Config{Objectives: objs})
+	const pri = 3 // interactive class: sheddable, admitted at level 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if admitted := pri == 0 || pri > eng.ShedLevel(); !admitted {
+			b.Fatal("unexpected shed")
 		}
 	}
 }

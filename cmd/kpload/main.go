@@ -27,11 +27,26 @@
 // boots a complete in-process kpserve (self-trained detector, feed
 // pipeline, in-memory verdict store) on a loopback listener, then loads
 // it: a one-command macro benchmark needing nothing running.
+//
+// Overload testing: -endpoint score drives uncached POST /v1/score
+// requests instead of feed batches; with -self, repeatable -slo specs
+// (plus -slo-fast/-slo-slow/-slo-holddown and -serve-workers) arm the
+// self server's SLO engine and admission controller. Shed 503s are
+// broken out in the report (shed count, shed rate, Retry-After backoffs
+// honored). -expect-shed turns the run into an overload smoke: it exits
+// nonzero unless shedding engaged, the server's ledger accounts for
+// every accepted request, and the engine recovered to ok afterwards —
+// the OVERLOAD_PR.json artifact in nightly CI:
+//
+//	kpload run -self -endpoint score -serve-workers 2 \
+//	    -slo "score:p99<250ms,avail>99" -slo-fast 5s -slo-slow 30s -slo-holddown 2s \
+//	    -qps 300 -duration 20s -expect-shed -json OVERLOAD_PR.json
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -47,11 +62,20 @@ import (
 	"knowphish/internal/feed"
 	"knowphish/internal/loadgen"
 	"knowphish/internal/ml"
+	"knowphish/internal/obs"
 	"knowphish/internal/serve"
+	"knowphish/internal/slo"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/webgen"
 )
+
+// multiFlag collects a repeatable string flag (-slo may be given once
+// per objective).
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -134,13 +158,29 @@ func runLoad(args []string) error {
 	duration := fs.Duration("duration", 10*time.Second, "run length (ignored with -requests)")
 	requests := fs.Int("requests", 0, "fixed request budget instead of -duration (reproducible runs)")
 	batch := fs.Int("batch", 1, "URLs per /v1/feed request")
+	endpoint := fs.String("endpoint", "feed", "endpoint to load: feed (POST /v1/feed batches) or score (POST /v1/score, one uncached page per request)")
+	shedBackoff := fs.Duration("shed-backoff", loadgen.DefaultShedBackoff, "cap on how long a worker honors a shed 503's Retry-After")
+	pageBytes := fs.Int("page-bytes", loadgen.DefaultPageBytes, "with -endpoint score: approximate HTML size per submitted page (bigger = more server work per request)")
 	jsonOut := fs.String("json", "", "also write the report as JSON (the LOAD_PR.json artifact)")
 	seed := fs.Int64("seed", 42, "with -self: the service seed (detector, world)")
 	scale := fs.Int("scale", 20, "with -self: corpus downscale divisor for self-training (higher = faster boot)")
 	feedWorkers := fs.Int("feed-workers", 0, "with -self: feed pipeline workers (0 = GOMAXPROCS)")
 	feedQueue := fs.Int("feed-queue", 0, "with -self: feed queue depth (0 = default)")
+	serveWorkers := fs.Int("serve-workers", 0, "with -self: serve worker-pool bound (0 = GOMAXPROCS); lower it to make overload reachable")
+	var sloSpecs multiFlag
+	fs.Var(&sloSpecs, "slo", "with -self: SLO objective spec, e.g. \"score:p99<250ms,avail>99.9\" (repeatable)")
+	sloFast := fs.Duration("slo-fast", slo.DefaultFastWindow, "with -self -slo: fast burn-rate window")
+	sloSlow := fs.Duration("slo-slow", slo.DefaultSlowWindow, "with -self -slo: slow burn-rate window")
+	sloHold := fs.Duration("slo-holddown", slo.DefaultHoldDown, "with -self -slo: state fall hold-down")
+	expectShed := fs.Bool("expect-shed", false, "assert the run engaged load shedding, lost no accepted work, and recovered (exits nonzero otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *expectShed && !*self {
+		return fmt.Errorf("-expect-shed requires -self (it scrapes the server's ledger and waits for recovery)")
+	}
+	if *expectShed && len(sloSpecs) == 0 {
+		return fmt.Errorf("-expect-shed requires at least one -slo objective (nothing sheds without an SLO engine)")
 	}
 	if (*targetURL == "") == !*self {
 		return fmt.Errorf("exactly one of -target or -self is required")
@@ -161,6 +201,9 @@ func runLoad(args []string) error {
 		srv, shutdown, err := bootSelf(selfConfig{
 			seed: *seed, scale: *scale,
 			feedWorkers: *feedWorkers, feedQueue: *feedQueue,
+			serveWorkers: *serveWorkers,
+			sloSpecs:     sloSpecs,
+			sloFast:      *sloFast, sloSlow: *sloSlow, sloHold: *sloHold,
 		})
 		if err != nil {
 			return err
@@ -178,14 +221,17 @@ func runLoad(args []string) error {
 	fmt.Fprintf(os.Stderr, "kpload: loading %s with %d URLs (workers %d, %s)\n",
 		*targetURL, len(corpus), *workers, describeBudget(*requests, *duration))
 	rep, err := loadgen.Run(ctx, loadgen.Config{
-		TargetURL: *targetURL,
-		Corpus:    corpus,
-		QPS:       *qps,
-		Workers:   *workers,
-		Ramp:      *ramp,
-		Duration:  *duration,
-		Requests:  *requests,
-		BatchSize: *batch,
+		TargetURL:   *targetURL,
+		Corpus:      corpus,
+		QPS:         *qps,
+		Workers:     *workers,
+		Ramp:        *ramp,
+		Duration:    *duration,
+		Requests:    *requests,
+		BatchSize:   *batch,
+		Endpoint:    *endpoint,
+		ShedBackoff: *shedBackoff,
+		PageBytes:   *pageBytes,
 	})
 	if err != nil {
 		return err
@@ -198,7 +244,69 @@ func runLoad(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "kpload: wrote %s\n", *jsonOut)
 	}
+	if *expectShed {
+		return assertOverload(*targetURL, rep)
+	}
 	return nil
+}
+
+// assertOverload verifies the overload-smoke contract after an
+// -expect-shed run: the admission controller actually engaged, every
+// request the server accepted was really scored (zero-loss ledger),
+// and the SLO engine recovered to ok once the pressure stopped.
+func assertOverload(targetURL string, rep loadgen.Report) error {
+	if rep.Shed == 0 {
+		return fmt.Errorf("expect-shed: no requests were shed — overload never engaged the admission controller (raise -qps or lower -serve-workers)")
+	}
+	if rep.RetryAfterHonored == 0 {
+		return fmt.Errorf("expect-shed: no Retry-After backoff was honored despite %d sheds", rep.Shed)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Zero-loss ledger: every 200 the load generator counted must be
+	// matched by scoring work the server accounts for. A gap means an
+	// accepted request was silently dropped under overload.
+	var snap serve.MetricsSnapshot
+	if err := getJSON(client, targetURL+"/metrics", &snap); err != nil {
+		return fmt.Errorf("expect-shed: scraping ledger: %w", err)
+	}
+	scoredOrCached := snap.PagesScored + snap.CacheHits
+	if scoredOrCached < rep.Accepted {
+		return fmt.Errorf("expect-shed: ledger mismatch — %d requests accepted but only %d scored+cached", rep.Accepted, scoredOrCached)
+	}
+	fmt.Fprintf(os.Stderr, "kpload: expect-shed — shed %d (%.1f%%), ledger ok (%d accepted <= %d scored+cached)\n",
+		rep.Shed, rep.ShedRate*100, rep.Accepted, scoredOrCached)
+
+	// Recovery: with load stopped, the fast window drains and the
+	// engine must walk back to ok with shedding disengaged.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var status slo.Status
+		if err := getJSON(client, targetURL+"/debug/slo", &status); err != nil {
+			return fmt.Errorf("expect-shed: polling /debug/slo: %w", err)
+		}
+		if status.State == "ok" && status.ShedLevel == 0 {
+			fmt.Fprintln(os.Stderr, "kpload: expect-shed — engine recovered to ok, shedding disengaged")
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("expect-shed: engine did not recover (state %s, shed level %d)", status.State, status.ShedLevel)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// getJSON fetches a JSON document.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 func describeBudget(requests int, d time.Duration) string {
@@ -232,10 +340,15 @@ func readCorpus(path string) ([]string, error) {
 }
 
 type selfConfig struct {
-	seed        int64
-	scale       int
-	feedWorkers int
-	feedQueue   int
+	seed         int64
+	scale        int
+	feedWorkers  int
+	feedQueue    int
+	serveWorkers int
+	sloSpecs     []string
+	sloFast      time.Duration
+	sloSlow      time.Duration
+	sloHold      time.Duration
 }
 
 // bootSelf stands up a complete in-process kpserve — self-trained
@@ -279,11 +392,34 @@ func bootSelf(cfg selfConfig) (string, func(), error) {
 		st.Close()
 		return "", nil, err
 	}
+	// With -slo specs the self server gets the full SLO stack: engine,
+	// event journal, and a ticking goroutine, exactly as kpserve wires
+	// them — so -expect-shed exercises the real overload behavior.
+	var eng *slo.Engine
+	var journal *obs.Journal
+	if len(cfg.sloSpecs) > 0 {
+		objs, err := slo.ParseObjectives(cfg.sloSpecs)
+		if err != nil {
+			st.Close()
+			return "", nil, err
+		}
+		journal = obs.NewJournal(0)
+		eng = slo.New(slo.Config{
+			Objectives: objs,
+			FastWindow: cfg.sloFast,
+			SlowWindow: cfg.sloSlow,
+			HoldDown:   cfg.sloHold,
+			Journal:    journal,
+		})
+	}
 	handler, err := serve.New(serve.Config{
 		Detector:   det,
 		Identifier: identifier,
 		Feed:       sched,
 		Store:      st,
+		Workers:    cfg.serveWorkers,
+		SLO:        eng,
+		Journal:    journal,
 	})
 	if err != nil {
 		sched.Drain(time.Now())
@@ -299,8 +435,13 @@ func bootSelf(cfg selfConfig) (string, func(), error) {
 	}
 	hs := &http.Server{Handler: handler}
 	go hs.Serve(ln)
+	tickCtx, stopTick := context.WithCancel(context.Background())
+	if eng != nil {
+		go eng.Run(tickCtx, 0)
+	}
 
 	shutdown := func() {
+		stopTick()
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		hs.Shutdown(shCtx)

@@ -45,15 +45,27 @@
 // of traffic → promotion gate swaps), and every verdict carries the
 // model_version that produced it.
 //
+// Repeatable -slo flags ("score:p99<250ms,avail>99.9") arm the SLO
+// engine: multi-window multi-burn-rate error budgets (tuned by
+// -slo-fast/-slo-slow/-slo-holddown) drive an ok → warn → page state
+// machine at GET /debug/slo (and in /healthz and /metrics), a
+// fixed-size operational event journal at GET /debug/events, and the
+// adaptive admission controller — under sustained budget burn the
+// server sheds lowest-priority request classes first with 503 +
+// Retry-After until the burn subsides. With a latency objective the
+// -trace-slow default derives from the tightest SLO target. cmd/kptop
+// renders the whole surface as a live terminal dashboard.
+//
 // Endpoints: POST /v2/score, POST /v2/target, POST /v2/score/stream
 // (NDJSON), GET/POST /v2/models, POST /v2/models/promote, POST
 // /v1/score, POST /v1/score/batch, POST /v1/target, POST /v1/feed,
 // GET /v1/verdicts, GET /v2/verdicts, GET /healthz, GET /metrics (JSON;
-// ?format=prometheus for the scrape surface) and GET /debug/traces
-// (recent + slow/error request traces). Structured logs go to stderr
-// (-log-level, -log-format); per-stage tracing is on by default
-// (-trace=false disables it) and -debug-addr binds net/http/pprof on a
-// separate listener. See README.md for request formats and the v1 → v2
+// ?format=prometheus for the scrape surface), GET /debug/traces
+// (recent + slow/error request traces), GET /debug/slo and GET
+// /debug/events. Structured logs go to stderr (-log-level,
+// -log-format); per-stage tracing is on by default (-trace=false
+// disables it) and -debug-addr binds net/http/pprof on a separate
+// listener. See README.md for request formats and the v1 → v2
 // migration table.
 package main
 
@@ -82,6 +94,7 @@ import (
 	"knowphish/internal/registry"
 	"knowphish/internal/search"
 	"knowphish/internal/serve"
+	"knowphish/internal/slo"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/webgen"
@@ -135,18 +148,63 @@ func run() error {
 		logLevel  = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
 		traceOn   = flag.Bool("trace", true, "record per-stage request traces (GET /debug/traces, stage histograms in /metrics)")
-		traceSlow = flag.Duration("trace-slow", obs.DefaultSlowThreshold, "slow-request threshold: traces over it are kept as exemplars and logged (sampled)")
+		traceSlow = flag.Duration("trace-slow", obs.DefaultSlowThreshold, "slow-request threshold: traces over it are kept as exemplars and logged (sampled); with a latency -slo the default derives from the tightest target instead")
 		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof profiling endpoints (empty: disabled)")
+
+		sloFast     = flag.Duration("slo-fast", slo.DefaultFastWindow, "SLO fast burn-rate window (is it happening now?)")
+		sloSlow     = flag.Duration("slo-slow", slo.DefaultSlowWindow, "SLO slow burn-rate window (is it significant?)")
+		sloHold     = flag.Duration("slo-holddown", slo.DefaultHoldDown, "SLO hysteresis: burn must stay below a threshold this long before state or shed level steps down")
+		journalSize = flag.Int("journal-size", 0, "operational event journal capacity in events (GET /debug/events; 0 = default)")
 	)
 	var feedSrcs multiFlag
 	flag.Var(&feedSrcs, "feed-src", "external feed connector as NAME=KIND:URL, repeatable; KIND is json (PhishTank/OpenPhish-style feed), csv (ranked benign list) or ndjson (CT-log-style stream)")
+	var sloSpecs multiFlag
+	flag.Var(&sloSpecs, "slo", "SLO objective as endpoint:objective[,objective...], e.g. \"score:p99<250ms,avail>99.9\" (repeatable; arms burn-rate alerting at /debug/slo and adaptive load shedding)")
 	flag.Parse()
 
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		return err
 	}
-	tracer := obs.NewTracer(obs.Config{SlowThreshold: *traceSlow, Disabled: !*traceOn})
+
+	// The SLO engine and the event journal are built before the tracer:
+	// with a latency objective and no explicit -trace-slow, the slow-
+	// exemplar threshold derives from the tightest SLO target, so the
+	// traces an operator keeps are exactly the requests that burn budget.
+	journal := obs.NewJournal(*journalSize)
+	var sloEng *slo.Engine
+	if len(sloSpecs) > 0 {
+		objs, err := slo.ParseObjectives(sloSpecs)
+		if err != nil {
+			return err
+		}
+		sloEng = slo.New(slo.Config{
+			Objectives: objs,
+			FastWindow: *sloFast,
+			SlowWindow: *sloSlow,
+			HoldDown:   *sloHold,
+			Journal:    journal,
+		})
+	}
+	slowThreshold, slowSource := *traceSlow, ""
+	traceSlowSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trace-slow" {
+			traceSlowSet = true
+		}
+	})
+	if !traceSlowSet {
+		if target, name := sloEng.MinLatencyTarget(); target > 0 {
+			slowThreshold, slowSource = target, "slo:"+name
+		}
+	}
+	tracer := obs.NewTracer(obs.Config{SlowThreshold: slowThreshold, SlowSource: slowSource, Disabled: !*traceOn})
+	if sloEng != nil {
+		logger.Info("slo engine armed",
+			"objectives", len(sloEng.Objectives()),
+			"fast_window", *sloFast, "slow_window", *sloSlow, "holddown", *sloHold,
+			"slow_threshold", slowThreshold, "slow_source", slowSource)
+	}
 
 	explainLevel, err := core.ParseExplainLevel(*explain)
 	if err != nil {
@@ -325,6 +383,8 @@ func run() error {
 		Store:           st,
 		Tracer:          tracer,
 		Logger:          logger,
+		SLO:             sloEng,
+		Journal:         journal,
 	})
 	if err != nil {
 		return err
@@ -364,6 +424,10 @@ func run() error {
 	// in-flight requests before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The SLO engine ticks for the server's whole life (nil-safe no-op
+	// when no -slo was given): burn rates, state machine, shed level.
+	go sloEng.Run(ctx, 0)
 
 	errc := make(chan error, 1)
 	go func() {

@@ -32,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,7 +47,35 @@ const (
 	DefaultWorkers = 8
 	// DefaultScrapeInterval is the /metrics queue-depth poll cadence.
 	DefaultScrapeInterval = 200 * time.Millisecond
+	// DefaultShedBackoff caps how long a worker sleeps on a shed 503's
+	// Retry-After before offering load again.
+	DefaultShedBackoff = time.Second
 )
+
+// DefaultPageBytes is the approximate HTML size score mode submits
+// when Config.PageBytes is unset. Sized so one score costs the server
+// whole milliseconds of parsing and feature extraction — small pages
+// score in ~200µs, which makes overload unreachable at any realistic
+// request rate.
+const DefaultPageBytes = 64 << 10
+
+// buildScorePage renders the page body score mode submits: a phish-like
+// shell (title, login form) padded with linked paragraphs to roughly
+// size bytes, so the real parsing and feature-extraction pipeline does
+// proportional work per request.
+func buildScorePage(size int) string {
+	var b strings.Builder
+	b.Grow(size + 512)
+	b.WriteString(`<html><head><title>account verification portal</title></head>` +
+		`<body><h1>Verify your account</h1>` +
+		`<form action="/login" method="post"><input type="password" name="pw"/></form>`)
+	for i := 0; b.Len() < size; i++ {
+		fmt.Fprintf(&b, `<p>Your account access is suspended pending verification step %d. `+
+			`Review the <a href="/notice/%d">notice</a> and confirm your identity to restore service.</p>`, i, i)
+	}
+	b.WriteString(`<a href="/support">support</a></body></html>`)
+	return b.String()
+}
 
 // Config describes one load run.
 type Config struct {
@@ -74,8 +103,25 @@ type Config struct {
 	// duration — the reproducible mode the benchmark gate uses.
 	Requests int
 	// BatchSize is how many corpus URLs ride one POST /v1/feed request
-	// (0 → 1).
+	// (0 → 1; ignored in score mode, which is one page per request).
 	BatchSize int
+	// Endpoint selects what the run replays: "feed" (default) posts
+	// URL batches to POST /v1/feed; "score" posts one page per request
+	// to POST /v1/score, each with a unique starting URL so every
+	// request takes the full scoring path instead of the verdict
+	// cache. Score mode is what the overload smoke drives — it is the
+	// endpoint the latency SLO guards.
+	Endpoint string
+	// ShedBackoff bounds how long a worker honors a 503 Retry-After
+	// before retrying (0 → DefaultShedBackoff). The server's suggested
+	// backoff can exceed the whole run; honoring it with a cap keeps
+	// pressure on so the run can observe shedding and recovery.
+	ShedBackoff time.Duration
+	// PageBytes is the approximate HTML size of the page score mode
+	// submits (0 → DefaultPageBytes). Bigger pages cost the server
+	// proportionally more per request, which is how the overload smoke
+	// makes saturation reachable at moderate request rates.
+	PageBytes int
 	// ScrapeInterval is how often the run polls GET /metrics for the
 	// feed queue depth (0 → DefaultScrapeInterval, negative →
 	// disabled).
@@ -109,9 +155,21 @@ type Report struct {
 	DropRate float64 `json:"drop_rate"`
 
 	// Errors counts failed requests (transport errors and non-200
-	// responses); ErrorRate is errors / (requests + errors).
+	// responses other than shed 503s); ErrorRate is
+	// errors / (requests + errors + shed).
 	Errors    int64   `json:"errors"`
 	ErrorRate float64 `json:"error_rate"`
+	// Shed counts 503 responses carrying a Retry-After header — the
+	// admission controller rejecting load to protect its SLO. They are
+	// broken out from Errors because shedding under overload is the
+	// server working as designed; ShedRate is shed / (requests +
+	// errors + shed).
+	Shed     int64   `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	// RetryAfterHonored counts shed responses after which the worker
+	// actually backed off for the advertised Retry-After (capped at
+	// the configured backoff) before offering load again.
+	RetryAfterHonored int64 `json:"retry_after_honored"`
 	// MissedArrivals counts open-loop arrivals discarded because the
 	// arrival queue was full — offered load the service never saw.
 	// Nonzero means the measured rate understates the target.
@@ -136,8 +194,9 @@ type Report struct {
 
 // run is the engine's mutable state while a load test executes.
 type run struct {
-	cfg    Config
-	client *http.Client
+	cfg      Config
+	client   *http.Client
+	pageHTML string // score mode: the page body, built once
 
 	next      atomic.Int64 // corpus round-robin position
 	budget    atomic.Int64 // remaining requests (fixed-budget mode)
@@ -145,6 +204,8 @@ type run struct {
 	submitted atomic.Int64
 	accepted  atomic.Int64
 	errors    atomic.Int64
+	shed      atomic.Int64
+	honored   atomic.Int64
 	missed    atomic.Int64
 	scrapeErr atomic.Int64
 
@@ -174,13 +235,38 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	if cfg.ScrapeInterval == 0 {
 		cfg.ScrapeInterval = DefaultScrapeInterval
 	}
+	if cfg.ShedBackoff <= 0 {
+		cfg.ShedBackoff = DefaultShedBackoff
+	}
+	switch cfg.Endpoint {
+	case "", "feed":
+		cfg.Endpoint = "feed"
+	case "score":
+		cfg.BatchSize = 1
+		if cfg.PageBytes <= 0 {
+			cfg.PageBytes = DefaultPageBytes
+		}
+	default:
+		return Report{}, fmt.Errorf("loadgen: unknown Endpoint %q (want feed or score)", cfg.Endpoint)
+	}
 	r := &run{
 		cfg:      cfg,
 		client:   cfg.Client,
 		rejected: make(map[string]int64),
 	}
+	if cfg.Endpoint == "score" {
+		r.pageHTML = buildScorePage(cfg.PageBytes)
+	}
 	if r.client == nil {
-		r.client = &http.Client{Timeout: 30 * time.Second}
+		// A dedicated transport with the pool sized to the worker count:
+		// http.DefaultTransport keeps only 2 idle conns per host, so a
+		// 64-worker run over it thrashes connections and measures the
+		// client's own queueing instead of the server's.
+		tr := &http.Transport{
+			MaxIdleConns:        cfg.Workers,
+			MaxIdleConnsPerHost: cfg.Workers,
+		}
+		r.client = &http.Client{Timeout: 30 * time.Second, Transport: tr}
 	}
 	if cfg.Requests > 0 {
 		r.budget.Store(int64(cfg.Requests))
@@ -283,15 +369,32 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	return r.report(elapsed, int(finalDepth.Load())), nil
 }
 
-// shoot issues one feed submission and records its outcome.
+// shoot issues one request (a feed batch or one score page) and
+// records its outcome.
 func (r *run) shoot(ctx context.Context) {
-	urls := make([]string, r.cfg.BatchSize)
-	for i := range urls {
+	var body []byte
+	var path string
+	var urlCount int64
+	if r.cfg.Endpoint == "score" {
+		// A unique query string per request defeats the verdict cache,
+		// so every accepted request pays the full scoring pipeline —
+		// the work the latency SLO budgets.
 		n := r.next.Add(1) - 1
-		urls[i] = r.cfg.Corpus[int(n)%len(r.cfg.Corpus)]
+		u := r.cfg.Corpus[int(n)%len(r.cfg.Corpus)] + "?q=" + strconv.FormatInt(n, 10)
+		body, _ = json.Marshal(serve.PageRequest{HTML: r.pageHTML, StartingURL: u})
+		path = "/v1/score"
+		urlCount = 1
+	} else {
+		urls := make([]string, r.cfg.BatchSize)
+		for i := range urls {
+			n := r.next.Add(1) - 1
+			urls[i] = r.cfg.Corpus[int(n)%len(r.cfg.Corpus)]
+		}
+		body, _ = json.Marshal(serve.FeedRequest{URLs: urls})
+		path = "/v1/feed"
+		urlCount = int64(len(urls))
 	}
-	body, _ := json.Marshal(serve.FeedRequest{URLs: urls})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.TargetURL+"/v1/feed", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.TargetURL+path, bytes.NewReader(body))
 	if err != nil {
 		r.errors.Add(1)
 		return
@@ -309,13 +412,46 @@ func (r *run) shoot(ctx context.Context) {
 		return
 	}
 	defer resp.Body.Close()
+	// A 503 carrying Retry-After is the admission controller shedding
+	// load — the server protecting its SLO, not failing. Count it apart
+	// from errors and honor the advertised backoff (capped, so a
+	// 60-second suggestion cannot idle the run) before offering load
+	// again. Shed latencies stay out of the latency sample: they
+	// measure the rejection fast path, not service.
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			r.shed.Add(1)
+			if backoff := retryAfterDelay(ra, r.cfg.ShedBackoff); backoff > 0 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(backoff):
+					r.honored.Add(1)
+				}
+			}
+			return
+		}
+	}
+	if r.cfg.Endpoint == "score" {
+		var sr serve.ScoreResponse
+		if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&sr) != nil {
+			r.errors.Add(1)
+			return
+		}
+		r.requests.Add(1)
+		r.submitted.Add(urlCount)
+		r.accepted.Add(urlCount)
+		r.mu.Lock()
+		r.latencies = append(r.latencies, lat)
+		r.mu.Unlock()
+		return
+	}
 	var fr serve.FeedResponse
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&fr) != nil {
 		r.errors.Add(1)
 		return
 	}
 	r.requests.Add(1)
-	r.submitted.Add(int64(len(urls)))
+	r.submitted.Add(urlCount)
 	r.accepted.Add(int64(fr.Accepted))
 	r.mu.Lock()
 	r.latencies = append(r.latencies, lat)
@@ -328,6 +464,21 @@ func (r *run) shoot(ctx context.Context) {
 		}
 	}
 	r.mu.Unlock()
+}
+
+// retryAfterDelay parses a Retry-After header (delta-seconds form) and
+// caps it at max. Unparseable values fall back to max: the server asked
+// for a backoff, so back off, just not forever.
+func retryAfterDelay(ra string, max time.Duration) time.Duration {
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 0 {
+		return max
+	}
+	d := time.Duration(secs) * time.Second
+	if d > max {
+		return max
+	}
+	return d
 }
 
 // scrapeDepth polls GET /metrics for the feed queue depth.
@@ -357,20 +508,22 @@ func (r *run) scrapeDepth(final *atomic.Int64) {
 // report assembles the final document from the run's counters.
 func (r *run) report(elapsed time.Duration, finalDepth int) Report {
 	rep := Report{
-		Mode:            "closed",
-		TargetQPS:       r.cfg.QPS,
-		Workers:         r.cfg.Workers,
-		BatchSize:       r.cfg.BatchSize,
-		DurationSeconds: elapsed.Seconds(),
-		Requests:        r.requests.Load(),
-		URLsSubmitted:   r.submitted.Load(),
-		Accepted:        r.accepted.Load(),
-		Errors:          r.errors.Load(),
-		MissedArrivals:  r.missed.Load(),
-		Rejected:        r.rejected,
-		QueueDepthMax:   r.depthMax,
-		QueueDepthFinal: finalDepth,
-		ScrapeErrors:    r.scrapeErr.Load(),
+		Mode:              "closed",
+		TargetQPS:         r.cfg.QPS,
+		Workers:           r.cfg.Workers,
+		BatchSize:         r.cfg.BatchSize,
+		DurationSeconds:   elapsed.Seconds(),
+		Requests:          r.requests.Load(),
+		URLsSubmitted:     r.submitted.Load(),
+		Accepted:          r.accepted.Load(),
+		Errors:            r.errors.Load(),
+		Shed:              r.shed.Load(),
+		RetryAfterHonored: r.honored.Load(),
+		MissedArrivals:    r.missed.Load(),
+		Rejected:          r.rejected,
+		QueueDepthMax:     r.depthMax,
+		QueueDepthFinal:   finalDepth,
+		ScrapeErrors:      r.scrapeErr.Load(),
 	}
 	if r.cfg.QPS > 0 {
 		rep.Mode = "open"
@@ -381,8 +534,9 @@ func (r *run) report(elapsed time.Duration, finalDepth int) Report {
 	if rep.URLsSubmitted > 0 {
 		rep.DropRate = float64(rep.URLsSubmitted-rep.Accepted) / float64(rep.URLsSubmitted)
 	}
-	if total := rep.Requests + rep.Errors; total > 0 {
+	if total := rep.Requests + rep.Errors + rep.Shed; total > 0 {
 		rep.ErrorRate = float64(rep.Errors) / float64(total)
+		rep.ShedRate = float64(rep.Shed) / float64(total)
 	}
 	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
 	if n := len(r.latencies); n > 0 {
@@ -443,6 +597,10 @@ func (r Report) Table() string {
 		w("rejected", "%s", strings.Join(parts, ", "))
 	}
 	w("errors", "%d (%.2f%%)", r.Errors, r.ErrorRate*100)
+	if r.Shed > 0 {
+		w("shed", "%d (%.2f%%) — 503 + Retry-After; backoff honored %d times",
+			r.Shed, r.ShedRate*100, r.RetryAfterHonored)
+	}
 	if r.MissedArrivals > 0 {
 		w("missed", "%d arrivals (generator could not keep pace)", r.MissedArrivals)
 	}

@@ -89,6 +89,38 @@ func (h *Hist) Percentile(p float64) int64 {
 	return max
 }
 
+// Reset zeroes the histogram for reuse. It is atomic per field, not
+// across the histogram: observations racing a reset may be partially
+// retained (a bucket increment surviving while the count was cleared,
+// or vice versa). The windowed-histogram ring calls Reset only on
+// slots a full ring-period stale, where in-flight observers are gone;
+// the residual slop is one sample at a slot boundary, which a
+// dashboard percentile cannot see.
+func (h *Hist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumUS.Store(0)
+	h.maxUS.Store(0)
+}
+
+// addTo folds the histogram's current counts into snap. Like
+// Cumulative, the read is not atomic across buckets.
+func (h *Hist) addTo(snap *HistSnapshot) {
+	var n int64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.buckets[i].Load()
+		snap.Buckets[i] += c
+		n += c
+	}
+	snap.N += n
+	snap.SumUS += h.sumUS.Load()
+	if m := h.maxUS.Load(); m > snap.MaxUS {
+		snap.MaxUS = m
+	}
+}
+
 // Mean returns the mean observation in microseconds, 0 when empty.
 func (h *Hist) Mean() int64 {
 	n := h.count.Load()

@@ -176,8 +176,17 @@ type Config struct {
 	// SlowThreshold is the duration at which a finished trace is
 	// retained as a slow exemplar (0 → DefaultSlowThreshold).
 	SlowThreshold time.Duration
+	// SlowSource names where SlowThreshold came from when it was
+	// derived rather than set explicitly — e.g. the SLO objective
+	// ("slo:score p99<250ms") whose target it tracks. Slow exemplars
+	// carry it as slow_slo so an operator reading /debug/traces knows
+	// which budget the trace was burning.
+	SlowSource string
 	// Disabled starts the tracer off; SetEnabled flips it at runtime.
 	Disabled bool
+	// Clock feeds the windowed per-stage histograms, for deterministic
+	// tests (nil → time.Now). Trace timestamps always use time.Now.
+	Clock func() time.Time
 }
 
 // record is the retained value copy of a finished trace. Fixed-size so
@@ -191,6 +200,7 @@ type record struct {
 	start     time.Time
 	durNS     int64
 	err       bool
+	slow      bool
 	spans     [MaxSpans]Span
 	nspans    uint8
 	dropped   uint8
@@ -203,6 +213,7 @@ type record struct {
 type Tracer struct {
 	enabled atomic.Bool
 	slowNS  atomic.Int64
+	slowSrc string
 
 	pool sync.Pool
 
@@ -216,7 +227,8 @@ type Tracer struct {
 	errors   atomic.Int64
 	dropped  atomic.Int64 // spans dropped for exceeding MaxSpans
 
-	stages [numStages]Hist
+	stages  [numStages]Hist
+	windows [numStages]*WindowedHist
 
 	mu       sync.Mutex
 	ring     []record
@@ -239,6 +251,10 @@ func NewTracer(cfg Config) *Tracer {
 	t := &Tracer{
 		ring:     make([]record, cfg.RingSize),
 		exemplar: make([]record, cfg.ExemplarSize),
+		slowSrc:  cfg.SlowSource,
+	}
+	for i := range t.windows {
+		t.windows[i] = NewWindowedHist(cfg.Clock)
 	}
 	t.pool.New = func() any { return new(Trace) }
 	t.slowNS.Store(cfg.SlowThreshold.Nanoseconds())
@@ -324,6 +340,7 @@ func (t *Tracer) Finish(tr *Trace) {
 		sp := tr.spans[i]
 		if int(sp.Stage) < int(numStages) {
 			t.stages[sp.Stage].Observe(time.Duration(sp.DurNS))
+			t.windows[sp.Stage].Observe(time.Duration(sp.DurNS))
 		}
 	}
 	slow := durNS >= t.slowNS.Load()
@@ -341,6 +358,7 @@ func (t *Tracer) Finish(tr *Trace) {
 		start:     tr.start,
 		durNS:     durNS,
 		err:       tr.err,
+		slow:      slow,
 		spans:     tr.spans,
 		nspans:    tr.nspans,
 		dropped:   tr.dropped,
@@ -365,6 +383,15 @@ func (t *Tracer) StageHist(s Stage) *Hist {
 	return &t.stages[s]
 }
 
+// StageWindow exposes one stage's windowed histogram (nil when the
+// tracer is nil) — the "p99 right now" source for /metrics and kptop.
+func (t *Tracer) StageWindow(s Stage) *WindowedHist {
+	if t == nil || int(s) >= int(numStages) {
+		return nil
+	}
+	return t.windows[s]
+}
+
 // ---------------------------------------------------------------------
 // Introspection documents (/debug/traces, /metrics tracing summary).
 
@@ -386,17 +413,23 @@ type TraceDoc struct {
 	DurUS        int64     `json:"dur_us"`
 	Error        bool      `json:"error,omitempty"`
 	SpansDropped int       `json:"spans_dropped,omitempty"`
-	Spans        []SpanDoc `json:"spans"`
+	// SlowSLO names the SLO objective whose latency target this trace
+	// breached, on slow exemplars when the slow threshold was derived
+	// from an SLO (Config.SlowSource).
+	SlowSLO string    `json:"slow_slo,omitempty"`
+	Spans   []SpanDoc `json:"spans"`
 }
 
-// StageSummary is one stage's latency aggregate.
+// StageSummary is one stage's latency aggregate: cumulative since
+// boot, plus the trailing dashboard windows.
 type StageSummary struct {
-	Stage  string `json:"stage"`
-	Count  int64  `json:"count"`
-	MeanUS int64  `json:"mean_us"`
-	P50US  int64  `json:"p50_us"`
-	P99US  int64  `json:"p99_us"`
-	MaxUS  int64  `json:"max_us"`
+	Stage   string          `json:"stage"`
+	Count   int64           `json:"count"`
+	MeanUS  int64           `json:"mean_us"`
+	P50US   int64           `json:"p50_us"`
+	P99US   int64           `json:"p99_us"`
+	MaxUS   int64           `json:"max_us"`
+	Windows []WindowSummary `json:"windows,omitempty"`
 }
 
 // Summary is the tracing aggregate folded into /metrics.
@@ -408,6 +441,7 @@ type Summary struct {
 	Errors       int64          `json:"errors"`
 	SpansDropped int64          `json:"spans_dropped"`
 	SlowThreshMS int64          `json:"slow_threshold_ms"`
+	SlowSource   string         `json:"slow_source,omitempty"`
 	RetainedRing int            `json:"retained_recent"`
 	RetainedSlow int            `json:"retained_exemplars"`
 	Stages       []StageSummary `json:"stages"`
@@ -436,6 +470,7 @@ func (t *Tracer) Summary() Summary {
 		Errors:       t.errors.Load(),
 		SpansDropped: t.dropped.Load(),
 		SlowThreshMS: t.slowNS.Load() / int64(time.Millisecond),
+		SlowSource:   t.slowSrc,
 		RetainedRing: int(min64(ringN, uint64(len(t.ring)))),
 		RetainedSlow: int(min64(exN, uint64(len(t.exemplar)))),
 	}
@@ -443,12 +478,13 @@ func (t *Tracer) Summary() Summary {
 	for st := Stage(0); st < numStages; st++ {
 		h := &t.stages[st]
 		s.Stages = append(s.Stages, StageSummary{
-			Stage:  st.String(),
-			Count:  h.Count(),
-			MeanUS: h.Mean(),
-			P50US:  h.Percentile(50),
-			P99US:  h.Percentile(99),
-			MaxUS:  h.MaxUS(),
+			Stage:   st.String(),
+			Count:   h.Count(),
+			MeanUS:  h.Mean(),
+			P50US:   h.Percentile(50),
+			P99US:   h.Percentile(99),
+			MaxUS:   h.MaxUS(),
+			Windows: t.windows[st].Summaries(),
 		})
 	}
 	return s
@@ -462,15 +498,16 @@ func (t *Tracer) Snapshot() Debug {
 	}
 	d := Debug{Summary: t.Summary()}
 	t.mu.Lock()
-	d.Recent = renderRing(t.ring, t.ringN)
-	d.Exemplars = renderRing(t.exemplar, t.exN)
+	d.Recent = renderRing(t.ring, t.ringN, t.slowSrc)
+	d.Exemplars = renderRing(t.exemplar, t.exN, t.slowSrc)
 	t.mu.Unlock()
 	return d
 }
 
 // renderRing converts a ring's retained records to documents, newest
-// first. Called with the tracer lock held.
-func renderRing(ring []record, n uint64) []TraceDoc {
+// first. Called with the tracer lock held. slowSrc tags slow records
+// with the SLO their threshold derives from.
+func renderRing(ring []record, n uint64, slowSrc string) []TraceDoc {
 	count := int(min64(n, uint64(len(ring))))
 	out := make([]TraceDoc, 0, count)
 	for i := 0; i < count; i++ {
@@ -486,6 +523,9 @@ func renderRing(ring []record, n uint64) []TraceDoc {
 		}
 		if rec.hasParent {
 			doc.ParentSpanID = hex.EncodeToString(rec.parent[:])
+		}
+		if rec.slow && slowSrc != "" {
+			doc.SlowSLO = slowSrc
 		}
 		for j := uint8(0); j < rec.nspans; j++ {
 			sp := rec.spans[j]

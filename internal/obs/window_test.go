@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an atomically-settable clock for deterministic window
+// tests.
+type fakeClock struct {
+	ns atomic.Int64
+}
+
+func newFakeClock(t0 time.Time) *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(t0.UnixNano())
+	return c
+}
+
+func (c *fakeClock) Now() time.Time            { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) Advance(d time.Duration)   { c.ns.Add(int64(d)) }
+func (c *fakeClock) Set(t time.Time)           { c.ns.Store(t.UnixNano()) }
+func (c *fakeClock) clock() func() time.Time   { return c.Now }
+func (c *fakeClock) At(d time.Duration) func() { return func() { c.Advance(d) } }
+
+var windowT0 = time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+
+func TestWindowedHistBasic(t *testing.T) {
+	clk := newFakeClock(windowT0)
+	w := NewWindowedHist(clk.clock())
+
+	// 10 observations spread over 10 seconds.
+	for i := 0; i < 10; i++ {
+		w.Observe(10 * time.Millisecond)
+		clk.Advance(time.Second)
+	}
+	snap := w.Window(Window1m)
+	if snap.Count() != 10 {
+		t.Fatalf("1m window count = %d, want 10", snap.Count())
+	}
+	if p := snap.Percentile(99); p < 10_000 || p > 20_000 {
+		t.Errorf("p99 = %dµs, want within [10ms, 20ms] bucket bound", p)
+	}
+	// The 5m (coarse) window sees the same data.
+	if got := w.Window(Window5m).Count(); got != 10 {
+		t.Errorf("5m window count = %d, want 10", got)
+	}
+}
+
+// TestWindowedHistExpiry drives the clock past the window and checks
+// old samples fall out — including the ring-wrap case where a stale
+// slot is reclaimed by a new epoch.
+func TestWindowedHistExpiry(t *testing.T) {
+	clk := newFakeClock(windowT0)
+	w := NewWindowedHist(clk.clock())
+
+	w.Observe(5 * time.Millisecond)
+	if got := w.Window(Window1m).Count(); got != 1 {
+		t.Fatalf("fresh sample: count = %d, want 1", got)
+	}
+
+	// 61 s later the sample is outside the 1 m window even though its
+	// slot memory still holds it (lazy expiry by epoch mismatch).
+	clk.Advance(61 * time.Second)
+	if got := w.Window(Window1m).Count(); got != 0 {
+		t.Errorf("after 61s: 1m count = %d, want 0", got)
+	}
+	// ... but the 5 m coarse window still sees it.
+	if got := w.Window(Window5m).Count(); got != 1 {
+		t.Errorf("after 61s: 5m count = %d, want 1", got)
+	}
+
+	// A new observation landing in the recycled slot must not resurrect
+	// the old count.
+	w.Observe(5 * time.Millisecond)
+	if got := w.Window(Window1m).Count(); got != 1 {
+		t.Errorf("recycled slot: 1m count = %d, want 1", got)
+	}
+
+	// Past the coarse ring span everything ages out.
+	clk.Advance(65 * time.Minute)
+	if got := w.Window(Window1h).Count(); got != 0 {
+		t.Errorf("after 65m idle: 1h count = %d, want 0", got)
+	}
+}
+
+// TestWindowedHistIdleGap checks an idle gap shorter than the ring
+// span leaves old in-window samples visible and excludes nothing else.
+func TestWindowedHistIdleGap(t *testing.T) {
+	clk := newFakeClock(windowT0)
+	w := NewWindowedHist(clk.clock())
+
+	w.Observe(time.Millisecond)
+	clk.Advance(30 * time.Second) // idle gap, no rotation work happens
+	w.Observe(time.Millisecond)
+
+	if got := w.Window(Window1m).Count(); got != 2 {
+		t.Errorf("1m count across 30s gap = %d, want 2", got)
+	}
+	// A 10 s window sees only the sample after the gap.
+	if got := w.Window(10 * time.Second).Count(); got != 1 {
+		t.Errorf("10s count = %d, want 1", got)
+	}
+}
+
+// TestWindowedHistPartialWindow checks a window shorter than the data
+// span truncates correctly at slot granularity, including the current
+// partial slot.
+func TestWindowedHistPartialWindow(t *testing.T) {
+	clk := newFakeClock(windowT0)
+	w := NewWindowedHist(clk.clock())
+
+	// One sample per second for 20 s: fast (1 ms) for the first 10,
+	// slow (100 ms) for the last 10.
+	for i := 0; i < 20; i++ {
+		d := time.Millisecond
+		if i >= 10 {
+			d = 100 * time.Millisecond
+		}
+		w.Observe(d)
+		clk.Advance(time.Second)
+	}
+	// Trailing 10 s window holds only slow samples: the window spans
+	// slots [now-9s, now], i.e. seconds 11..20, and second 20 (the
+	// current partial slot) is empty — 9 samples, all slow.
+	snap := w.Window(10 * time.Second)
+	if snap.Count() != 9 {
+		t.Fatalf("10s count = %d, want 9", snap.Count())
+	}
+	if p50 := snap.Percentile(50); p50 < 100_000 {
+		t.Errorf("trailing-window p50 = %dµs, want >= 100ms (only slow samples in window)", p50)
+	}
+	// The full minute sees both halves; its p50 is the fast bucket.
+	full := w.Window(Window1m)
+	if full.Count() != 20 {
+		t.Fatalf("1m count = %d, want 20", full.Count())
+	}
+	// Rank 45% falls inside the fast half (p50 of an exact 10/10 split
+	// is the 11th sample, which is slow — same convention as Hist).
+	if p45 := full.Percentile(45); p45 >= 100_000 {
+		t.Errorf("1m p45 = %dµs, want fast-bucket bound < 100ms", p45)
+	}
+}
+
+// TestWindowedHistConcurrentRotate hammers Observe from many
+// goroutines while another goroutine advances the clock across slot
+// boundaries and readers take window snapshots — the observe-during-
+// rotate interleaving the -race build must prove clean.
+func TestWindowedHistConcurrentRotate(t *testing.T) {
+	clk := newFakeClock(windowT0)
+	w := NewWindowedHist(clk.clock())
+
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Clock driver: sweep across many fine-slot boundaries, but keep
+	// the total advance bounded (30 s) so nothing ages out of the 1 m
+	// window before the final assertion.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				clk.Advance(10 * time.Millisecond)
+			}
+		}
+	}()
+	// Reader: snapshot windows while slots rotate under it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = w.Window(Window1m)
+				_ = w.Window(Window5m)
+			}
+		}
+	}()
+	var writerWG sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		writerWG.Add(1)
+		go func() {
+			defer wg.Done()
+			defer writerWG.Done()
+			for j := 0; j < perWriter; j++ {
+				w.Observe(time.Millisecond)
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	// The clock advanced at most 30 s, inside both ring spans, so every
+	// sample is still in the 1 m and 1 h windows: rotation may misplace
+	// samples across slot boundaries but must not lose them inside the
+	// ring span.
+	if got := w.Window(Window1m).Count(); got != writers*perWriter {
+		t.Errorf("1m count after concurrent rotate = %d, want %d", got, writers*perWriter)
+	}
+	if got := w.Window(Window1h).Count(); got != writers*perWriter {
+		t.Errorf("1h count after concurrent rotate = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestWindowedHistNilSafe(t *testing.T) {
+	var w *WindowedHist
+	w.Observe(time.Millisecond)
+	if got := w.Window(Window1m).Count(); got != 0 {
+		t.Errorf("nil Window count = %d", got)
+	}
+	if s := w.Summaries(); s != nil {
+		t.Errorf("nil Summaries = %v, want nil", s)
+	}
+}
+
+func TestWindowedHistSummaries(t *testing.T) {
+	clk := newFakeClock(windowT0)
+	w := NewWindowedHist(clk.clock())
+	for i := 0; i < 100; i++ {
+		w.Observe(2 * time.Millisecond)
+	}
+	sums := w.Summaries()
+	if len(sums) != 3 {
+		t.Fatalf("Summaries len = %d, want 3", len(sums))
+	}
+	for _, s := range sums {
+		if s.Count != 100 {
+			t.Errorf("window %s count = %d, want 100", s.Window, s.Count)
+		}
+		if s.P999US == 0 || s.P50US == 0 {
+			t.Errorf("window %s percentiles unset: %+v", s.Window, s)
+		}
+	}
+	if sums[0].Window != "1m" || sums[1].Window != "5m" || sums[2].Window != "1h" {
+		t.Errorf("window order = %s,%s,%s", sums[0].Window, sums[1].Window, sums[2].Window)
+	}
+}
+
+func TestWindowedCounter(t *testing.T) {
+	clk := newFakeClock(windowT0)
+	c := NewWindowedCounter(time.Hour, 5*time.Second, clk.clock())
+
+	for i := 0; i < 90; i++ {
+		c.Add(i%10 == 0) // 9 bad, 81 good
+		clk.Advance(time.Second)
+	}
+	good, bad := c.Totals(2 * time.Minute)
+	if good+bad != 90 {
+		t.Fatalf("2m totals = %d+%d, want 90", good, bad)
+	}
+	if bad != 9 {
+		t.Errorf("bad = %d, want 9", bad)
+	}
+	// Trailing 30 s: 30 events, 3 bad (i = 60, 70, 80 fall in the last
+	// 30 observed seconds).
+	g30, b30 := c.Totals(30 * time.Second)
+	if g30+b30 < 25 || g30+b30 > 35 {
+		t.Errorf("30s totals = %d (slot-granularity slop allowed, want ~30)", g30+b30)
+	}
+	// Expiry: advance past the ring span.
+	clk.Advance(3 * time.Hour)
+	if g, b := c.Totals(time.Hour); g != 0 || b != 0 {
+		t.Errorf("after 3h idle: totals = %d,%d, want 0,0", g, b)
+	}
+	// Nil safety.
+	var nilC *WindowedCounter
+	nilC.Add(true)
+	if g, b := nilC.Totals(time.Minute); g != 0 || b != 0 {
+		t.Errorf("nil counter totals = %d,%d", g, b)
+	}
+}
+
+func TestJournal(t *testing.T) {
+	clk := newFakeClock(windowT0)
+	j := NewJournal(4)
+	j.Clock = clk.Now
+
+	for i := 0; i < 6; i++ {
+		j.Record("slo_transition", "state change", "objective", "score", "idx", string(rune('a'+i)))
+		clk.Advance(time.Second)
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4 (ring size)", len(evs))
+	}
+	if j.Total() != 6 {
+		t.Errorf("total = %d, want 6", j.Total())
+	}
+	// Newest first, sequence numbers preserved across eviction.
+	if evs[0].Seq != 6 || evs[3].Seq != 3 {
+		t.Errorf("seqs = %d..%d, want 6..3", evs[0].Seq, evs[3].Seq)
+	}
+	if !evs[0].Time.After(evs[3].Time) {
+		t.Errorf("events not newest-first: %v vs %v", evs[0].Time, evs[3].Time)
+	}
+	if evs[0].Fields["objective"] != "score" {
+		t.Errorf("fields = %v", evs[0].Fields)
+	}
+
+	// Nil safety: a subsystem with no journal records into the void.
+	var nilJ *Journal
+	nilJ.Record("x", "y")
+	if got := nilJ.Events(); len(got) != 0 {
+		t.Errorf("nil journal events = %v", got)
+	}
+	if nilJ.Total() != 0 {
+		t.Errorf("nil journal total = %d", nilJ.Total())
+	}
+}
+
+// BenchmarkWindowedHist is in the bench-gate key set: Observe is on
+// the per-request path of every instrumented endpoint, so it must stay
+// allocation-free and cheap.
+func BenchmarkWindowedHist(b *testing.B) {
+	w := NewWindowedHist(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(time.Millisecond)
+	}
+}
+
+func BenchmarkWindowedHistWindow(b *testing.B) {
+	w := NewWindowedHist(nil)
+	for i := 0; i < 10000; i++ {
+		w.Observe(time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := w.Window(Window1m)
+		_ = snap.Percentile(99)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"knowphish/internal/feed"
 	"knowphish/internal/feedsrc"
 	"knowphish/internal/obs"
+	"knowphish/internal/slo"
 	"knowphish/internal/store"
 )
 
@@ -32,6 +33,8 @@ type Metrics struct {
 	batchRejected atomic.Int64 // batch/stream/feed requests over the item limit (413)
 	cancelled     atomic.Int64 // requests cut short by client disconnect
 	streamed      atomic.Int64 // stream result lines delivered
+	shedTotal     atomic.Int64 // requests shed by admission control (all boundaries)
+	shedQueued    atomic.Int64 // of shedTotal: shed at the worker-slot boundary
 	latency       latencyHist  // scoring-endpoint (POST /v1|v2/*) request latency
 	scoreBatch    latencyHist  // per-batch latency
 }
@@ -97,6 +100,44 @@ type MetricsSnapshot struct {
 	// per-stage latency summaries, exemplar retention) when a tracer is
 	// configured.
 	Tracing *obs.Summary `json:"tracing,omitempty"`
+
+	// Endpoints reports each endpoint class's shed priority, shed count
+	// and windowed latency percentiles (1m/5m/1h) — the "p99 right now"
+	// view kptop renders, as opposed to the since-boot percentiles
+	// above.
+	Endpoints map[string]EndpointMetrics `json:"endpoints,omitempty"`
+	// Shed reports the admission controller's rejection counters and
+	// current level (always present: zero counters are the healthy
+	// baseline operators trend on).
+	Shed ShedMetrics `json:"shed"`
+	// SLO is the error-budget engine's status document — the same
+	// document GET /debug/slo serves — when an engine is configured.
+	SLO *slo.Status `json:"slo,omitempty"`
+}
+
+// EndpointMetrics is one endpoint class's entry in the metrics
+// document.
+type EndpointMetrics struct {
+	// Priority is the class's shed priority (0 = never shed; higher =
+	// shed later).
+	Priority int `json:"priority"`
+	// Shed counts requests rejected at this class's admission check.
+	Shed int64 `json:"shed"`
+	// Windows holds the rolling 1m/5m/1h latency summaries (absent for
+	// ops classes, which are not latency-tracked).
+	Windows []obs.WindowSummary `json:"windows,omitempty"`
+}
+
+// ShedMetrics reports the admission controller's counters.
+type ShedMetrics struct {
+	// Total counts all shed requests (entry checks plus worker-slot
+	// re-checks).
+	Total int64 `json:"total"`
+	// Queued counts the subset shed at the worker-slot boundary —
+	// admitted, then overtaken by rising burn while queued.
+	Queued int64 `json:"queued"`
+	// Level is the current shed level (0 = admitting everything).
+	Level int `json:"level"`
 }
 
 // Snapshot captures the current counters.

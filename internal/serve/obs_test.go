@@ -19,6 +19,7 @@ import (
 	"knowphish/internal/feed"
 	"knowphish/internal/feedsrc"
 	"knowphish/internal/obs"
+	"knowphish/internal/slo"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
 )
@@ -162,6 +163,15 @@ func TestPrometheusExpositionGrammar(t *testing.T) {
 		"knowphish_feed_rejected_total":      "counter",
 		"knowphish_feedsrc_lag_seconds":      "gauge",
 		"knowphish_feedsrc_rejected_total":   "counter",
+		"knowphish_shed_total":               "counter",
+		"knowphish_shed_level":               "gauge",
+		"knowphish_endpoint_shed_total":      "counter",
+		"knowphish_endpoint_latency_seconds": "gauge",
+		"knowphish_slo_state":                "gauge",
+		"knowphish_slo_objective_state":      "gauge",
+		"knowphish_slo_burn_rate":            "gauge",
+		"knowphish_slo_budget_remaining":     "gauge",
+		"knowphish_slo_transitions_total":    "counter",
 		"go_goroutines":                      "gauge",
 	} {
 		if got := types[fam]; got != typ {
@@ -184,6 +194,35 @@ func TestPrometheusExpositionGrammar(t *testing.T) {
 	for _, want := range []string{"queue_full", "rate_limited", "duplicate", "invalid_url", "closed"} {
 		if !rejectReasons[want] {
 			t.Errorf("knowphish_feedsrc_rejected_total missing reason=%q sample for source phishtank", want)
+		}
+	}
+
+	// The windowed latency family carries one sample per
+	// (endpoint, window, quantile) for latency-tracked classes, and the
+	// SLO burn-rate family one per (objective, window).
+	winLabels := make(map[string]bool)
+	burnWindows := make(map[string]bool)
+	for _, smp := range samples {
+		if smp.name == "knowphish_endpoint_latency_seconds" && strings.Contains(smp.labels, `endpoint="score"`) {
+			winLabels[strings.Trim(smp.labels, "{}")] = true
+		}
+		if smp.name == "knowphish_slo_burn_rate" {
+			if m := regexp.MustCompile(`window="([^"]+)"`).FindStringSubmatch(smp.labels); m != nil {
+				burnWindows[m[1]] = true
+			}
+		}
+	}
+	for _, win := range []string{"1m", "5m", "1h"} {
+		for _, q := range []string{"0.5", "0.99", "0.999"} {
+			key := `endpoint="score",window="` + win + `",quantile="` + q + `"`
+			if !winLabels[key] {
+				t.Errorf("knowphish_endpoint_latency_seconds missing {%s}", key)
+			}
+		}
+	}
+	for _, want := range []string{"fast", "slow"} {
+		if !burnWindows[want] {
+			t.Errorf("knowphish_slo_burn_rate missing window=%q samples", want)
 		}
 	}
 
@@ -380,6 +419,11 @@ func fullSurfaceServer(t *testing.T, n int) *Server {
 		t.Fatalf("feedsrc.NewMux: %v", err)
 	}
 	t.Cleanup(func() { _ = mux.Close() })
+	objs, err := slo.ParseObjectives([]string{"score:p99<250ms,avail>99.9"})
+	if err != nil {
+		t.Fatalf("slo.ParseObjectives: %v", err)
+	}
+	journal := obs.NewJournal(0)
 	s, err := New(Config{
 		Detector:    d,
 		Identifier:  target.New(c.Engine),
@@ -387,6 +431,8 @@ func fullSurfaceServer(t *testing.T, n int) *Server {
 		FeedSources: mux,
 		Store:       st,
 		Tracer:      obs.NewTracer(obs.Config{}),
+		SLO:         slo.New(slo.Config{Objectives: objs, Journal: journal}),
+		Journal:     journal,
 	})
 	if err != nil {
 		t.Fatalf("New: %v", err)

@@ -48,6 +48,67 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	p.Histogram("knowphish_request_duration_seconds", "Scoring-endpoint request latency.", &m.latency)
 	p.Histogram("knowphish_batch_duration_seconds", "Per-batch request latency.", &m.scoreBatch)
 
+	// Admission control: shed counters, the active level, and the
+	// per-endpoint rolling latency quantiles the SLO engine steers by.
+	// Classes are sorted by name so the exposition is byte-stable.
+	p.Counter("knowphish_shed_total", "Requests shed by admission control.", float64(m.shedTotal.Load()))
+	p.Counter("knowphish_shed_queued_total", "Of shed requests: shed at the worker-slot boundary after admission.", float64(m.shedQueued.Load()))
+	p.Gauge("knowphish_shed_level", "Current admission shed level (0 = admitting everything).", float64(s.slo.ShedLevel()))
+	classes := make([]*endpointClass, len(s.classes))
+	copy(classes, s.classes)
+	sort.Slice(classes, func(i, j int) bool { return classes[i].name < classes[j].name })
+	shedByClass := make([]obs.LabeledSample, 0, len(classes))
+	winQuantiles := make([]obs.LabeledSample, 0, len(classes)*9)
+	for _, c := range classes {
+		shedByClass = append(shedByClass, obs.LabeledSample{
+			Labels: []obs.Label{{Name: "endpoint", Value: c.name}},
+			Value:  float64(c.shed.Load()),
+		})
+		if c.window == nil {
+			continue
+		}
+		for _, ws := range c.window.Summaries() {
+			for _, q := range []struct {
+				quantile string
+				us       int64
+			}{{"0.5", ws.P50US}, {"0.99", ws.P99US}, {"0.999", ws.P999US}} {
+				winQuantiles = append(winQuantiles, obs.LabeledSample{
+					Labels: []obs.Label{
+						{Name: "endpoint", Value: c.name},
+						{Name: "window", Value: ws.Window},
+						{Name: "quantile", Value: q.quantile},
+					},
+					Value: float64(q.us) / 1e6,
+				})
+			}
+		}
+	}
+	p.FamilyL("knowphish_endpoint_shed_total", "Requests shed per endpoint class.", "counter", shedByClass)
+	p.FamilyL("knowphish_endpoint_latency_seconds", "Rolling windowed latency quantiles per endpoint class.", "gauge", winQuantiles)
+
+	// SLO engine: worst state, per-objective state and burn rates.
+	if s.slo != nil {
+		st := s.slo.Status()
+		p.Gauge("knowphish_slo_state", "Worst objective state (0 ok, 1 warn, 2 page).", float64(stateValue(st.State)))
+		objState := make([]obs.LabeledSample, 0, len(st.Objectives))
+		objBurn := make([]obs.LabeledSample, 0, len(st.Objectives)*2)
+		objBudget := make([]obs.LabeledSample, 0, len(st.Objectives))
+		objTrans := make([]obs.LabeledSample, 0, len(st.Objectives))
+		for _, o := range st.Objectives {
+			l := []obs.Label{{Name: "objective", Value: o.Name}}
+			objState = append(objState, obs.LabeledSample{Labels: l, Value: float64(stateValue(o.State))})
+			objBurn = append(objBurn,
+				obs.LabeledSample{Labels: []obs.Label{{Name: "objective", Value: o.Name}, {Name: "window", Value: "fast"}}, Value: o.FastBurn},
+				obs.LabeledSample{Labels: []obs.Label{{Name: "objective", Value: o.Name}, {Name: "window", Value: "slow"}}, Value: o.SlowBurn})
+			objBudget = append(objBudget, obs.LabeledSample{Labels: l, Value: o.BudgetRemaining})
+			objTrans = append(objTrans, obs.LabeledSample{Labels: l, Value: float64(o.Transitions)})
+		}
+		p.FamilyL("knowphish_slo_objective_state", "Per-objective state (0 ok, 1 warn, 2 page).", "gauge", objState)
+		p.FamilyL("knowphish_slo_burn_rate", "Budget-normalized error-budget burn rate per objective and window (1.0 burns exactly the budget).", "gauge", objBurn)
+		p.FamilyL("knowphish_slo_budget_remaining", "Slow-window error-budget fraction remaining per objective.", "gauge", objBudget)
+		p.FamilyL("knowphish_slo_transitions_total", "State transitions per objective.", "counter", objTrans)
+	}
+
 	// Per-stage pipeline latency from the tracer, one label set per
 	// stage under a single family.
 	if s.tracer != nil {
@@ -186,4 +247,17 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// stateValue maps an SLO state string onto the numeric gauge scale
+// alert rules compare against.
+func stateValue(state string) int {
+	switch state {
+	case "warn":
+		return 1
+	case "page":
+		return 2
+	default:
+		return 0
+	}
 }

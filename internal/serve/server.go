@@ -78,6 +78,7 @@ import (
 	"knowphish/internal/obs"
 	"knowphish/internal/pool"
 	"knowphish/internal/registry"
+	"knowphish/internal/slo"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/webpage"
@@ -157,6 +158,18 @@ type Config struct {
 	// GET /debug/traces and summarized in /metrics (optional; nil
 	// disables tracing — every instrumented path is nil-safe).
 	Tracer *obs.Tracer
+	// SLO is the error-budget engine: it turns completed requests into
+	// SLI events, drives the ok/warn/page state at GET /debug/slo and
+	// /healthz, and its shed level powers the adaptive admission
+	// controller (optional; nil disables SLO tracking and shedding).
+	// The caller owns ticking it (slo.Engine.Run).
+	SLO *slo.Engine
+	// Journal is the operational event ring served at GET /debug/events
+	// (optional; without it the endpoint answers an empty document).
+	Journal *obs.Journal
+	// Clock feeds the windowed per-endpoint histograms, for
+	// deterministic tests (nil → time.Now).
+	Clock func() time.Time
 	// Logger receives the server's structured logs: request-scoped slow
 	// and error records carrying trace ids (nil → discard).
 	Logger *slog.Logger
@@ -185,7 +198,21 @@ type Server struct {
 	store           store.Backend
 	metrics         *Metrics
 	tracer          *obs.Tracer
+	slo             *slo.Engine
+	journal         *obs.Journal
+	clock           func() time.Time
 	logger          *slog.Logger
+	// classes lists every endpoint class for metrics iteration; the
+	// cls* fields are the per-class handles routes are wired with.
+	classes     []*endpointClass
+	clsScore    *endpointClass
+	clsTarget   *endpointClass
+	clsBatch    *endpointClass
+	clsStream   *endpointClass
+	clsFeed     *endpointClass
+	clsVerdicts *endpointClass
+	clsModels   *endpointClass
+	clsOps      *endpointClass
 	// slowSeen counts slow requests for the sampled slow-request log:
 	// logging every slow request during an incident would flood the log
 	// exactly when it matters most, so only every slowLogSample-th one
@@ -232,10 +259,16 @@ func New(cfg Config) (*Server, error) {
 		store:           cfg.Store,
 		metrics:         newMetrics(),
 		tracer:          cfg.Tracer,
+		slo:             cfg.SLO,
+		journal:         cfg.Journal,
+		clock:           cfg.Clock,
 		logger:          cfg.Logger,
 	}
 	if s.logger == nil {
 		s.logger = obs.NopLogger()
+	}
+	if s.clock == nil {
+		s.clock = time.Now
 	}
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
@@ -254,26 +287,38 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cache = newVerdictCache(size)
 	}
+	// Endpoint classes group routes for windowed latency, SLO
+	// observation and admission control (see admission.go). The
+	// cumulative latency histogram still tracks the scoring endpoints
+	// only; healthz and metrics probes are counted but excluded so
+	// liveness polling cannot dilute the percentiles operators alert
+	// on. The stream endpoint is likewise excluded: a stream's duration
+	// is the client's item count, not the server's latency.
+	s.clsScore = s.newClass("score", prioInteractive, &s.metrics.latency, true)
+	s.clsTarget = s.newClass("target", prioInteractive, &s.metrics.latency, true)
+	s.clsBatch = s.newClass("batch", prioBatch, &s.metrics.latency, true)
+	s.clsStream = s.newClass("stream", prioBatch, nil, false)
+	s.clsFeed = s.newClass("feed", prioFeed, &s.metrics.latency, true)
+	s.clsVerdicts = s.newClass("verdicts", prioBatch, &s.metrics.latency, true)
+	s.clsModels = s.newClass("models", prioOps, nil, false)
+	s.clsOps = s.newClass("ops", prioOps, nil, false)
 	s.mux = http.NewServeMux()
-	// The latency histogram tracks the scoring endpoints only; healthz
-	// and metrics probes are counted but excluded so liveness polling
-	// cannot dilute the percentiles operators alert on. The stream
-	// endpoint is likewise excluded: a stream's duration is the
-	// client's item count, not the server's latency.
-	s.mux.HandleFunc("/v2/score", s.instrument(s.post(s.handleScoreV2), &s.metrics.latency))
-	s.mux.HandleFunc("/v2/target", s.instrument(s.post(s.handleTargetV2), &s.metrics.latency))
-	s.mux.HandleFunc("/v2/score/stream", s.instrument(s.post(s.handleScoreStream), nil))
-	s.mux.HandleFunc("/v1/score", s.instrument(s.post(s.handleScore), &s.metrics.latency))
-	s.mux.HandleFunc("/v1/score/batch", s.instrument(s.post(s.handleScoreBatch), &s.metrics.latency))
-	s.mux.HandleFunc("/v1/target", s.instrument(s.post(s.handleTarget), &s.metrics.latency))
-	s.mux.HandleFunc("/v2/models", s.instrument(s.handleModels, nil))
-	s.mux.HandleFunc("/v2/models/promote", s.instrument(s.post(s.handlePromote), nil))
-	s.mux.HandleFunc("/v1/feed", s.instrument(s.post(s.handleFeed), &s.metrics.latency))
-	s.mux.HandleFunc("/v1/verdicts", s.instrument(s.get(s.handleVerdicts), &s.metrics.latency))
-	s.mux.HandleFunc("/v2/verdicts", s.instrument(s.get(s.handleVerdictsV2), &s.metrics.latency))
-	s.mux.HandleFunc("/healthz", s.instrument(s.get(s.handleHealthz), nil))
-	s.mux.HandleFunc("/metrics", s.instrument(s.get(s.handleMetrics), nil))
-	s.mux.HandleFunc("/debug/traces", s.instrument(s.get(s.handleDebugTraces), nil))
+	s.mux.HandleFunc("/v2/score", s.instrument(s.post(s.handleScoreV2), s.clsScore))
+	s.mux.HandleFunc("/v2/target", s.instrument(s.post(s.handleTargetV2), s.clsTarget))
+	s.mux.HandleFunc("/v2/score/stream", s.instrument(s.post(s.handleScoreStream), s.clsStream))
+	s.mux.HandleFunc("/v1/score", s.instrument(s.post(s.handleScore), s.clsScore))
+	s.mux.HandleFunc("/v1/score/batch", s.instrument(s.post(s.handleScoreBatch), s.clsBatch))
+	s.mux.HandleFunc("/v1/target", s.instrument(s.post(s.handleTarget), s.clsTarget))
+	s.mux.HandleFunc("/v2/models", s.instrument(s.handleModels, s.clsModels))
+	s.mux.HandleFunc("/v2/models/promote", s.instrument(s.post(s.handlePromote), s.clsModels))
+	s.mux.HandleFunc("/v1/feed", s.instrument(s.post(s.handleFeed), s.clsFeed))
+	s.mux.HandleFunc("/v1/verdicts", s.instrument(s.get(s.handleVerdicts), s.clsVerdicts))
+	s.mux.HandleFunc("/v2/verdicts", s.instrument(s.get(s.handleVerdictsV2), s.clsVerdicts))
+	s.mux.HandleFunc("/healthz", s.instrument(s.get(s.handleHealthz), s.clsOps))
+	s.mux.HandleFunc("/metrics", s.instrument(s.get(s.handleMetrics), s.clsOps))
+	s.mux.HandleFunc("/debug/traces", s.instrument(s.get(s.handleDebugTraces), s.clsOps))
+	s.mux.HandleFunc("/debug/slo", s.instrument(s.get(s.handleDebugSLO), s.clsOps))
+	s.mux.HandleFunc("/debug/events", s.instrument(s.get(s.handleDebugEvents), s.clsOps))
 	return s, nil
 }
 
@@ -339,6 +384,23 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.tracer != nil {
 		ts := s.tracer.Summary()
 		snap.Tracing = &ts
+	}
+	snap.Endpoints = make(map[string]EndpointMetrics, len(s.classes))
+	for _, c := range s.classes {
+		em := EndpointMetrics{Priority: c.priority, Shed: c.shed.Load()}
+		if c.window != nil {
+			em.Windows = c.window.Summaries()
+		}
+		snap.Endpoints[c.name] = em
+	}
+	snap.Shed = ShedMetrics{
+		Total:  s.metrics.shedTotal.Load(),
+		Queued: s.metrics.shedQueued.Load(),
+		Level:  s.slo.ShedLevel(),
+	}
+	if s.slo != nil {
+		st := s.slo.Status()
+		snap.SLO = &st
 	}
 	return snap
 }
@@ -489,6 +551,15 @@ type HealthResponse struct {
 	CacheEnabled bool   `json:"cache_enabled"`
 	FeedEnabled  bool   `json:"feed_enabled"`
 	StoreEnabled bool   `json:"store_enabled"`
+	// SLOState is the error-budget engine's worst objective state
+	// ("ok", "warn" or "page"; absent without an SLO engine). A paging
+	// server is still alive — liveness probes must not kill it — but
+	// the field lets a smarter health check or operator see burn at a
+	// glance without a second request.
+	SLOState string `json:"slo_state,omitempty"`
+	// ShedLevel is the active admission shed level (0 = admitting
+	// everything; present only while shedding).
+	ShedLevel int `json:"shed_level,omitempty"`
 }
 
 // buildGoVersion / buildVCSRevision are read once at startup; every
@@ -523,13 +594,24 @@ type errorResponse struct {
 // goes through it, so a burst of concurrent requests cannot run more
 // than Workers heavy executions at once. The deferred release survives
 // a panic in fn.
-func (s *Server) boundedCtx(ctx context.Context, fn func()) error {
+//
+// pri is the caller's shed priority (admission.go). After a slot is
+// won, admission is re-checked: under overload, time queued for a slot
+// is exactly what busts the latency SLO, so work admitted before the
+// burn crossed the threshold is shed here instead of completing late
+// and poisoning the accepted-request percentiles. The errShed return
+// maps to a 503 via failCtx. pri is threaded as an explicit parameter
+// — not a context value — to keep the warm path allocation-free.
+func (s *Server) boundedCtx(ctx context.Context, pri int, fn func()) error {
 	select {
 	case s.scoreSem <- struct{}{}:
 	case <-ctx.Done():
 		return context.Cause(ctx)
 	}
 	defer func() { <-s.scoreSem }()
+	if pri > 0 && pri <= s.slo.ShedLevel() {
+		return errShed
+	}
 	fn()
 	return nil
 }
@@ -544,7 +626,7 @@ func (s *Server) boundedCtx(ctx context.Context, fn func()) error {
 // client opted into. They touch no hit/miss counters (they can never
 // hit, and counting them as misses would depress a rate no cache
 // sizing could fix) but still refresh the cached outcome.
-func (s *Server) scoreSnap(ctx context.Context, pipe *core.Pipeline, snap *webpage.Snapshot, req core.ScoreRequest) (core.Verdict, bool, error) {
+func (s *Server) scoreSnap(ctx context.Context, pri int, pipe *core.Pipeline, snap *webpage.Snapshot, req core.ScoreRequest) (core.Verdict, bool, error) {
 	version := pipe.Detector.Version()
 	// The key is built into a pooled buffer and looked up as bytes; a
 	// string is only materialized when an outcome is actually stored, so
@@ -553,7 +635,7 @@ func (s *Server) scoreSnap(ctx context.Context, pipe *core.Pipeline, snap *webpa
 	var keyBuf *[]byte
 	if s.cache != nil {
 		keyBuf = keyPool.Get().(*[]byte)
-		if err := s.boundedCtx(ctx, func() { *keyBuf = appendCacheKey((*keyBuf)[:0], snap) }); err != nil {
+		if err := s.boundedCtx(ctx, pri, func() { *keyBuf = appendCacheKey((*keyBuf)[:0], snap) }); err != nil {
 			putKeyBuf(keyBuf)
 			return core.Verdict{}, false, err
 		}
@@ -573,7 +655,7 @@ func (s *Server) scoreSnap(ctx context.Context, pipe *core.Pipeline, snap *webpa
 	}
 	var v core.Verdict
 	var err error
-	if berr := s.boundedCtx(ctx, func() { v, err = pipe.AnalyzeCtx(ctx, req) }); berr != nil {
+	if berr := s.boundedCtx(ctx, pri, func() { v, err = pipe.AnalyzeCtx(ctx, req) }); berr != nil {
 		err = berr
 	}
 	if err != nil {
@@ -606,12 +688,17 @@ func (s *Server) v1Options() []core.ScoreOption {
 }
 
 // failCtx converts a scoring context error into a response: an expired
-// per-request deadline is a 504 the client can act on; a cancelled
+// per-request deadline is a 504 the client can act on; queued work shed
+// by the admission controller is a 503 with Retry-After; a cancelled
 // context means the client is gone, so nothing is written and the
 // cancellation is only counted.
 func (s *Server) failCtx(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
 		s.fail(w, http.StatusGatewayTimeout, errors.New("scoring deadline exceeded"))
+		return
+	}
+	if errors.Is(err, errShed) {
+		s.shedQueued(w)
 		return
 	}
 	s.metrics.cancelled.Add(1)
@@ -634,7 +721,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	// Snapshot resolution parses HTML; like every CPU-heavy stage it
 	// runs under the server-wide bound.
 	var snap *webpage.Snapshot
-	if berr := s.boundedCtx(ctx, func() { snap, err = req.snapshot() }); berr != nil {
+	if berr := s.boundedCtx(ctx, prioInteractive, func() { snap, err = req.snapshot() }); berr != nil {
 		s.failCtx(w, berr)
 		return
 	}
@@ -642,7 +729,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	v, cached, err := s.scoreSnap(ctx, pipe, snap, core.NewScoreRequest(snap, s.v1Options()...))
+	v, cached, err := s.scoreSnap(ctx, prioInteractive, pipe, snap, core.NewScoreRequest(snap, s.v1Options()...))
 	if err != nil {
 		s.failCtx(w, err)
 		return
@@ -655,11 +742,11 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 // between items. It returns the outcomes, or the first context error
 // once the batch was cut short. The whole batch scores on one pipe — a
 // hot-swap mid-batch must not split a batch across models.
-func (s *Server) analyzeBatch(ctx context.Context, pipe *core.Pipeline, snaps []*webpage.Snapshot, workers int) ([]core.Outcome, error) {
+func (s *Server) analyzeBatch(ctx context.Context, pri int, pipe *core.Pipeline, snaps []*webpage.Snapshot, workers int) ([]core.Outcome, error) {
 	out := make([]core.Outcome, len(snaps))
 	errs := make([]error, len(snaps))
 	poolErr := pool.ForEachIndexCtx(ctx, len(snaps), workers, func(i int) {
-		if berr := s.boundedCtx(ctx, func() {
+		if berr := s.boundedCtx(ctx, pri, func() {
 			v, err := pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snaps[i], s.v1Options()...))
 			if err != nil {
 				errs[i] = err
@@ -714,7 +801,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	snaps := make([]*webpage.Snapshot, len(req.Pages))
 	pageErrs := make([]error, len(req.Pages))
 	if err := pool.ForEachIndexCtx(ctx, len(req.Pages), workers, func(i int) {
-		if berr := s.boundedCtx(ctx, func() { snaps[i], pageErrs[i] = req.Pages[i].snapshot() }); berr != nil {
+		if berr := s.boundedCtx(ctx, prioBatch, func() { snaps[i], pageErrs[i] = req.Pages[i].snapshot() }); berr != nil {
 			pageErrs[i] = berr
 		}
 	}); err != nil {
@@ -739,7 +826,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		keys = make([]string, len(snaps))
 		if err := pool.ForEachIndexCtx(ctx, len(snaps), workers, func(i int) {
-			_ = s.boundedCtx(ctx, func() { keys[i] = cacheKey(snaps[i]) })
+			_ = s.boundedCtx(ctx, prioBatch, func() { keys[i] = cacheKey(snaps[i]) })
 		}); err != nil {
 			s.failCtx(w, err)
 			return
@@ -800,7 +887,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		for j, i := range uniq {
 			missSnaps[j] = snaps[i]
 		}
-		outcomes, err := s.analyzeBatch(ctx, pipe, missSnaps, workers)
+		outcomes, err := s.analyzeBatch(ctx, prioBatch, pipe, missSnaps, workers)
 		if err != nil {
 			// v1 has no per-item error slot: a deadline anywhere fails
 			// the batch (504), a disconnect just stops the work.
@@ -847,7 +934,7 @@ func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
 	// respect the same server-wide bound as scoring.
 	var snap *webpage.Snapshot
 	var err error
-	if berr := s.boundedCtx(ctx, func() { snap, err = req.snapshot() }); berr != nil {
+	if berr := s.boundedCtx(ctx, prioInteractive, func() { snap, err = req.snapshot() }); berr != nil {
 		s.failCtx(w, berr)
 		return
 	}
@@ -855,7 +942,7 @@ func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.identify(ctx, snap, s.defaultDeadline)
+	res, err := s.identify(ctx, prioInteractive, snap, s.defaultDeadline)
 	if err != nil {
 		s.failCtx(w, err)
 		return
@@ -866,10 +953,10 @@ func (s *Server) handleTarget(w http.ResponseWriter, r *http.Request) {
 // identify runs target identification under the server-wide bound with
 // an optional deadline, observing ctx between the analysis and
 // identification stages.
-func (s *Server) identify(ctx context.Context, snap *webpage.Snapshot, deadline time.Duration) (target.Result, error) {
+func (s *Server) identify(ctx context.Context, pri int, snap *webpage.Snapshot, deadline time.Duration) (target.Result, error) {
 	var res target.Result
 	var err error
-	if berr := s.boundedCtx(ctx, func() {
+	if berr := s.boundedCtx(ctx, pri, func() {
 		// The deadline budgets identification work, not time queued for
 		// a worker slot, so it starts only once the slot is held — the
 		// same semantics the score path gets from AnalyzeCtx applying
@@ -1090,6 +1177,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// status string tells operators why scoring answers 503.
 		resp.Status = "no_model"
 	}
+	if s.slo != nil {
+		resp.SLOState = s.slo.State().String()
+		resp.ShedLevel = s.slo.ShedLevel()
+	}
 	s.reply(w, http.StatusOK, resp)
 }
 
@@ -1113,6 +1204,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // dashboards can poll unconditionally.
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	s.reply(w, http.StatusOK, s.tracer.Snapshot())
+}
+
+// handleDebugSLO serves the error-budget engine's full status: per-
+// objective state, fast/slow burn rates, budget remaining and the
+// active shed level. Without an engine it answers the empty "ok"
+// document, so dashboards (kptop) can poll unconditionally.
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, s.slo.Status())
+}
+
+// eventsResponse is the /debug/events document: the retained ring of
+// operational events, newest first, plus the all-time count (total >
+// len(events) means older events were evicted).
+type eventsResponse struct {
+	Events []obs.Event `json:"events"`
+	Total  uint64      `json:"total"`
+}
+
+// handleDebugEvents serves the operational event journal: SLO
+// transitions, shed-level changes and whatever else was wired to the
+// journal (drift flags, promotions, compactions). Without a journal it
+// answers an empty document rather than 404.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	evs := s.journal.Events()
+	if evs == nil {
+		evs = []obs.Event{}
+	}
+	s.reply(w, http.StatusOK, eventsResponse{Events: evs, Total: s.journal.Total()})
 }
 
 // ---------------------------------------------------------------------
@@ -1192,10 +1311,14 @@ func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 }
 
 // statusRecorder captures the response status so instrumentation can
-// tell successful work apart from cheap rejections.
+// tell successful work apart from cheap rejections. The shed mark set
+// by writeShed keeps deliberate load-shedding 503s out of SLO
+// observation — a controller whose own rejections burned the
+// availability budget would never recover.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	shed   bool
 }
 
 func (sr *statusRecorder) WriteHeader(status int) {
@@ -1220,10 +1343,15 @@ func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWrite
 // slow request and every slowLogSample-th after it are logged.
 const slowLogSample = 8
 
-// instrument wraps a handler with request counting and, when hist is
-// non-nil, latency capture into that histogram. Only successful
+// instrument wraps a handler with request counting and, when the class
+// carries a histogram, latency capture into it. Only successful
 // responses are observed: microsecond-cheap 4xx rejections would
 // otherwise drag the percentiles operators alert on toward zero.
+//
+// It is also the admission boundary: a request whose class fails the
+// shed check is rejected here with a 503 before any work, and the SLO
+// seam: completed requests (except shed ones and vanished clients)
+// feed the error-budget engine under the class's endpoint name.
 //
 // It is also the tracing seam: with a tracer configured, every request
 // gets a trace attached to its context (rooted in the caller's
@@ -1232,18 +1360,22 @@ const slowLogSample = 8
 // requests past the slow threshold are logged — sampled, with their
 // trace id, so an operator can jump from a log line straight to the
 // retained trace in /debug/traces.
-func (s *Server) instrument(h http.HandlerFunc, hist *latencyHist) http.HandlerFunc {
+func (s *Server) instrument(h http.HandlerFunc, cls *endpointClass) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		s.metrics.requests.Add(1)
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if !s.admit(cls) {
+			s.shedClass(rec, cls)
+			return
+		}
 		ctx, tr := s.tracer.StartRequest(r.Context(), r.URL.Path, r.Header.Get("traceparent"))
 		if tr != nil {
-			w.Header().Set("Traceparent", tr.Traceparent())
+			rec.Header().Set("Traceparent", tr.Traceparent())
 			r = r.WithContext(ctx)
 		}
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		dur := time.Since(t0)
 		if tr != nil {
@@ -1267,8 +1399,18 @@ func (s *Server) instrument(h http.HandlerFunc, hist *latencyHist) http.HandlerF
 		// Cancelled requests wrote nothing (status stays 200) but their
 		// elapsed time is time-until-the-server-noticed, not a service
 		// latency — exclude them like error responses.
-		if hist != nil && rec.status < 400 && r.Context().Err() == nil {
-			hist.Observe(dur)
+		if rec.status < 400 && r.Context().Err() == nil {
+			if cls.hist != nil {
+				cls.hist.Observe(dur)
+			}
+			cls.window.Observe(dur)
+		}
+		// Feed the error-budget engine: every completed response is an
+		// SLI event — good, or bad (5xx, or over the latency target; the
+		// engine decides). Shed 503s and vanished clients are excluded;
+		// see writeShed for why sheds must not burn the budget.
+		if !rec.shed && r.Context().Err() == nil {
+			s.slo.Observe(cls.name, dur, rec.status >= 500)
 		}
 	}
 }

@@ -164,7 +164,7 @@ func (s *Server) scoreStreamItem(ctx context.Context, idx int, it streamItem) V2
 		return res
 	}
 	var snap *webpage.Snapshot
-	if berr := s.boundedCtx(ctx, func() { snap, err = it.req.PageRequest.snapshot() }); berr != nil {
+	if berr := s.boundedCtx(ctx, prioBatch, func() { snap, err = it.req.PageRequest.snapshot() }); berr != nil {
 		res.Error = berr.Error()
 		return res
 	}
@@ -172,7 +172,7 @@ func (s *Server) scoreStreamItem(ctx context.Context, idx int, it streamItem) V2
 		res.Error = err.Error()
 		return res
 	}
-	v, cached, err := s.scoreSnap(ctx, pipe, snap, core.NewScoreRequest(snap, opts...))
+	v, cached, err := s.scoreSnap(ctx, prioBatch, pipe, snap, core.NewScoreRequest(snap, opts...))
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 			// This item ran out of its own budget; the stream lives on.

@@ -114,7 +114,7 @@ func (s *Server) handleScoreV2(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	var snap *webpage.Snapshot
-	if berr := s.boundedCtx(ctx, func() { snap, err = req.PageRequest.snapshot() }); berr != nil {
+	if berr := s.boundedCtx(ctx, prioInteractive, func() { snap, err = req.PageRequest.snapshot() }); berr != nil {
 		s.failCtx(w, berr)
 		return
 	}
@@ -122,7 +122,7 @@ func (s *Server) handleScoreV2(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	v, cached, err := s.scoreSnap(ctx, pipe, snap, core.NewScoreRequest(snap, opts...))
+	v, cached, err := s.scoreSnap(ctx, prioInteractive, pipe, snap, core.NewScoreRequest(snap, opts...))
 	if err != nil {
 		s.failCtx(w, err)
 		return
@@ -142,7 +142,7 @@ func (s *Server) handleTargetV2(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	var snap *webpage.Snapshot
 	var err error
-	if berr := s.boundedCtx(ctx, func() { snap, err = req.PageRequest.snapshot() }); berr != nil {
+	if berr := s.boundedCtx(ctx, prioInteractive, func() { snap, err = req.PageRequest.snapshot() }); berr != nil {
 		s.failCtx(w, berr)
 		return
 	}
@@ -151,7 +151,7 @@ func (s *Server) handleTargetV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	res, err := s.identify(ctx, snap, s.resolveDeadline(req.DeadlineMS))
+	res, err := s.identify(ctx, prioInteractive, snap, s.resolveDeadline(req.DeadlineMS))
 	if err != nil {
 		s.failCtx(w, err)
 		return

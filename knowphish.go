@@ -41,6 +41,7 @@ import (
 	"knowphish/internal/registry"
 	"knowphish/internal/search"
 	"knowphish/internal/serve"
+	"knowphish/internal/slo"
 	"knowphish/internal/store"
 	"knowphish/internal/target"
 	"knowphish/internal/webgen"
@@ -561,3 +562,68 @@ func NopLogger() *slog.Logger { return obs.NopLogger() }
 // TraceFromContext returns the request trace carried by ctx, or nil.
 // The returned trace's methods are nil-safe, so callers never branch.
 func TraceFromContext(ctx context.Context) *RequestTrace { return obs.TraceFrom(ctx) }
+
+// ---------------------------------------------------------------------
+// SLOs and overload control: the internal/slo error-budget engine plus
+// the windowed-telemetry primitives it runs on. Parse "-slo"-style
+// specs with ParseSLOs, build an SLOEngine, wire it into
+// ServerConfig.SLO and start SLOEngine.Run; the server then answers
+// GET /debug/slo, reflects the state in /healthz and /metrics, and
+// sheds low-priority request classes under sustained budget burn. An
+// EventJournal (ServerConfig.Journal) records the transitions at
+// GET /debug/events.
+
+type (
+	// SLOObjective is one parsed objective (latency quantile target or
+	// availability floor) on an endpoint class.
+	SLOObjective = slo.Objective
+	// SLOConfig assembles an SLOEngine (windows, burn thresholds,
+	// hysteresis).
+	SLOConfig = slo.Config
+	// SLOEngine evaluates objectives as multi-window multi-burn-rate
+	// error budgets and drives the admission controller's shed level.
+	SLOEngine = slo.Engine
+	// SLOState is an objective's (or the engine's worst) alert state.
+	SLOState = slo.State
+	// SLOStatus is the GET /debug/slo document.
+	SLOStatus = slo.Status
+	// SLOObjectiveStatus is one objective's entry in SLOStatus.
+	SLOObjectiveStatus = slo.ObjectiveStatus
+
+	// EventJournal is the fixed-size operational event ring behind
+	// GET /debug/events.
+	EventJournal = obs.Journal
+	// JournalEvent is one recorded operational event.
+	JournalEvent = obs.Event
+
+	// WindowedLatencyHist is a time-bucketed ring of LatencyHists
+	// answering "what is p99 right now" over rolling windows.
+	WindowedLatencyHist = obs.WindowedHist
+	// WindowSummary is one rolling window's rendered percentiles.
+	WindowSummary = obs.WindowSummary
+)
+
+// SLO alert states.
+const (
+	SLOStateOK   = slo.StateOK
+	SLOStateWarn = slo.StateWarn
+	SLOStatePage = slo.StatePage
+)
+
+// ParseSLOs parses "-slo"-style objective specs, e.g.
+// "score:p99<250ms,avail>99.9".
+func ParseSLOs(specs []string) ([]SLOObjective, error) { return slo.ParseObjectives(specs) }
+
+// NewSLOEngine builds an error-budget engine; nil (inert) when cfg has
+// no objectives. Start it with SLOEngine.Run.
+func NewSLOEngine(cfg SLOConfig) *SLOEngine { return slo.New(cfg) }
+
+// NewEventJournal builds a fixed-size operational event journal
+// (size <= 0 selects the default capacity).
+func NewEventJournal(size int) *EventJournal { return obs.NewJournal(size) }
+
+// NewWindowedLatencyHist builds a windowed latency histogram; clock nil
+// means time.Now.
+func NewWindowedLatencyHist(clock func() time.Time) *WindowedLatencyHist {
+	return obs.NewWindowedHist(clock)
+}
