@@ -105,12 +105,18 @@ bench-json:
 # Load smoke: kpload drives a complete in-process kpserve (-self) for a
 # few seconds at a modest open-loop rate and writes LOAD_PR.json — the
 # macro health check nightly.yml runs and archives next to
-# BENCH_PR.json. LOAD_QPS / LOAD_DURATION override the defaults.
+# BENCH_PR.json. A second leg replays score traffic with a warm cache
+# mix so the coalescer's memo tables see realistic duplicate pressure.
+# LOAD_QPS / LOAD_DURATION / LOAD_CACHE_MIX override the defaults.
 LOAD_QPS ?= 100
 LOAD_DURATION ?= 5s
+LOAD_CACHE_MIX ?= 0.5
 load-smoke:
 	$(GO) run ./cmd/kpload run -self -scale 40 -qps $(LOAD_QPS) \
 		-duration $(LOAD_DURATION) -workers 4 -json LOAD_PR.json
+	$(GO) run ./cmd/kpload run -self -scale 40 -endpoint score \
+		-cache-mix $(LOAD_CACHE_MIX) -qps $(LOAD_QPS) \
+		-duration $(LOAD_DURATION) -workers 4 -json LOAD_WARM_PR.json
 
 # Overload smoke: drive an in-process kpserve well past its sustainable
 # rate (1 scoring worker, 64KiB pages, tight 5ms p99 objective on short

@@ -22,9 +22,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"knowphish/internal/coalesce"
 	"knowphish/internal/core"
 	"knowphish/internal/crawl"
 	"knowphish/internal/dataset"
@@ -517,6 +519,108 @@ func BenchmarkServeScore(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCoalescedScore measures the cross-request scoring coalescer:
+// conc concurrent callers funnel into shared node-major kernel passes
+// (internal/coalesce), with the per-stage memo tables cold (disabled, so
+// every request recomputes but still batches) or warm (pre-populated, so
+// requests ride the content-addressed fast path). Per-op time is one
+// scored page. The warm sub-benchmarks are the steady-state claim:
+// repeated content must be near-free and allocation-free.
+func BenchmarkCoalescedScore(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := &core.Pipeline{Detector: d, Identifier: target.New(r.Corpus.Engine)}
+	rng := rand.New(rand.NewSource(11))
+	var reqs []core.ScoreRequest
+	for i := 0; i < 32; i++ {
+		var site *webgen.Site
+		if i%2 == 0 {
+			site = r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+		} else {
+			site = r.Corpus.World.NewLegitSite(rng, webgen.LegitOptions{Lang: webgen.English})
+		}
+		snap, err := crawl.VisitSite(r.Corpus.World, site)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = append(reqs, core.NewScoreRequest(snap))
+	}
+
+	ctx := context.Background()
+	for _, conc := range []int{1, 8, 64} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("conc=%d/memo=%s", conc, mode), func(b *testing.B) {
+				memo := 0 // default table size
+				if mode == "cold" {
+					memo = -1 // disabled: batching without memoization
+				}
+				coal := coalesce.New(coalesce.Config{MemoEntries: memo})
+				if mode == "warm" {
+					for _, req := range reqs {
+						if _, err := coal.Do(ctx, pipe, req, coalesce.CacheDefault, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				var next atomic.Int64
+				b.ReportAllocs()
+				b.SetParallelism(conc) // conc goroutines per GOMAXPROCS
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						req := reqs[int(next.Add(1))%len(reqs)]
+						if _, err := coal.Do(ctx, pipe, req, coalesce.CacheDefault, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.StopTimer()
+				st := coal.Snapshot()
+				if st.Batches > 0 {
+					b.ReportMetric(float64(st.BatchedItems)/float64(st.Batches), "items/batch")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMemoLookup pins the content-addressed memo fast path: one
+// fully-warm page through Coalescer.Do — content hash, sharded table
+// lookups (analysis, features, score, target) and verdict assembly,
+// with no stage recomputed. This is the per-request overhead every
+// warm request pays, so the gate holds it to microseconds and zero
+// allocations. (internal/coalesce has the table-only microbenchmark.)
+func BenchmarkMemoLookup(b *testing.B) {
+	r := benchSetup(b)
+	d, err := r.Detector(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe := &core.Pipeline{Detector: d, Identifier: target.New(r.Corpus.Engine)}
+	rng := rand.New(rand.NewSource(13))
+	site := r.Corpus.World.NewPhishSite(rng, r.Corpus.World.RandomPhishOptions(rng))
+	snap, err := crawl.VisitSite(r.Corpus.World, site)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := core.NewScoreRequest(snap)
+	ctx := context.Background()
+	coal := coalesce.New(coalesce.Config{})
+	if _, err := coal.Do(ctx, pipe, req, coalesce.CacheDefault, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coal.Do(ctx, pipe, req, coalesce.CacheDefault, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

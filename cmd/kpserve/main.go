@@ -56,7 +56,8 @@
 // -trace-slow default derives from the tightest SLO target. cmd/kptop
 // renders the whole surface as a live terminal dashboard.
 //
-// Endpoints: POST /v2/score, POST /v2/target, POST /v2/score/stream
+// Endpoints: POST /v2/score, POST /v2/score/batch, POST /v2/target,
+// POST /v2/score/stream
 // (NDJSON), GET/POST /v2/models, POST /v2/models/promote, POST
 // /v1/score, POST /v1/score/batch, POST /v1/target, POST /v1/feed,
 // GET /v1/verdicts, GET /v2/verdicts, GET /healthz, GET /metrics (JSON;
@@ -83,6 +84,7 @@ import (
 	"syscall"
 	"time"
 
+	"knowphish/internal/coalesce"
 	"knowphish/internal/core"
 	"knowphish/internal/dataset"
 	"knowphish/internal/drift"
@@ -116,6 +118,10 @@ func run() error {
 		workers   = flag.Int("workers", 0, "batch fan-out cap (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cache", serve.DefaultCacheSize, "verdict cache entries (negative disables)")
 		maxBatch  = flag.Int("max-batch", serve.DefaultMaxBatch, "max pages per batch or stream request")
+
+		coalesceWindow = flag.Duration("coalesce-window", coalesce.DefaultWindow, "cross-request scoring coalescer gather window (negative disables coalescing and stage memoization)")
+		coalesceMax    = flag.Int("coalesce-max", coalesce.DefaultMaxBatch, "max requests per coalesced node-major kernel pass")
+		memoSize       = flag.Int("memo-size", coalesce.DefaultMemoEntries, "entries per content-addressed stage memo table (negative disables memoization, keeps batching)")
 		deadline  = flag.Duration("deadline", 0, "default per-request scoring deadline (0 = none; requests may set their own deadline_ms)")
 		explain   = flag.String("explain", "none", "default explain level for v2 requests: none, top or full")
 		topN      = flag.Int("explain-top", 0, "default contribution count of a 'top' explanation (0 = library default)")
@@ -257,6 +263,23 @@ func run() error {
 	}
 	identifier := target.New(engine)
 
+	// One coalescer serves every scoring path — the HTTP surface and the
+	// feed drain coalesce into the same batches and share the same memo
+	// tables, so a page seen on the feed warms interactive requests.
+	var coal *coalesce.Coalescer
+	if *coalesceWindow >= 0 {
+		coal = coalesce.New(coalesce.Config{
+			Window:      *coalesceWindow,
+			MaxBatch:    *coalesceMax,
+			MemoEntries: *memoSize,
+			Workers:     *workers,
+		})
+		logger.Info("scoring coalescer armed",
+			"window", *coalesceWindow, "max_batch", *coalesceMax, "memo_entries", *memoSize)
+	} else {
+		logger.Info("scoring coalescer disabled")
+	}
+
 	// The durable verdict store and the feed scheduler on top of it.
 	// Feed ingestion needs a crawl source; only the self-train path has
 	// one (the synthetic world). An artifact-mode server still persists
@@ -324,6 +347,11 @@ func run() error {
 			if lc != nil {
 				feedCfg.OnVerdict = lc.OnVerdict
 			}
+			if coal != nil {
+				feedCfg.Score = func(ctx context.Context, pipe *core.Pipeline, req core.ScoreRequest) (core.Verdict, error) {
+					return coal.Do(ctx, pipe, req, coalesce.CacheDefault, nil)
+				}
+			}
 			if sched, err = feed.New(feedCfg); err != nil {
 				return err
 			}
@@ -375,6 +403,8 @@ func run() error {
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
 		MaxBatch:        *maxBatch,
+		Coalescer:       coal,
+		CoalesceWindow:  *coalesceWindow,
 		DefaultDeadline: *deadline,
 		DefaultExplain:  explainLevel,
 		ExplainTopN:     *topN,

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"knowphish/internal/coalesce"
 	"knowphish/internal/obs"
 )
 
@@ -97,6 +98,19 @@ func renderFrame(prev, cur *frame, color bool) string {
 		}
 	}
 
+	// Coalescer: batching counters and per-stage memo hit rates.
+	if co := m.Coalesce; co != nil {
+		avg := 0.0
+		if co.Batches > 0 {
+			avg = float64(co.BatchedItems) / float64(co.Batches)
+		}
+		fmt.Fprintf(&b, "\n%scoalesce%s  batches %d   items %d (avg %.1f)   bypassed %d   flush full/adaptive/timer %d/%d/%d\n",
+			p.bold, p.reset, co.Batches, co.BatchedItems, avg, co.Bypassed,
+			co.FlushFull, co.FlushAdaptive, co.FlushTimer)
+		fmt.Fprintf(&b, "  memo hit  analysis %s   features %s   score %s   target %s\n",
+			memoRate(co.Analysis), memoRate(co.Features), memoRate(co.Score), memoRate(co.Target))
+	}
+
 	// Feed queue.
 	if f := m.Feed; f != nil {
 		fmt.Fprintf(&b, "\n%sfeed%s  queue %d   in-flight %d   processed %d   failed %d\n",
@@ -145,6 +159,16 @@ func pickWindows(ws []obs.WindowSummary) (w1, w5, wh obs.WindowSummary) {
 		}
 	}
 	return
+}
+
+// memoRate renders one memo table's hit rate and size ("-" before any
+// lookup has happened).
+func memoRate(ts coalesce.TableStats) string {
+	total := ts.Hits + ts.Misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%3.0f%% (%d)", float64(ts.Hits)/float64(total)*100, ts.Entries)
 }
 
 // us renders a microsecond value human-readably ("-" for zero).

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"knowphish/internal/coalesce"
 	"knowphish/internal/obs"
 	"knowphish/internal/serve"
 	"knowphish/internal/slo"
@@ -42,6 +43,14 @@ func testFrame(at time.Time) *frame {
 					BudgetRemaining: 0.4, FastGood: 930, FastBad: 70,
 				}},
 			},
+			Coalesce: &coalesce.Stats{
+				Batches:      100,
+				BatchedItems: 450,
+				Bypassed:     7,
+				FlushFull:    20, FlushAdaptive: 70, FlushTimer: 10,
+				Analysis: coalesce.TableStats{Hits: 300, Misses: 150, Entries: 150},
+				Score:    coalesce.TableStats{Hits: 225, Misses: 225, Entries: 150},
+			},
 			Tracing: &obs.Summary{Stages: []obs.StageSummary{
 				{Stage: "score", Count: 1100, Windows: []obs.WindowSummary{
 					{Window: "1m", Count: 600, P50US: 500, P99US: 1500},
@@ -75,6 +84,12 @@ func TestRenderFrame(t *testing.T) {
 		"2.4ms", // score 1m p99
 		"shed_level",
 		"admission shed level 0 -> 2",
+		"batches 100",
+		"items 450 (avg 4.5)",
+		"flush full/adaptive/timer 20/70/10",
+		"analysis  67% (150)",
+		"score  50% (150)",
+		"features -",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("frame missing %q\n%s", want, out)

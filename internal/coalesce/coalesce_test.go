@@ -1,0 +1,506 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"knowphish/internal/core"
+	"knowphish/internal/dataset"
+	"knowphish/internal/ml"
+	"knowphish/internal/racecheck"
+	"knowphish/internal/target"
+	"knowphish/internal/webgen"
+	"knowphish/internal/webpage"
+)
+
+var (
+	setupOnce sync.Once
+	setupCorp *dataset.Corpus
+	setupPipe *core.Pipeline
+	setupErr  error
+)
+
+// fixtures builds one shared corpus + pipeline for every test.
+func fixtures(t testing.TB) (*dataset.Corpus, *core.Pipeline) {
+	t.Helper()
+	setupOnce.Do(func() {
+		setupCorp, setupErr = dataset.Build(dataset.Config{
+			Seed:              61,
+			Scale:             100,
+			World:             webgen.Config{Seed: 62, Brands: 60, RankedGenerics: 60, VocabularyWords: 100},
+			SkipLanguageTests: true,
+		})
+		if setupErr != nil {
+			return
+		}
+		snaps := append(setupCorp.LegTrain.Snapshots(), setupCorp.PhishTrain.Snapshots()...)
+		labels := append(setupCorp.LegTrain.Labels(), setupCorp.PhishTrain.Labels()...)
+		var d *core.Detector
+		d, setupErr = core.Train(snaps, labels, core.TrainConfig{
+			Rank: setupCorp.World.Ranking(),
+			GBM:  ml.GBMConfig{Trees: 50, MaxDepth: 4, Seed: 3},
+		})
+		if setupErr != nil {
+			return
+		}
+		d.SetVersion("m1")
+		setupPipe = &core.Pipeline{Detector: d, Identifier: target.New(setupCorp.Engine)}
+	})
+	if setupErr != nil {
+		t.Fatalf("fixtures: %v", setupErr)
+	}
+	return setupCorp, setupPipe
+}
+
+func mixedSnaps(t testing.TB, n int) []*webpage.Snapshot {
+	t.Helper()
+	c, _ := fixtures(t)
+	var out []*webpage.Snapshot
+	for i := 0; len(out) < n; i++ {
+		out = append(out, c.PhishTest.Examples[i%len(c.PhishTest.Examples)].Snapshot)
+		if len(out) < n {
+			out = append(out, c.LegTrain.Examples[i%len(c.LegTrain.Examples)].Snapshot)
+		}
+	}
+	return out
+}
+
+// TestDoMatchesAnalyzeCtx pins the whole coalescer — batching plus
+// memoization, cold and warm — to per-request AnalyzeCtx verdicts.
+func TestDoMatchesAnalyzeCtx(t *testing.T) {
+	_, pipe := fixtures(t)
+	c := New(Config{})
+	ctx := context.Background()
+	snaps := mixedSnaps(t, 20)
+	for round := 0; round < 3; round++ { // round 0 cold, 1-2 warm
+		for i, snap := range snaps {
+			var prov core.MemoProvenance
+			got, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), CacheDefault, &prov)
+			if err != nil {
+				t.Fatalf("round %d snap %d: %v", round, i, err)
+			}
+			want, err := pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snap))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Score != want.Score || got.FinalPhish != want.FinalPhish ||
+				got.Label != want.Label || got.TargetRun != want.TargetRun {
+				t.Fatalf("round %d snap %d: coalesced %+v != direct %+v", round, i, got.Outcome, want.Outcome)
+			}
+			if got.ContentFingerprint == "" {
+				t.Fatalf("round %d snap %d: no content fingerprint", round, i)
+			}
+			if round > 0 && prov.Score != core.ProvMemo {
+				t.Fatalf("round %d snap %d: warm score provenance %q, want memo", round, i, prov.Score)
+			}
+		}
+	}
+	st := c.Snapshot()
+	if st.Score.Hits == 0 || st.Analysis.Hits == 0 {
+		t.Fatalf("warm rounds produced no memo hits: %+v", st)
+	}
+}
+
+// TestFingerprintStableAcrossPaths pins that the fingerprint is pure
+// content: same page, any cache-control, any temperature — one value.
+func TestFingerprintStableAcrossPaths(t *testing.T) {
+	_, pipe := fixtures(t)
+	c := New(Config{})
+	ctx := context.Background()
+	snap := mixedSnaps(t, 1)[0]
+	want := Fingerprint(webpage.ContentKey(snap))
+	for _, cc := range []CacheControl{CacheDefault, CacheNoMemo, CacheRefresh, CacheDefault} {
+		v, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), cc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.ContentFingerprint != want {
+			t.Fatalf("%v: fingerprint %q, want %q", cc, v.ContentFingerprint, want)
+		}
+	}
+}
+
+// TestCacheControlSemantics pins the three modes: no-memo neither reads
+// nor writes, refresh recomputes but overwrites, default reads.
+func TestCacheControlSemantics(t *testing.T) {
+	_, pipe := fixtures(t)
+	ctx := context.Background()
+	snap := mixedSnaps(t, 1)[0]
+
+	c := New(Config{})
+	if _, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), CacheNoMemo, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Snapshot().Analysis.Entries; n != 0 {
+		t.Fatalf("no-memo wrote %d analysis entries, want 0", n)
+	}
+
+	var prov core.MemoProvenance
+	if _, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), CacheDefault, &prov); err != nil {
+		t.Fatal(err)
+	}
+	if prov.Score != core.ProvComputed {
+		t.Fatalf("first default score provenance %q, want computed", prov.Score)
+	}
+	if n := c.Snapshot().Score.Entries; n != 1 {
+		t.Fatalf("default wrote %d score entries, want 1", n)
+	}
+
+	// Refresh must recompute even though the memo is populated...
+	if _, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), CacheRefresh, &prov); err != nil {
+		t.Fatal(err)
+	}
+	if prov.Score != core.ProvComputed || prov.Analysis != core.ProvComputed {
+		t.Fatalf("refresh provenance %+v, want all computed", prov)
+	}
+	// ...and a following default read hits what refresh wrote.
+	if _, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), CacheDefault, &prov); err != nil {
+		t.Fatal(err)
+	}
+	if prov.Score != core.ProvMemo {
+		t.Fatalf("post-refresh score provenance %q, want memo", prov.Score)
+	}
+}
+
+// TestInvalidateModelOnPromotion pins the promotion contract: score and
+// target memos flush, analysis and feature memos survive; and a version
+// bump alone (without the flush) already prevents stale hits.
+func TestInvalidateModelOnPromotion(t *testing.T) {
+	corp, pipe := fixtures(t)
+	ctx := context.Background()
+	c := New(Config{})
+	snaps := mixedSnaps(t, 8)
+	for _, snap := range snaps {
+		if _, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), CacheDefault, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Snapshot()
+	if before.Score.Entries == 0 || before.Analysis.Entries == 0 || before.Target.Entries == 0 {
+		t.Fatalf("fixture produced empty tables: %+v", before)
+	}
+
+	// Promote: new detector (different version), flush hook fires.
+	snaps2 := append(corp.LegTrain.Snapshots(), corp.PhishTrain.Snapshots()...)
+	labels2 := append(corp.LegTrain.Labels(), corp.PhishTrain.Labels()...)
+	d2, err := core.Train(snaps2, labels2, core.TrainConfig{
+		Rank: corp.World.Ranking(),
+		GBM:  ml.GBMConfig{Trees: 30, MaxDepth: 3, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.SetVersion("m2")
+	pipe2 := &core.Pipeline{Detector: d2, Identifier: pipe.Identifier}
+	c.InvalidateModel()
+
+	after := c.Snapshot()
+	if after.Score.Entries != 0 || after.Target.Entries != 0 {
+		t.Fatalf("promotion left %d score / %d target entries, want 0/0", after.Score.Entries, after.Target.Entries)
+	}
+	if after.Analysis.Entries != before.Analysis.Entries {
+		t.Fatalf("promotion flushed analysis memos: %d -> %d", before.Analysis.Entries, after.Analysis.Entries)
+	}
+	if after.Features.Entries != before.Features.Entries {
+		t.Fatalf("promotion flushed feature memos: %d -> %d", before.Features.Entries, after.Features.Entries)
+	}
+
+	// No stale verdicts: scores under the new champion match its own
+	// direct scoring, and analysis memos keep paying off.
+	var prov core.MemoProvenance
+	for i, snap := range snaps {
+		got, err := c.Do(ctx, pipe2, core.NewScoreRequest(snap), CacheDefault, &prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := pipe2.AnalyzeCtx(ctx, core.NewScoreRequest(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score || got.ModelVersion != "m2" {
+			t.Fatalf("snap %d: post-promotion score %v (model %s) != direct %v", i, got.Score, got.ModelVersion, want.Score)
+		}
+		if prov.Score == core.ProvMemo {
+			t.Fatalf("snap %d: stale score memo survived promotion", i)
+		}
+		if prov.Analysis != core.ProvMemo {
+			t.Fatalf("snap %d: analysis memo did not survive promotion (prov %q)", i, prov.Analysis)
+		}
+	}
+}
+
+// TestVersionStampBlocksStaleReads covers the race the flush cannot: an
+// entry written under the old version must miss under the new one even
+// if InvalidateModel was never called.
+func TestVersionStampBlocksStaleReads(t *testing.T) {
+	_, pipe := fixtures(t)
+	ctx := context.Background()
+	c := New(Config{})
+	snap := mixedSnaps(t, 1)[0]
+	if _, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), CacheDefault, nil); err != nil {
+		t.Fatal(err)
+	}
+	d := pipe.Detector
+	old := d.Version()
+	d.SetVersion("stamp-check")
+	defer d.SetVersion(old)
+	var prov core.MemoProvenance
+	if _, err := c.Do(ctx, pipe, core.NewScoreRequest(snap), CacheDefault, &prov); err != nil {
+		t.Fatal(err)
+	}
+	if prov.Score == core.ProvMemo {
+		t.Fatal("score memoized under the old version hit under the new one")
+	}
+}
+
+// TestDeadlinePropagation pins that one request's expired deadline
+// produces its own error and never poisons batchmates coalesced into
+// the same window.
+func TestDeadlinePropagation(t *testing.T) {
+	_, pipe := fixtures(t)
+	c := New(Config{Window: 5 * time.Millisecond, MemoEntries: -1})
+	snaps := mixedSnaps(t, 6)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(snaps))
+	for i, snap := range snaps {
+		wg.Add(1)
+		go func(i int, snap *webpage.Snapshot) {
+			defer wg.Done()
+			ctx := context.Background()
+			var opts []core.ScoreOption
+			if i == 0 {
+				// A deadline that has certainly expired before scoring.
+				opts = append(opts, core.WithDeadline(time.Nanosecond))
+			}
+			_, errs[i] = c.Do(ctx, pipe, core.NewScoreRequest(snap, opts...), CacheDefault, nil)
+		}(i, snap)
+	}
+	wg.Wait()
+	if !errors.Is(errs[0], context.DeadlineExceeded) {
+		t.Fatalf("expired item's error = %v, want DeadlineExceeded", errs[0])
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] != nil {
+			t.Fatalf("batchmate %d inherited an error: %v", i, errs[i])
+		}
+	}
+}
+
+// TestConcurrentPromoteAndScore hammers Do against concurrent promotion
+// flushes and version churn; run under -race this is the memo tables'
+// safety net, and every verdict must still be internally consistent.
+func TestConcurrentPromoteAndScore(t *testing.T) {
+	corp, pipe := fixtures(t)
+	ctx := context.Background()
+	c := New(Config{Window: 50 * time.Microsecond})
+	snaps := mixedSnaps(t, 16)
+
+	// A second champion to swap in and out.
+	snaps2 := append(corp.LegTrain.Snapshots(), corp.PhishTrain.Snapshots()...)
+	labels2 := append(corp.LegTrain.Labels(), corp.PhishTrain.Labels()...)
+	d2, err := core.Train(snaps2, labels2, core.TrainConfig{
+		Rank: corp.World.Ranking(),
+		GBM:  ml.GBMConfig{Trees: 30, MaxDepth: 3, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.SetVersion("m2")
+	pipes := []*core.Pipeline{pipe, {Detector: d2, Identifier: pipe.Identifier}}
+
+	want := make(map[string][2]float64, len(snaps))
+	for _, snap := range snaps {
+		v1, err := pipes[0].AnalyzeCtx(ctx, core.NewScoreRequest(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := pipes[1].AnalyzeCtx(ctx, core.NewScoreRequest(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[snap.LandingURL] = [2]float64{v1.Score, v2.Score}
+	}
+
+	stop := make(chan struct{})
+	var promoter sync.WaitGroup
+	promoter.Add(1)
+	go func() {
+		defer promoter.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.InvalidateModel()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	fail := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 30; round++ {
+				p := pipes[(w+round)%2]
+				mi := (w + round) % 2
+				snap := snaps[(w*7+round)%len(snaps)]
+				v, err := c.Do(ctx, p, core.NewScoreRequest(snap), CacheDefault, nil)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				if v.Score != want[snap.LandingURL][mi] {
+					fail <- "score under model " + v.ModelVersion + " diverged (stale memo?)"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	promoter.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestNilCoalescerDegradesToDirect pins the nil receiver contract.
+func TestNilCoalescerDegradesToDirect(t *testing.T) {
+	_, pipe := fixtures(t)
+	var c *Coalescer
+	snap := mixedSnaps(t, 1)[0]
+	got, err := c.Do(context.Background(), pipe, core.NewScoreRequest(snap), CacheDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipe.AnalyzeCtx(context.Background(), core.NewScoreRequest(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != want.Score {
+		t.Fatalf("nil coalescer score %v != direct %v", got.Score, want.Score)
+	}
+	c.InvalidateModel() // must not panic
+	if s := c.Snapshot(); s.Batches != 0 {
+		t.Fatal("nil coalescer reported batches")
+	}
+}
+
+// TestExplainBypass pins that explain requests route around batching
+// and memoization but still produce full verdicts.
+func TestExplainBypass(t *testing.T) {
+	_, pipe := fixtures(t)
+	c := New(Config{})
+	snap := mixedSnaps(t, 1)[0]
+	v, err := c.Do(context.Background(), pipe, core.NewScoreRequest(snap, core.WithExplain(core.ExplainTop)), CacheDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Explanation == nil || len(v.Explanation.Contributions) == 0 {
+		t.Fatal("explain request produced no evidence")
+	}
+	st := c.Snapshot()
+	if st.Bypassed != 1 {
+		t.Fatalf("bypassed = %d, want 1", st.Bypassed)
+	}
+	if st.Analysis.Entries != 0 {
+		t.Fatal("bypassed request wrote memos")
+	}
+}
+
+// TestWarmPathZeroAllocs pins the steady-state cost of a fully
+// memoized request: content hash, four table hits, one batch pass —
+// zero heap allocations.
+func TestWarmPathZeroAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	_, pipe := fixtures(t)
+	c := New(Config{})
+	ctx := context.Background()
+	snap := mixedSnaps(t, 1)[0]
+	req := core.NewScoreRequest(snap)
+	if _, err := c.Do(ctx, pipe, req, CacheDefault, nil); err != nil {
+		t.Fatal(err)
+	}
+	var prov core.MemoProvenance
+	allocs := testing.AllocsPerRun(300, func() {
+		v, err := c.Do(ctx, pipe, req, CacheDefault, &prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.ContentFingerprint == "" || prov.Score != core.ProvMemo {
+			t.Fatal("warm request missed the memo")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm coalesced request allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCoalescingActuallyBatches drives concurrent requests through a
+// generous window and checks that passes carried more than one item.
+// The in-flight gauge is held up artificially so the adaptive flush
+// cannot fire: on a single-CPU box goroutines serialize and would
+// otherwise each (correctly) solo-flush, making window-based batching
+// untestable; pinning the gauge forces the leader to wait out its
+// window while the scheduler runs the other submitters into the batch.
+func TestCoalescingActuallyBatches(t *testing.T) {
+	_, pipe := fixtures(t)
+	c := New(Config{Window: 20 * time.Millisecond, MemoEntries: -1})
+	snaps := mixedSnaps(t, 32)
+	c.inflight.Add(int64(len(snaps)))
+	defer c.inflight.Add(int64(-len(snaps)))
+	var wg sync.WaitGroup
+	for _, snap := range snaps {
+		wg.Add(1)
+		go func(snap *webpage.Snapshot) {
+			defer wg.Done()
+			if _, err := c.Do(context.Background(), pipe, core.NewScoreRequest(snap), CacheDefault, nil); err != nil {
+				t.Error(err)
+			}
+		}(snap)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Batches == 0 {
+		t.Fatal("no batches ran")
+	}
+	if st.BatchedItems != uint64(len(snaps)) {
+		t.Fatalf("batched items = %d, want %d", st.BatchedItems, len(snaps))
+	}
+	if st.Batches == st.BatchedItems {
+		t.Fatalf("every batch had exactly one item (%d batches) — coalescing never happened", st.Batches)
+	}
+	if st.FlushTimer == 0 {
+		t.Fatalf("no window-expiry flush recorded: %+v", st)
+	}
+}
+
+// TestAdaptiveFlushSkipsTheWindow pins the solo fast path: a lone
+// request — nobody else in flight — must not pay the window as latency.
+func TestAdaptiveFlushSkipsTheWindow(t *testing.T) {
+	_, pipe := fixtures(t)
+	c := New(Config{Window: 250 * time.Millisecond, MemoEntries: -1})
+	snap := mixedSnaps(t, 1)[0]
+	start := time.Now()
+	if _, err := c.Do(context.Background(), pipe, core.NewScoreRequest(snap), CacheDefault, nil); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 100*time.Millisecond {
+		t.Fatalf("solo request took %v — it waited out the coalescing window", took)
+	}
+	if st := c.Snapshot(); st.FlushAdaptive != 1 {
+		t.Fatalf("flush reasons %+v, want one adaptive flush", st)
+	}
+}

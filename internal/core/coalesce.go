@@ -1,0 +1,352 @@
+package core
+
+// The coalesced scoring kernel: one node-major pass of the flattened
+// GBM serves a whole batch of concurrent requests, with per-stage memo
+// results (analysis, feature vector, detector score, target result)
+// supplied by the caller so only the missing stages run. This is the
+// batch-traversal half of the cross-request coalescer; the windowing
+// and memo tables live in internal/coalesce, which is the only intended
+// caller — the kernel stays in core because it needs the detector's
+// private extractor, projection and model.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"knowphish/internal/features"
+	"knowphish/internal/obs"
+	"knowphish/internal/pool"
+	"knowphish/internal/target"
+	"knowphish/internal/webpage"
+)
+
+// StageMask identifies pipeline stages a coalesced item computed (as
+// opposed to receiving from memo or skipping).
+type StageMask uint8
+
+const (
+	// StageMaskAnalysis marks snapshot analysis.
+	StageMaskAnalysis StageMask = 1 << iota
+	// StageMaskFeatures marks feature extraction.
+	StageMaskFeatures
+	// StageMaskScore marks GBM classification.
+	StageMaskScore
+	// StageMaskTarget marks target identification.
+	StageMaskTarget
+)
+
+// CoalesceItem is one request moving through a coalesced scoring pass.
+// The caller pre-fills whatever stage results it has memoized; the
+// kernel computes the rest and reports what it computed in Computed.
+//
+// Explain requests are not supported — evidence extraction is a
+// per-request tree walk that defeats the point of batching; callers
+// route explaining requests through Pipeline.AnalyzeCtx instead.
+type CoalesceItem struct {
+	// Ctx is the item's own context (nil → the batch context). A
+	// coalesced batch mixes requests with different lifetimes; an item
+	// whose context expires mid-batch gets its own error while its
+	// batchmates complete.
+	Ctx context.Context
+	// Req is the scoring request (deadline is NOT applied by the
+	// kernel; the caller tightens Ctx itself, since the budget should
+	// cover time queued in the coalescing window too).
+	Req ScoreRequest
+
+	// Analysis is the page analysis: memo input when pre-filled, kernel
+	// output otherwise (callers memoize it from here).
+	Analysis *webpage.Analysis
+	// Vector is the full extracted feature vector: memo input when
+	// pre-filled, kernel output when KeepVector is set. Without
+	// KeepVector the kernel extracts into pooled buffers that never
+	// escape, and Vector stays nil.
+	Vector []float64
+	// KeepVector forces extraction onto the heap so Vector survives the
+	// call — set by callers that memoize vectors or capture them.
+	KeepVector bool
+	// HasScore marks Score as a memoized detector score, skipping
+	// extraction and classification entirely.
+	HasScore bool
+	// Score is the memoized detector score (meaningful with HasScore).
+	Score float64
+	// TargetResult is the memoized target-identification result for a
+	// detector positive (nil → identify when needed).
+	TargetResult *target.Result
+
+	// Verdict is the kernel's output (valid when Err is nil).
+	Verdict Verdict
+	// Err is the item's own failure: its context's cause, or a request
+	// validation error. One item's Err never fails its batchmates.
+	Err error
+	// Computed reports which stages the kernel ran for this item.
+	Computed StageMask
+
+	// Pooled extraction buffers, returned at the end of the pass.
+	vecBuf  *[]float64
+	projBuf *[]float64
+	// mvec is the projected (model-space) vector for the batched pass.
+	mvec []float64
+}
+
+// ctx returns the item's effective context.
+func (it *CoalesceItem) ctx(batch context.Context) context.Context {
+	if it.Ctx != nil {
+		return it.Ctx
+	}
+	return batch
+}
+
+// ScoreCoalesced scores a batch of items in one coalesced pass:
+// per-item stages (analysis, extraction, target identification) fan
+// out over the shared worker pool, and classification runs as a single
+// node-major traversal of the flattened ensemble (ml.ScoreBatchInto),
+// so the ensemble's nodes stream through the cache once per batch
+// instead of once per request.
+//
+// Scores are bit-for-bit identical to per-request AnalyzeCtx calls.
+// Per-item failures land in the item's Err; the returned error is the
+// batch context's cause when the whole pass was cut short. Identifier
+// may be nil (detector-only scoring, like ScoreCtx).
+func (p *Pipeline) ScoreCoalesced(ctx context.Context, items []*CoalesceItem, workers int) error {
+	d := p.Detector
+	t0 := time.Now()
+
+	// Stage A: per-item analysis + extraction + projection, fanned out.
+	// Each item observes its own context between stages. Serial batches
+	// (workers == 1 or a single item) run plain loops so the warm path
+	// never allocates stage closures.
+	serial := workers == 1 || len(items) == 1
+	var perr error
+	if serial {
+		perr = ctxCause(ctx)
+		for _, it := range items {
+			if perr != nil {
+				break
+			}
+			it.prepare(ctx, d)
+			perr = ctxCause(ctx)
+		}
+	} else {
+		perr = pool.ForEachIndexCtx(ctx, len(items), workers, func(i int) {
+			items[i].prepare(ctx, d)
+		})
+	}
+
+	// Stage B: one node-major pass over every live, unscored row.
+	// Grouping the rows costs one pass over the batch; the traversal
+	// itself is the whole point of coalescing.
+	sc := getCoalesceScratch()
+	for i, it := range items {
+		if it.Err == nil && !it.HasScore {
+			sc.rows = append(sc.rows, it.mvec)
+			sc.idx = append(sc.idx, i)
+		}
+	}
+	if len(sc.rows) > 0 {
+		ts := time.Now()
+		sc.outs = append(sc.outs[:0], make([]float64, len(sc.rows))...)
+		d.model.ScoreBatchInto(sc.outs, sc.rows)
+		// The batched walk serves all rows in one pass; each verdict
+		// reports its share of the wall time so timings still sum
+		// sensibly across a batch.
+		share := time.Since(ts).Nanoseconds() / int64(len(sc.rows))
+		for j, i := range sc.idx {
+			it := items[i]
+			it.Verdict.Score = sc.outs[j]
+			it.Verdict.Timings.ScoreNS = share
+			it.Computed |= StageMaskScore
+			// Traced requests see their share of the batched walk as
+			// their score span, same clock reads as the per-request path.
+			obs.TraceFrom(it.ctx(ctx)).Span(obs.StageScore, ts, share)
+		}
+	}
+	putCoalesceScratch(sc)
+
+	// Stage C: target identification for detector positives, fanned out
+	// (identification is dictionary- and search-heavy, nothing to
+	// batch), then verdict assembly.
+	id := p.Identifier
+	var perr2 error
+	if serial {
+		perr2 = ctxCause(ctx)
+		for _, it := range items {
+			if perr2 != nil {
+				break
+			}
+			it.finish(ctx, d, id, t0)
+			perr2 = ctxCause(ctx)
+		}
+	} else {
+		perr2 = pool.ForEachIndexCtx(ctx, len(items), workers, func(i int) {
+			items[i].finish(ctx, d, id, t0)
+		})
+	}
+
+	// Release pooled buffers exactly once, after the last stage that
+	// reads them.
+	for _, it := range items {
+		features.PutVector(it.vecBuf)
+		features.PutVector(it.projBuf)
+		it.vecBuf, it.projBuf, it.mvec = nil, nil, nil
+	}
+	if perr != nil {
+		return perr
+	}
+	return perr2
+}
+
+// prepare runs the per-item pre-classification stages: analysis (unless
+// memoized), feature extraction (unless the score itself is memoized)
+// and projection into model space.
+func (it *CoalesceItem) prepare(batch context.Context, d *Detector) {
+	ictx := it.ctx(batch)
+	if err := ctxCause(ictx); err != nil {
+		it.Err = err
+		return
+	}
+	a := it.Analysis
+	if a == nil {
+		a = it.Req.analysis
+	}
+	if a == nil && it.Req.Snapshot == nil {
+		it.Err = ErrNoSnapshot
+		return
+	}
+	it.Verdict.Threshold = d.threshold
+	it.Verdict.ModelVersion = d.version
+
+	if a == nil {
+		// With a memoized score, the analysis is only consumed by
+		// extraction (when the caller keeps the vector) or by a target
+		// identification that will actually run — a memoized negative,
+		// or a positive with a memoized target result, never needs it.
+		// This is what makes the fully-warm path cheap: analysis is the
+		// expensive stage.
+		need := !it.HasScore || (it.KeepVector && it.Vector == nil)
+		if !need && it.Score >= d.threshold && it.TargetResult == nil && !it.Req.skipTarget {
+			need = true
+		}
+		if !need {
+			if it.HasScore {
+				it.Verdict.Score = it.Score
+			}
+			return
+		}
+		ts := time.Now()
+		a = webpage.Analyze(it.Req.Snapshot)
+		it.Verdict.Timings.AnalyzeNS = time.Since(ts).Nanoseconds()
+		obs.TraceFrom(ictx).Span(obs.StageAnalyze, ts, it.Verdict.Timings.AnalyzeNS)
+		it.Computed |= StageMaskAnalysis
+		if err := ctxCause(ictx); err != nil {
+			it.Err = err
+			return
+		}
+	}
+	it.Analysis = a
+
+	// With a memoized score the vector is only needed when the caller
+	// wants to keep it (vector memoization, drift capture).
+	needVec := !it.HasScore || (it.KeepVector && it.Vector == nil)
+	if it.Vector == nil && needVec {
+		ts := time.Now()
+		if it.KeepVector {
+			it.Vector = d.extractor.Extract(a)
+		} else {
+			it.vecBuf = features.GetVector()
+			*it.vecBuf = d.extractor.AppendFeatures((*it.vecBuf)[:0], a)
+		}
+		it.Verdict.Timings.FeaturesNS = time.Since(ts).Nanoseconds()
+		obs.TraceFrom(ictx).Span(obs.StageExtract, ts, it.Verdict.Timings.FeaturesNS)
+		it.Computed |= StageMaskFeatures
+		if err := ctxCause(ictx); err != nil {
+			it.Err = err
+			return
+		}
+	}
+	if it.HasScore {
+		it.Verdict.Score = it.Score
+		return
+	}
+	vec := it.Vector
+	if vec == nil {
+		vec = *it.vecBuf
+	}
+	if set := it.Req.featureSet; set != 0 && set != features.All {
+		vec = features.Mask(vec, set)
+		it.Verdict.FeatureSet = set.String()
+	}
+	it.mvec = vec
+	if d.columns != nil {
+		it.projBuf = features.GetVector()
+		it.mvec = appendProjected((*it.projBuf)[:0], vec, d.columns)
+		*it.projBuf = it.mvec
+	}
+}
+
+// finish runs target identification (unless memoized or skipped) and
+// assembles the item's verdict.
+func (it *CoalesceItem) finish(batch context.Context, d *Detector, id *target.Identifier, t0 time.Time) {
+	if it.Err != nil {
+		return
+	}
+	v := &it.Verdict
+	v.DetectorPhish = v.Score >= d.threshold
+	v.FinalPhish = v.DetectorPhish
+	if id != nil && v.DetectorPhish && !it.Req.skipTarget {
+		if it.TargetResult != nil {
+			v.TargetRun = true
+			v.Target = *it.TargetResult
+		} else {
+			if err := ctxCause(it.ctx(batch)); err != nil {
+				it.Err = err
+				return
+			}
+			ts := time.Now()
+			v.TargetRun = true
+			v.Target = id.Identify(it.Analysis)
+			v.Timings.TargetNS = time.Since(ts).Nanoseconds()
+			obs.TraceFrom(it.ctx(batch)).Span(obs.StageIdentify, ts, v.Timings.TargetNS)
+			it.Computed |= StageMaskTarget
+		}
+		if v.Target.Verdict == target.VerdictLegitimate {
+			v.FinalPhish = false
+		}
+	}
+	if it.Req.captureVector {
+		v.Vector = it.Vector
+	}
+	v.Label = label(v.FinalPhish)
+	v.Timings.TotalNS = time.Since(t0).Nanoseconds()
+}
+
+// coalesceScratch carries the row-gathering slices of one coalesced
+// pass; pooled so steady-state batches reuse their capacity.
+type coalesceScratch struct {
+	rows [][]float64
+	idx  []int
+	outs []float64
+}
+
+var coalesceScratchPool = sync.Pool{New: func() any { return &coalesceScratch{} }}
+
+func getCoalesceScratch() *coalesceScratch {
+	sc := coalesceScratchPool.Get().(*coalesceScratch)
+	sc.rows = sc.rows[:0]
+	sc.idx = sc.idx[:0]
+	sc.outs = sc.outs[:0]
+	return sc
+}
+
+// maxPooledCoalesceRows caps the row capacity a scratch may keep: one
+// giant batch must not pin its slices for every later small one.
+const maxPooledCoalesceRows = 4096
+
+func putCoalesceScratch(sc *coalesceScratch) {
+	if cap(sc.rows) > maxPooledCoalesceRows {
+		return
+	}
+	// Drop row references so the pool never pins request vectors.
+	clear(sc.rows)
+	coalesceScratchPool.Put(sc)
+}

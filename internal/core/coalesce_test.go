@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"knowphish/internal/features"
+	"knowphish/internal/target"
+	"knowphish/internal/webpage"
+)
+
+// coalesceSnaps gathers a mixed batch of phish and legitimate test
+// pages so every kernel path (positive with target run, negative
+// without) is exercised.
+func coalesceSnaps(t *testing.T, n int) []*webpage.Snapshot {
+	t.Helper()
+	c := corpus(t)
+	var out []*webpage.Snapshot
+	for i := 0; len(out) < n; i++ {
+		out = append(out, c.PhishTest.Examples[i%len(c.PhishTest.Examples)].Snapshot)
+		if len(out) < n {
+			out = append(out, c.LegTrain.Examples[i%len(c.LegTrain.Examples)].Snapshot)
+		}
+	}
+	return out
+}
+
+// TestScoreCoalescedMatchesAnalyzeCtx pins the coalesced kernel to the
+// per-request stage machine bit-for-bit: same scores, same final calls,
+// same target results — batching is a scheduling change, never a
+// semantic one.
+func TestScoreCoalescedMatchesAnalyzeCtx(t *testing.T) {
+	_, p := verdictFixtures(t)
+	snaps := coalesceSnaps(t, 24)
+	items := make([]*CoalesceItem, len(snaps))
+	for i, s := range snaps {
+		items[i] = &CoalesceItem{Req: NewScoreRequest(s)}
+	}
+	if err := p.ScoreCoalesced(context.Background(), items, 4); err != nil {
+		t.Fatalf("ScoreCoalesced: %v", err)
+	}
+	sawPositive := false
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", i, it.Err)
+		}
+		want, err := p.AnalyzeCtx(context.Background(), NewScoreRequest(snaps[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := it.Verdict
+		if got.Score != want.Score {
+			t.Fatalf("item %d: coalesced score %v != AnalyzeCtx %v (must be bit-for-bit)", i, got.Score, want.Score)
+		}
+		if got.FinalPhish != want.FinalPhish || got.DetectorPhish != want.DetectorPhish ||
+			got.TargetRun != want.TargetRun || got.Label != want.Label {
+			t.Fatalf("item %d: coalesced outcome %+v diverges from %+v", i, got.Outcome, want.Outcome)
+		}
+		if got.TargetRun {
+			sawPositive = true
+			if got.Target.Verdict != want.Target.Verdict {
+				t.Fatalf("item %d: target verdict diverges", i)
+			}
+		}
+		if it.Computed&StageMaskAnalysis == 0 || it.Computed&StageMaskScore == 0 {
+			t.Fatalf("item %d: Computed=%b missing analysis/score", i, it.Computed)
+		}
+	}
+	if !sawPositive {
+		t.Fatal("batch exercised no detector positive; fixture is too weak")
+	}
+}
+
+// TestScoreCoalescedMemoInputs checks that pre-filled stage results are
+// honored: a memoized analysis skips stage 1, a memoized vector skips
+// extraction, a memoized score skips classification, and a memoized
+// target result skips identification — each produces the same verdict
+// the cold path does.
+func TestScoreCoalescedMemoInputs(t *testing.T) {
+	_, p := verdictFixtures(t)
+	c := corpus(t)
+	snap := c.PhishTest.Examples[0].Snapshot
+
+	cold := &CoalesceItem{Req: NewScoreRequest(snap), KeepVector: true}
+	if err := p.ScoreCoalesced(context.Background(), []*CoalesceItem{cold}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Err != nil {
+		t.Fatal(cold.Err)
+	}
+	if cold.Vector == nil {
+		t.Fatal("KeepVector did not retain the vector")
+	}
+	if !cold.Verdict.TargetRun {
+		t.Skip("fixture page is not a detector positive; memo-target leg needs one")
+	}
+
+	// Memoized analysis + vector: only score and target run.
+	warm := &CoalesceItem{Req: NewScoreRequest(snap), Analysis: cold.Analysis, Vector: cold.Vector}
+	if err := p.ScoreCoalesced(context.Background(), []*CoalesceItem{warm}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Verdict.Score != cold.Verdict.Score {
+		t.Fatalf("memoized-vector score %v != cold %v", warm.Verdict.Score, cold.Verdict.Score)
+	}
+	if warm.Computed&(StageMaskAnalysis|StageMaskFeatures) != 0 {
+		t.Fatalf("memoized stages recomputed: %b", warm.Computed)
+	}
+
+	// Memoized score + target: nothing but assembly runs.
+	tres := cold.Verdict.Target
+	full := &CoalesceItem{
+		Req: NewScoreRequest(snap), Analysis: cold.Analysis,
+		HasScore: true, Score: cold.Verdict.Score, TargetResult: &tres,
+	}
+	if err := p.ScoreCoalesced(context.Background(), []*CoalesceItem{full}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if full.Computed != 0 {
+		t.Fatalf("fully memoized item computed stages: %b", full.Computed)
+	}
+	if full.Verdict.FinalPhish != cold.Verdict.FinalPhish || !full.Verdict.TargetRun {
+		t.Fatalf("fully memoized verdict %+v diverges from cold %+v", full.Verdict.Outcome, cold.Verdict.Outcome)
+	}
+
+	// skip_target on a memoized score: no identification, raw call.
+	skip := &CoalesceItem{
+		Req: NewScoreRequest(snap, WithoutTargetID()), Analysis: cold.Analysis,
+		HasScore: true, Score: cold.Verdict.Score,
+	}
+	if err := p.ScoreCoalesced(context.Background(), []*CoalesceItem{skip}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if skip.Verdict.TargetRun || skip.Computed != 0 {
+		t.Fatalf("skip_target item ran target: %+v computed %b", skip.Verdict.Outcome, skip.Computed)
+	}
+}
+
+// TestScoreCoalescedPerItemContext pins the deadline-propagation
+// contract: an item whose own context is already done gets its own
+// error while its batchmates complete normally.
+func TestScoreCoalescedPerItemContext(t *testing.T) {
+	_, p := verdictFixtures(t)
+	snaps := coalesceSnaps(t, 3)
+	dead, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	items := []*CoalesceItem{
+		{Req: NewScoreRequest(snaps[0])},
+		{Req: NewScoreRequest(snaps[1]), Ctx: dead},
+		{Req: NewScoreRequest(snaps[2])},
+	}
+	if err := p.ScoreCoalesced(context.Background(), items, 2); err != nil {
+		t.Fatalf("batch error from one item's deadline: %v", err)
+	}
+	if !errors.Is(items[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("expired item's err = %v, want DeadlineExceeded", items[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if items[i].Err != nil {
+			t.Fatalf("healthy item %d inherited an error: %v", i, items[i].Err)
+		}
+		if items[i].Verdict.Label == "" {
+			t.Fatalf("healthy item %d has no verdict", i)
+		}
+	}
+}
+
+// TestScoreCoalescedFeatureMask checks the ablation option flows
+// through the kernel like the per-request path.
+func TestScoreCoalescedFeatureMask(t *testing.T) {
+	_, p := verdictFixtures(t)
+	c := corpus(t)
+	snap := c.PhishTest.Examples[1].Snapshot
+	it := &CoalesceItem{Req: NewScoreRequest(snap, WithFeatureSet(features.F1))}
+	if err := p.ScoreCoalesced(context.Background(), []*CoalesceItem{it}, 1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.AnalyzeCtx(context.Background(), NewScoreRequest(snap, WithFeatureSet(features.F1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Verdict.Score != want.Score || it.Verdict.FeatureSet != want.FeatureSet {
+		t.Fatalf("masked coalesced score %v/%q != %v/%q", it.Verdict.Score, it.Verdict.FeatureSet, want.Score, want.FeatureSet)
+	}
+}
+
+// TestScoreCoalescedNilIdentifier covers detector-only pipelines.
+func TestScoreCoalescedNilIdentifier(t *testing.T) {
+	_, p := verdictFixtures(t)
+	bare := &Pipeline{Detector: p.Detector}
+	snap := corpus(t).PhishTest.Examples[0].Snapshot
+	it := &CoalesceItem{Req: NewScoreRequest(snap)}
+	if err := bare.ScoreCoalesced(context.Background(), []*CoalesceItem{it}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if it.Verdict.TargetRun {
+		t.Fatal("nil identifier ran target identification")
+	}
+	var _ target.Result = it.Verdict.Target
+}

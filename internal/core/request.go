@@ -76,6 +76,14 @@ type ScoreOption func(*ScoreRequest)
 // reproduces the classic behavior: no deadline, no explanation, target
 // identification on detector positives.
 func NewScoreRequest(snap *webpage.Snapshot, opts ...ScoreOption) ScoreRequest {
+	// Option-free requests never take the request's address, so they
+	// build entirely on the caller's stack — the hot default for the
+	// feed drain and coalesced scoring. With options, &req flows into
+	// the option closures and escape analysis materializes the request
+	// on the heap: one allocation, regardless of option count.
+	if len(opts) == 0 {
+		return ScoreRequest{Snapshot: snap}
+	}
 	req := ScoreRequest{Snapshot: snap}
 	for _, opt := range opts {
 		opt(&req)
@@ -149,6 +157,20 @@ func (r *ScoreRequest) SkipsTarget() bool { return r.skipTarget }
 
 // Deadline returns the per-request deadline (0 = none).
 func (r *ScoreRequest) Deadline() time.Duration { return r.deadline }
+
+// CapturesVector reports whether the request retains the extracted
+// feature vector on the verdict (WithVectorCapture).
+func (r *ScoreRequest) CapturesVector() bool { return r.captureVector }
+
+// FeatureMask returns the feature-set restriction applied by
+// WithFeatureSet (0 = none). Masked requests score an ablated vector,
+// so content-addressed caches must not treat their stages as the
+// page's canonical results.
+func (r *ScoreRequest) FeatureMask() features.Set { return r.featureSet }
+
+// PrecomputedAnalysis returns the analysis supplied by WithAnalysis
+// (nil when the request analyzes its snapshot itself).
+func (r *ScoreRequest) PrecomputedAnalysis() *webpage.Analysis { return r.analysis }
 
 // topFeatures resolves the contribution cap for the request's level.
 func (r *ScoreRequest) topFeatures() int {

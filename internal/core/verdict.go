@@ -83,6 +83,34 @@ type Verdict struct {
 	// track per-feature population shift without re-extracting). Never
 	// serialized.
 	Vector []float64 `json:"-"`
+	// ContentFingerprint is the sha256 content identity of the scored
+	// page (webpage.Fingerprint) — the value the v2 surface derives its
+	// ETag from. Set by the memoizing/coalescing path; plain ScoreCtx
+	// verdicts leave it empty rather than paying the hash for callers
+	// that never read it.
+	ContentFingerprint string `json:"content_fingerprint,omitempty"`
+	// Memo reports, per pipeline stage, whether the stage's result was
+	// served from the content-addressed memo tables or computed fresh.
+	// Nil when the verdict did not pass through the memoizing path.
+	Memo *MemoProvenance `json:"memo,omitempty"`
+}
+
+// Stage provenance values of MemoProvenance fields.
+const (
+	// ProvMemo marks a stage whose result was served from memo.
+	ProvMemo = "memo"
+	// ProvComputed marks a stage that was computed for this request.
+	ProvComputed = "computed"
+)
+
+// MemoProvenance is the per-stage cache provenance of a memoized
+// verdict: each field is "memo", "computed", or empty when the stage
+// did not run at all (target identification on a detector negative).
+type MemoProvenance struct {
+	Analysis string `json:"analysis,omitempty"`
+	Features string `json:"features,omitempty"`
+	Score    string `json:"score,omitempty"`
+	Target   string `json:"target,omitempty"`
 }
 
 // MakeVerdict wraps an already-computed Outcome in the v2 envelope —

@@ -95,6 +95,12 @@ type Config struct {
 	// with. Nil freezes Pipeline.Detector for the scheduler's lifetime,
 	// the classic behavior.
 	Detectors core.DetectorSource
+	// Score optionally overrides how the drain scores a snapshot.
+	// kpserve wires the serving layer's cross-request coalescer here, so
+	// feed traffic batches into the same node-major kernel passes and
+	// shares the same per-stage memo tables as the HTTP surface. Nil
+	// scores through pipe.AnalyzeCtx directly.
+	Score func(ctx context.Context, pipe *core.Pipeline, req core.ScoreRequest) (core.Verdict, error)
 	// OnVerdict, when set, observes every successfully scored URL (after
 	// persistence) with its snapshot and verdict — the drift-monitoring
 	// and shadow-scoring hook. It runs on the worker goroutine: a cheap
@@ -444,7 +450,13 @@ func (s *Scheduler) process(it *item) {
 			pipe = &core.Pipeline{Detector: det, Identifier: pipe.Identifier}
 		}
 	}
-	v, err := pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snap, opts...))
+	req := core.NewScoreRequest(snap, opts...)
+	var v core.Verdict
+	if s.cfg.Score != nil {
+		v, err = s.cfg.Score(ctx, pipe, req)
+	} else {
+		v, err = pipe.AnalyzeCtx(ctx, req)
+	}
 	if err != nil {
 		// The scheduler context was cancelled mid-scoring (expired
 		// drain): abandon the item without a verdict.

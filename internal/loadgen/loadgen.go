@@ -126,7 +126,18 @@ type Config struct {
 	// feed queue depth (0 → DefaultScrapeInterval, negative →
 	// disabled).
 	ScrapeInterval time.Duration
+	// CacheMix is the fraction (0..1) of score-mode requests that
+	// replay one of a small hot set of already-submitted pages instead
+	// of a unique URL — warm traffic that exercises the verdict cache
+	// and the coalescer's stage memos the way real feed duplicates do
+	// (0 → every request unique; ignored in feed mode).
+	CacheMix float64
 }
+
+// hotPages is the size of the hot set CacheMix replays: small enough
+// that warm requests actually repeat, large enough to spread across
+// memo shards.
+const hotPages = 16
 
 // Report is the outcome of a run — the LOAD_PR.json document.
 type Report struct {
@@ -136,6 +147,8 @@ type Report struct {
 	TargetQPS float64 `json:"target_qps"`
 	Workers   int     `json:"workers"`
 	BatchSize int     `json:"batch_size"`
+	// CacheMix is the configured warm-traffic fraction (score mode).
+	CacheMix float64 `json:"cache_mix,omitempty"`
 	// DurationSeconds is the measured wall-clock span of the run.
 	DurationSeconds float64 `json:"duration_seconds"`
 
@@ -248,6 +261,9 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		}
 	default:
 		return Report{}, fmt.Errorf("loadgen: unknown Endpoint %q (want feed or score)", cfg.Endpoint)
+	}
+	if cfg.CacheMix < 0 || cfg.CacheMix > 1 {
+		return Report{}, fmt.Errorf("loadgen: CacheMix %v out of range [0, 1]", cfg.CacheMix)
 	}
 	r := &run{
 		cfg:      cfg,
@@ -378,9 +394,17 @@ func (r *run) shoot(ctx context.Context) {
 	if r.cfg.Endpoint == "score" {
 		// A unique query string per request defeats the verdict cache,
 		// so every accepted request pays the full scoring pipeline —
-		// the work the latency SLO budgets.
+		// the work the latency SLO budgets. With CacheMix set, that
+		// fraction of requests replays the hot set instead, so the run
+		// measures the cached fast path in the advertised proportion.
 		n := r.next.Add(1) - 1
-		u := r.cfg.Corpus[int(n)%len(r.cfg.Corpus)] + "?q=" + strconv.FormatInt(n, 10)
+		var u string
+		if r.cfg.CacheMix > 0 && float64(n%1000) < r.cfg.CacheMix*1000 {
+			hot := n % hotPages
+			u = r.cfg.Corpus[int(hot)%len(r.cfg.Corpus)] + "?hot=" + strconv.FormatInt(hot, 10)
+		} else {
+			u = r.cfg.Corpus[int(n)%len(r.cfg.Corpus)] + "?q=" + strconv.FormatInt(n, 10)
+		}
 		body, _ = json.Marshal(serve.PageRequest{HTML: r.pageHTML, StartingURL: u})
 		path = "/v1/score"
 		urlCount = 1
@@ -512,6 +536,7 @@ func (r *run) report(elapsed time.Duration, finalDepth int) Report {
 		TargetQPS:         r.cfg.QPS,
 		Workers:           r.cfg.Workers,
 		BatchSize:         r.cfg.BatchSize,
+		CacheMix:          r.cfg.CacheMix,
 		DurationSeconds:   elapsed.Seconds(),
 		Requests:          r.requests.Load(),
 		URLsSubmitted:     r.submitted.Load(),
@@ -581,6 +606,9 @@ func (r Report) Table() string {
 	w("mode", "%s", r.Mode)
 	w("target rate", "%s", target)
 	w("workers", "%d (batch %d)", r.Workers, r.BatchSize)
+	if r.CacheMix > 0 {
+		w("cache mix", "%.0f%% warm (hot set of %d pages)", r.CacheMix*100, hotPages)
+	}
 	w("duration", "%.1f s", r.DurationSeconds)
 	w("sustained", "%.1f URL/s (%d requests, %d URLs)", r.SustainedQPS, r.Requests, r.URLsSubmitted)
 	w("accepted", "%d (drop rate %.2f%%)", r.Accepted, r.DropRate*100)

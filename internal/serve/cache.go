@@ -94,6 +94,11 @@ type cacheEntry struct {
 	// cached pages too instead of being shadowed by their predecessor's
 	// verdicts.
 	version string
+	// fp is the page's content fingerprint (coalesce.Fingerprint form),
+	// carried so a cache hit can still answer with the ETag the v2
+	// surface derives from it ("" when the scoring path had none, e.g.
+	// the v1 batch adapter).
+	fp string
 }
 
 // newVerdictCache builds a cache holding about capacity entries in
@@ -133,9 +138,9 @@ func (c *verdictCache) shard(h uint32) *cacheShard {
 // mismatch reads as a miss: the entry stays put (an in-flight old-model
 // scorer may still refresh it) but the caller re-scores with the
 // current model, whose Put then overwrites it.
-func (c *verdictCache) Get(key, version string) (core.Outcome, bool) {
+func (c *verdictCache) Get(key, version string) (core.Outcome, string, bool) {
 	if key == "" {
-		return core.Outcome{}, false
+		return core.Outcome{}, "", false
 	}
 	s := c.shard(fnv32(key))
 	s.mu.Lock()
@@ -147,9 +152,9 @@ func (c *verdictCache) Get(key, version string) (core.Outcome, bool) {
 // single-score path builds its key in a pooled buffer and looks it up
 // without ever materializing a string (the direct map-index conversion
 // below does not copy).
-func (c *verdictCache) GetBytes(key []byte, version string) (core.Outcome, bool) {
+func (c *verdictCache) GetBytes(key []byte, version string) (core.Outcome, string, bool) {
 	if len(key) == 0 {
-		return core.Outcome{}, false
+		return core.Outcome{}, "", false
 	}
 	s := c.shard(fnv32(key))
 	s.mu.Lock()
@@ -160,22 +165,22 @@ func (c *verdictCache) GetBytes(key []byte, version string) (core.Outcome, bool)
 // hit resolves a shard lookup: nil element or a version mismatch reads
 // as a miss, a hit is promoted to most-recently-used. Callers hold the
 // shard lock.
-func hit(s *cacheShard, el *list.Element, version string) (core.Outcome, bool) {
+func hit(s *cacheShard, el *list.Element, version string) (core.Outcome, string, bool) {
 	if el == nil {
-		return core.Outcome{}, false
+		return core.Outcome{}, "", false
 	}
 	e := el.Value.(*cacheEntry)
 	if e.version != version {
-		return core.Outcome{}, false
+		return core.Outcome{}, "", false
 	}
 	s.ll.MoveToFront(el)
-	return e.outcome, true
+	return e.outcome, e.fp, true
 }
 
 // Put stores an outcome under the model version that produced it,
 // evicting the least-recently-used entry of the shard when full. Empty
 // keys are not cached.
-func (c *verdictCache) Put(key string, out core.Outcome, version string) {
+func (c *verdictCache) Put(key string, out core.Outcome, version, fp string) {
 	if key == "" {
 		return
 	}
@@ -184,7 +189,7 @@ func (c *verdictCache) Put(key string, out core.Outcome, version string) {
 	defer s.mu.Unlock()
 	if el, ok := s.m[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.outcome, e.version = out, version
+		e.outcome, e.version, e.fp = out, version, fp
 		s.ll.MoveToFront(el)
 		return
 	}
@@ -197,7 +202,7 @@ func (c *verdictCache) Put(key string, out core.Outcome, version string) {
 		delete(s.m, oldest.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
 	}
-	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, outcome: out, version: version})
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, outcome: out, version: version, fp: fp})
 }
 
 // Evictions returns the number of entries dropped by LRU pressure.

@@ -12,19 +12,19 @@ import (
 
 func TestCacheGetPut(t *testing.T) {
 	c := newVerdictCache(64)
-	if _, ok := c.Get("http://a.test/", ""); ok {
+	if _, _, ok := c.Get("http://a.test/", ""); ok {
 		t.Error("hit on empty cache")
 	}
 	want := core.Outcome{Score: 0.9, DetectorPhish: true, FinalPhish: true}
-	c.Put("http://a.test/", want, "")
-	got, ok := c.Get("http://a.test/", "")
+	c.Put("http://a.test/", want, "", "")
+	got, _, ok := c.Get("http://a.test/", "")
 	if !ok || !reflect.DeepEqual(got, want) {
 		t.Errorf("Get = %+v, %v; want %+v, true", got, ok, want)
 	}
 	// Overwrite updates in place.
 	want.Score = 0.95
-	c.Put("http://a.test/", want, "")
-	if got, _ := c.Get("http://a.test/", ""); got.Score != 0.95 {
+	c.Put("http://a.test/", want, "", "")
+	if got, _, _ := c.Get("http://a.test/", ""); got.Score != 0.95 {
 		t.Errorf("overwrite lost: %+v", got)
 	}
 	if c.Len() != 1 {
@@ -38,20 +38,20 @@ func TestCacheGetPut(t *testing.T) {
 func TestCacheVersionStaleness(t *testing.T) {
 	c := newVerdictCache(64)
 	old := core.Outcome{Score: 0.9, FinalPhish: true}
-	c.Put("http://a.test/", old, "v0001")
-	if _, ok := c.Get("http://a.test/", "v0002"); ok {
+	c.Put("http://a.test/", old, "v0001", "")
+	if _, _, ok := c.Get("http://a.test/", "v0002"); ok {
 		t.Error("stale-model entry served as a hit")
 	}
 	// The old model's readers still hit their own entry.
-	if got, ok := c.Get("http://a.test/", "v0001"); !ok || got.Score != 0.9 {
+	if got, _, ok := c.Get("http://a.test/", "v0001"); !ok || got.Score != 0.9 {
 		t.Errorf("same-version hit lost: %+v, %v", got, ok)
 	}
 	fresh := core.Outcome{Score: 0.2}
-	c.Put("http://a.test/", fresh, "v0002")
-	if got, ok := c.Get("http://a.test/", "v0002"); !ok || got.Score != 0.2 {
+	c.Put("http://a.test/", fresh, "v0002", "")
+	if got, _, ok := c.Get("http://a.test/", "v0002"); !ok || got.Score != 0.2 {
 		t.Errorf("post-swap entry: %+v, %v", got, ok)
 	}
-	if _, ok := c.Get("http://a.test/", "v0001"); ok {
+	if _, _, ok := c.Get("http://a.test/", "v0001"); ok {
 		t.Error("overwritten entry still serves the old version")
 	}
 	if c.Len() != 1 {
@@ -61,11 +61,11 @@ func TestCacheVersionStaleness(t *testing.T) {
 
 func TestCacheIgnoresEmptyKey(t *testing.T) {
 	c := newVerdictCache(16)
-	c.Put("", core.Outcome{Score: 1}, "")
+	c.Put("", core.Outcome{Score: 1}, "", "")
 	if c.Len() != 0 {
 		t.Error("empty key was cached")
 	}
-	if _, ok := c.Get("", ""); ok {
+	if _, _, ok := c.Get("", ""); ok {
 		t.Error("empty key hit")
 	}
 }
@@ -75,7 +75,7 @@ func TestCacheEviction(t *testing.T) {
 	// evicts within each shard.
 	c := newVerdictCache(cacheShards) // one entry per shard
 	for i := 0; i < 10*cacheShards; i++ {
-		c.Put(fmt.Sprintf("http://s%d.test/", i), core.Outcome{Score: float64(i)}, "")
+		c.Put(fmt.Sprintf("http://s%d.test/", i), core.Outcome{Score: float64(i)}, "", "")
 	}
 	if got := c.Len(); got > cacheShards {
 		t.Errorf("Len = %d, want <= %d after eviction", got, cacheShards)
@@ -95,15 +95,15 @@ func TestCacheLRUOrder(t *testing.T) {
 			keys = append(keys, k)
 		}
 	}
-	c.Put(keys[0], core.Outcome{Score: 0}, "")
-	c.Put(keys[1], core.Outcome{Score: 1}, "")
+	c.Put(keys[0], core.Outcome{Score: 0}, "", "")
+	c.Put(keys[1], core.Outcome{Score: 1}, "", "")
 	// Touch keys[0] so keys[1] is the LRU entry.
 	c.Get(keys[0], "")
-	c.Put(keys[2], core.Outcome{Score: 2}, "")
-	if _, ok := c.Get(keys[0], ""); !ok {
+	c.Put(keys[2], core.Outcome{Score: 2}, "", "")
+	if _, _, ok := c.Get(keys[0], ""); !ok {
 		t.Error("recently used entry was evicted")
 	}
-	if _, ok := c.Get(keys[1], ""); ok {
+	if _, _, ok := c.Get(keys[1], ""); ok {
 		t.Error("least recently used entry survived")
 	}
 }
@@ -118,7 +118,7 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("http://s%d.test/", (w*7+i)%50)
 				if i%2 == 0 {
-					c.Put(key, core.Outcome{Score: float64(i)}, "")
+					c.Put(key, core.Outcome{Score: float64(i)}, "", "")
 				} else {
 					c.Get(key, "")
 				}
@@ -138,14 +138,14 @@ func TestGetBytesMatchesGet(t *testing.T) {
 		t.Fatalf("cacheKey = %q, want %q", key, want)
 	}
 	c := newVerdictCache(8)
-	c.Put(key, core.Outcome{Score: 0.9}, "v0001")
-	if out, ok := c.GetBytes([]byte(key), "v0001"); !ok || out.Score != 0.9 {
+	c.Put(key, core.Outcome{Score: 0.9}, "v0001", "")
+	if out, _, ok := c.GetBytes([]byte(key), "v0001"); !ok || out.Score != 0.9 {
 		t.Fatalf("GetBytes = (%+v, %v), want hit with score 0.9", out, ok)
 	}
-	if _, ok := c.GetBytes([]byte(key), "v0002"); ok {
+	if _, _, ok := c.GetBytes([]byte(key), "v0002"); ok {
 		t.Fatal("GetBytes hit across model versions")
 	}
-	if _, ok := c.GetBytes(nil, "v0001"); ok {
+	if _, _, ok := c.GetBytes(nil, "v0001"); ok {
 		t.Fatal("GetBytes hit on empty key")
 	}
 	// Snapshots without a landing URL stay uncacheable.

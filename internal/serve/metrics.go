@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"knowphish/internal/coalesce"
 	"knowphish/internal/drift"
 	"knowphish/internal/feed"
 	"knowphish/internal/feedsrc"
@@ -87,6 +88,10 @@ type MetricsSnapshot struct {
 	// phish-rate shift, shadow-scoring and retrain/promotion counters)
 	// when the lifecycle controller is configured.
 	Lifecycle *drift.LifecycleStatus `json:"lifecycle,omitempty"`
+	// Coalesce reports the scoring coalescer's batching counters and
+	// the hit/miss/eviction stats of the four per-stage memo tables
+	// (absent when coalescing is disabled).
+	Coalesce *coalesce.Stats `json:"coalesce,omitempty"`
 
 	LatencyMeanUS int64 `json:"latency_mean_us"`
 	LatencyP50US  int64 `json:"latency_p50_us"`

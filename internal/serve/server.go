@@ -71,6 +71,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"knowphish/internal/coalesce"
 	"knowphish/internal/core"
 	"knowphish/internal/drift"
 	"knowphish/internal/feed"
@@ -136,6 +137,26 @@ type Config struct {
 	// request does not set its own deadline_ms (0 → no deadline). It
 	// bounds pipeline work, not time spent queued for a worker slot.
 	DefaultDeadline time.Duration
+	// CoalesceWindow bounds how long the scoring coalescer waits to
+	// gather concurrent requests into one batched ensemble traversal
+	// (0 → coalesce.DefaultWindow; negative → coalescing disabled,
+	// every request scores through the per-request path). A lone
+	// request never pays the window: the coalescer flushes as soon as
+	// no other request is on its way.
+	CoalesceWindow time.Duration
+	// CoalesceMax caps one coalesced pass (0 → coalesce.DefaultMaxBatch).
+	CoalesceMax int
+	// MemoEntries is the capacity of each per-stage memo table —
+	// analysis, feature vector, detector score, target result — keyed
+	// by content fingerprint (0 → coalesce.DefaultMemoEntries;
+	// negative → memoization disabled while batching stays on).
+	MemoEntries int
+	// Coalescer optionally injects a pre-built scoring coalescer shared
+	// with other subsystems (kpserve scores the feed drain through the
+	// same one, so feed traffic warms the HTTP surface's memo tables and
+	// vice versa). When nil, the server builds its own from
+	// CoalesceWindow / CoalesceMax / MemoEntries.
+	Coalescer *coalesce.Coalescer
 	// DefaultExplain is the explain level applied when a v2 request
 	// does not set one. v1 adapters never explain (their wire format
 	// predates evidence).
@@ -193,6 +214,20 @@ type Server struct {
 	defaultExplain  core.ExplainLevel
 	explainTopN     int
 	cache           *verdictCache
+	// coal is the cross-request scoring coalescer: concurrent score
+	// calls batch into one node-major ensemble traversal, with
+	// per-stage content-addressed memoization layered on top. The
+	// verdict cache above is L1 (whole outcomes by URL + content); the
+	// coalescer's memo tables are L2 (per-stage results by content
+	// alone). Nil when coalescing is disabled — every call site goes
+	// through coal.Do, which nil-degrades to a plain AnalyzeCtx.
+	coal *coalesce.Coalescer
+	// defaultOpts / defaultOptsSkip / v1Opts are the hoisted option
+	// slices of the common request shapes, built once in New so the
+	// hot paths never rebuild (and re-allocate) them per request.
+	defaultOpts     []core.ScoreOption
+	defaultOptsSkip []core.ScoreOption
+	v1Opts          []core.ScoreOption
 	feed            *feed.Scheduler
 	feedSources     *feedsrc.Mux
 	store           store.Backend
@@ -280,6 +315,29 @@ func New(cfg Config) (*Server, error) {
 		s.maxBody = DefaultMaxBodyBytes
 	}
 	s.scoreSem = make(chan struct{}, s.workers)
+	s.coal = cfg.Coalescer
+	if s.coal == nil && cfg.CoalesceWindow >= 0 {
+		s.coal = coalesce.New(coalesce.Config{
+			Window:      cfg.CoalesceWindow,
+			MaxBatch:    cfg.CoalesceMax,
+			MemoEntries: cfg.MemoEntries,
+			Workers:     s.workers,
+		})
+	}
+	// Hoist the option slices of the common request shapes: an
+	// option-free v2 request, the same with skip_target, and the v1
+	// adapters. Built once, they keep per-request option assembly off
+	// the allocator (pinned by TestHoistedOptionsAllocContract in
+	// internal/core and TestCoreOptionsHoisted here).
+	s.defaultOpts = []core.ScoreOption{
+		core.WithDeadline(s.defaultDeadline),
+		core.WithExplain(s.defaultExplain),
+		core.WithTopFeatures(s.explainTopN),
+	}
+	s.defaultOptsSkip = append(append([]core.ScoreOption{}, s.defaultOpts...), core.WithoutTargetID())
+	if s.defaultDeadline > 0 {
+		s.v1Opts = []core.ScoreOption{core.WithDeadline(s.defaultDeadline)}
+	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
 		if size == 0 {
@@ -304,6 +362,7 @@ func New(cfg Config) (*Server, error) {
 	s.clsOps = s.newClass("ops", prioOps, nil, false)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v2/score", s.instrument(s.post(s.handleScoreV2), s.clsScore))
+	s.mux.HandleFunc("/v2/score/batch", s.instrument(s.post(s.handleScoreBatchV2), s.clsBatch))
 	s.mux.HandleFunc("/v2/target", s.instrument(s.post(s.handleTargetV2), s.clsTarget))
 	s.mux.HandleFunc("/v2/score/stream", s.instrument(s.post(s.handleScoreStream), s.clsStream))
 	s.mux.HandleFunc("/v1/score", s.instrument(s.post(s.handleScore), s.clsScore))
@@ -380,6 +439,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.lifecycle != nil {
 		ls := s.lifecycle.Status()
 		snap.Lifecycle = &ls
+	}
+	if s.coal != nil {
+		cs := s.coal.Snapshot()
+		snap.Coalesce = &cs
 	}
 	if s.tracer != nil {
 		ts := s.tracer.Summary()
@@ -616,38 +679,43 @@ func (s *Server) boundedCtx(ctx context.Context, pri int, fn func()) error {
 	return nil
 }
 
-// scoreSnap scores one snapshot through the verdict cache with the
-// given request options. It returns the verdict, whether it was served
-// from cache, and a context error (cancellation or deadline) when
-// scoring was cut short.
+// scoreSnap scores one snapshot through the verdict cache and the
+// scoring coalescer with the given request options. It returns the
+// verdict, whether it was served from cache, and a context error
+// (cancellation or deadline) when scoring was cut short. cc governs
+// both cache layers: no-memo skips reads and writes, refresh skips
+// reads but overwrites. When prov is non-nil it receives the
+// coalescer's per-stage provenance (zero on a verdict-cache hit or
+// with coalescing disabled).
 //
 // Explain requests always recompute: the cache stores bare outcomes,
 // not per-feature evidence, and explanation cost is exactly what the
 // client opted into. They touch no hit/miss counters (they can never
 // hit, and counting them as misses would depress a rate no cache
 // sizing could fix) but still refresh the cached outcome.
-func (s *Server) scoreSnap(ctx context.Context, pri int, pipe *core.Pipeline, snap *webpage.Snapshot, req core.ScoreRequest) (core.Verdict, bool, error) {
+func (s *Server) scoreSnap(ctx context.Context, pri int, pipe *core.Pipeline, snap *webpage.Snapshot, req core.ScoreRequest, cc coalesce.CacheControl, prov *core.MemoProvenance) (core.Verdict, bool, error) {
 	version := pipe.Detector.Version()
 	// The key is built into a pooled buffer and looked up as bytes; a
 	// string is only materialized when an outcome is actually stored, so
 	// the dominant outcomes of this function — a cache hit, or a miss on
 	// an uncacheable page — never put the key on the heap.
 	var keyBuf *[]byte
-	if s.cache != nil {
+	if s.cache != nil && cc != coalesce.CacheNoMemo {
 		keyBuf = keyPool.Get().(*[]byte)
 		if err := s.boundedCtx(ctx, pri, func() { *keyBuf = appendCacheKey((*keyBuf)[:0], snap) }); err != nil {
 			putKeyBuf(keyBuf)
 			return core.Verdict{}, false, err
 		}
-		if len(*keyBuf) != 0 && !req.Explains() {
+		if len(*keyBuf) != 0 && !req.Explains() && cc == coalesce.CacheDefault {
 			// Hits are version-gated: after a champion hot-swap, entries
 			// scored by the predecessor read as misses and the page is
 			// re-scored by the model actually serving.
-			if out, ok := s.cache.GetBytes(*keyBuf, version); ok {
+			if out, fp, ok := s.cache.GetBytes(*keyBuf, version); ok {
 				putKeyBuf(keyBuf)
 				s.metrics.cacheHits.Add(1)
 				v := core.MakeVerdict(out, pipe.Detector.Threshold())
 				v.ModelVersion = version
+				v.ContentFingerprint = fp
 				return v, true, nil
 			}
 			s.metrics.cacheMiss.Add(1)
@@ -655,7 +723,7 @@ func (s *Server) scoreSnap(ctx context.Context, pri int, pipe *core.Pipeline, sn
 	}
 	var v core.Verdict
 	var err error
-	if berr := s.boundedCtx(ctx, pri, func() { v, err = pipe.AnalyzeCtx(ctx, req) }); berr != nil {
+	if berr := s.boundedCtx(ctx, pri, func() { v, err = s.coal.Do(ctx, pipe, req, cc, prov) }); berr != nil {
 		err = berr
 	}
 	if err != nil {
@@ -670,21 +738,11 @@ func (s *Server) scoreSnap(ctx context.Context, pri int, pipe *core.Pipeline, sn
 	// for. Such requests may read the cache but never define it.
 	if keyBuf != nil {
 		if !req.SkipsTarget() {
-			s.cache.Put(string(*keyBuf), v.Outcome, version)
+			s.cache.Put(string(*keyBuf), v.Outcome, version, v.ContentFingerprint)
 		}
 		putKeyBuf(keyBuf)
 	}
 	return v, false, nil
-}
-
-// v1Options are the core options of a v1 adapter request: the server's
-// default deadline, never an explanation (the v1 wire format predates
-// evidence).
-func (s *Server) v1Options() []core.ScoreOption {
-	if s.defaultDeadline > 0 {
-		return []core.ScoreOption{core.WithDeadline(s.defaultDeadline)}
-	}
-	return nil
 }
 
 // failCtx converts a scoring context error into a response: an expired
@@ -729,7 +787,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	v, cached, err := s.scoreSnap(ctx, prioInteractive, pipe, snap, core.NewScoreRequest(snap, s.v1Options()...))
+	v, cached, err := s.scoreSnap(ctx, prioInteractive, pipe, snap, core.NewScoreRequest(snap, s.v1Opts...), coalesce.CacheDefault, nil)
 	if err != nil {
 		s.failCtx(w, err)
 		return
@@ -742,12 +800,18 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 // between items. It returns the outcomes, or the first context error
 // once the batch was cut short. The whole batch scores on one pipe — a
 // hot-swap mid-batch must not split a batch across models.
+//
+// Items score through the coalescer, so the concurrent fan-out below
+// folds into node-major kernel passes (and shares the memo tables with
+// every other scoring path) while the v1 wire format stays byte for
+// byte what the per-request path produced — outcomes are bit-identical
+// by construction, pinned by the goldens.
 func (s *Server) analyzeBatch(ctx context.Context, pri int, pipe *core.Pipeline, snaps []*webpage.Snapshot, workers int) ([]core.Outcome, error) {
 	out := make([]core.Outcome, len(snaps))
 	errs := make([]error, len(snaps))
 	poolErr := pool.ForEachIndexCtx(ctx, len(snaps), workers, func(i int) {
 		if berr := s.boundedCtx(ctx, pri, func() {
-			v, err := pipe.AnalyzeCtx(ctx, core.NewScoreRequest(snaps[i], s.v1Options()...))
+			v, err := s.coal.Do(ctx, pipe, core.NewScoreRequest(snaps[i], s.v1Opts...), coalesce.CacheDefault, nil)
 			if err != nil {
 				errs[i] = err
 				return
@@ -839,7 +903,7 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 	var missIdx []int
 	if s.cache != nil {
 		for i, snap := range snaps {
-			if out, ok := s.cache.Get(keys[i], version); ok {
+			if out, _, ok := s.cache.Get(keys[i], version); ok {
 				s.metrics.cacheHits.Add(1)
 				results[i] = ScoreResponse{Outcome: out, LandingURL: snap.LandingURL, Cached: true}
 			} else {
@@ -899,7 +963,10 @@ func (s *Server) handleScoreBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if s.cache != nil {
 			for j, i := range uniq {
-				s.cache.Put(keys[i], outcomes[j], version)
+				// The v1 batch path caches outcomes without a fingerprint:
+				// its wire format never surfaces one, and a later v2 hit on
+				// the same key simply responds without an ETag.
+				s.cache.Put(keys[i], outcomes[j], version, "")
 			}
 		}
 		for k, i := range missIdx {

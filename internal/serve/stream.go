@@ -153,7 +153,7 @@ func (s *Server) scoreStreamItem(ctx context.Context, idx int, it streamItem) V2
 		res.Error = fmt.Sprintf("decoding item: %v", it.parseErr)
 		return res
 	}
-	opts, err := s.coreOptions(it.req.ScoreOptions)
+	opts, cc, err := s.coreOptions(it.req.ScoreOptions)
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -172,7 +172,8 @@ func (s *Server) scoreStreamItem(ctx context.Context, idx int, it streamItem) V2
 		res.Error = err.Error()
 		return res
 	}
-	v, cached, err := s.scoreSnap(ctx, prioBatch, pipe, snap, core.NewScoreRequest(snap, opts...))
+	var prov core.MemoProvenance
+	v, cached, err := s.scoreSnap(ctx, prioBatch, pipe, snap, core.NewScoreRequest(snap, opts...), cc, &prov)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 			// This item ran out of its own budget; the stream lives on.
@@ -181,6 +182,9 @@ func (s *Server) scoreStreamItem(ctx context.Context, idx int, it streamItem) V2
 			res.Error = err.Error()
 		}
 		return res
+	}
+	if prov != (core.MemoProvenance{}) {
+		v.Memo = &prov
 	}
 	res.V2ScoreResponse = &V2ScoreResponse{Verdict: v, LandingURL: snap.LandingURL, Cached: cached}
 	return res

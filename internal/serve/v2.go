@@ -1,17 +1,23 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
+	"knowphish/internal/coalesce"
 	"knowphish/internal/core"
+	"knowphish/internal/pool"
 	"knowphish/internal/target"
 	"knowphish/internal/webpage"
 )
 
 // ScoreOptions are the per-request knobs of the v2 scoring surface,
-// shared by /v2/score, /v2/target and every /v2/score/stream item.
+// shared by /v2/score, /v2/score/batch, /v2/target and every
+// /v2/score/stream item.
 type ScoreOptions struct {
 	// DeadlineMS caps the scoring work for this request in
 	// milliseconds (0 → the server's default deadline). The budget
@@ -26,6 +32,11 @@ type ScoreOptions struct {
 	// SkipTarget skips target identification even for detector
 	// positives: cheaper, raw detector call only.
 	SkipTarget bool `json:"skip_target,omitempty"`
+	// CacheControl selects how the request interacts with the verdict
+	// cache and the per-stage memo tables: "default" (or absent) reads
+	// and writes, "no-memo" neither reads nor writes, "refresh"
+	// recomputes every stage and overwrites — the forced revalidation.
+	CacheControl string `json:"cache_control,omitempty"`
 }
 
 // V2ScoreRequest is one page plus its scoring options.
@@ -63,23 +74,37 @@ func (s *Server) resolveDeadline(ms int64) time.Duration {
 }
 
 // coreOptions validates wire options and resolves them against the
-// server defaults into core functional options. It is the single
-// option-validation path of the v2 surface; /v2/target calls it too
-// (discarding the scoring options) so the endpoints reject the same
-// malformed requests.
-func (s *Server) coreOptions(o ScoreOptions) ([]core.ScoreOption, error) {
+// server defaults into core functional options plus the parsed
+// cache-control mode. It is the single option-validation path of the
+// v2 surface; /v2/target calls it too (discarding the scoring options)
+// so the endpoints reject the same malformed requests.
+//
+// The two common request shapes — all options defaulted, with or
+// without skip_target — return slices hoisted once in New instead of
+// assembling (and allocating) them per request; only requests that
+// actually customize an option build a fresh slice.
+func (s *Server) coreOptions(o ScoreOptions) ([]core.ScoreOption, coalesce.CacheControl, error) {
+	cc, err := coalesce.ParseCacheControl(o.CacheControl)
+	if err != nil {
+		return nil, cc, err
+	}
 	if o.DeadlineMS < 0 {
-		return nil, fmt.Errorf("negative deadline_ms %d", o.DeadlineMS)
+		return nil, cc, fmt.Errorf("negative deadline_ms %d", o.DeadlineMS)
 	}
 	if o.TopFeatures < 0 {
-		return nil, fmt.Errorf("negative top_features %d", o.TopFeatures)
+		return nil, cc, fmt.Errorf("negative top_features %d", o.TopFeatures)
+	}
+	if o.DeadlineMS == 0 && o.Explain == "" && o.TopFeatures == 0 {
+		if o.SkipTarget {
+			return s.defaultOptsSkip, cc, nil
+		}
+		return s.defaultOpts, cc, nil
 	}
 	deadline := s.resolveDeadline(o.DeadlineMS)
 	level := s.defaultExplain
 	if o.Explain != "" {
-		var err error
 		if level, err = core.ParseExplainLevel(o.Explain); err != nil {
-			return nil, err
+			return nil, cc, err
 		}
 	}
 	topN := o.TopFeatures
@@ -94,7 +119,36 @@ func (s *Server) coreOptions(o ScoreOptions) ([]core.ScoreOption, error) {
 	if o.SkipTarget {
 		opts = append(opts, core.WithoutTargetID())
 	}
-	return opts, nil
+	return opts, cc, nil
+}
+
+// scoreETag derives the entity tag of a verdict: the page's content
+// fingerprint plus the model generation that scored it. The same page
+// under the same champion always carries the same tag; a promotion
+// changes every tag, so clients revalidate exactly when verdicts can
+// change.
+func scoreETag(v *core.Verdict) string {
+	if v.ContentFingerprint == "" {
+		return ""
+	}
+	return `"` + v.ContentFingerprint + "-" + v.ModelVersion + `"`
+}
+
+// etagMatch reports whether an If-None-Match header matches the tag,
+// per RFC 9110: a comma-separated candidate list, weak-comparison (the
+// W/ prefix is ignored), with "*" matching anything.
+func etagMatch(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleScoreV2(w http.ResponseWriter, r *http.Request) {
@@ -102,7 +156,7 @@ func (s *Server) handleScoreV2(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	opts, err := s.coreOptions(req.ScoreOptions)
+	opts, cc, err := s.coreOptions(req.ScoreOptions)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -122,12 +176,135 @@ func (s *Server) handleScoreV2(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	v, cached, err := s.scoreSnap(ctx, prioInteractive, pipe, snap, core.NewScoreRequest(snap, opts...))
+	var prov core.MemoProvenance
+	v, cached, err := s.scoreSnap(ctx, prioInteractive, pipe, snap, core.NewScoreRequest(snap, opts...), cc, &prov)
 	if err != nil {
 		s.failCtx(w, err)
 		return
 	}
+	if prov != (core.MemoProvenance{}) {
+		v.Memo = &prov
+	}
+	if etag := scoreETag(&v); etag != "" {
+		w.Header().Set("ETag", etag)
+		// 304 only on the default cache mode and for evidence-free
+		// verdicts: no-memo/refresh ask for recomputation (the client
+		// wants the body), and an explain response carries evidence a
+		// bare 304 would withhold.
+		if cc == coalesce.CacheDefault && v.Explanation == nil && etagMatch(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
 	s.reply(w, http.StatusOK, V2ScoreResponse{Verdict: v, LandingURL: snap.LandingURL, Cached: cached})
+}
+
+// V2BatchRequest scores many pages in one call on the v2 surface. The
+// embedded options apply to every page; concurrent items coalesce into
+// shared node-major kernel passes.
+type V2BatchRequest struct {
+	Pages []PageRequest `json:"pages"`
+	ScoreOptions
+	// Workers optionally lowers the fan-out for this request; it is
+	// capped by the server's worker limit.
+	Workers int `json:"workers,omitempty"`
+}
+
+// V2BatchResponse carries per-page verdict documents in request order.
+type V2BatchResponse struct {
+	Results   []V2ScoreResponse `json:"results"`
+	Count     int               `json:"count"`
+	ElapsedUS int64             `json:"elapsed_us"`
+}
+
+// handleScoreBatchV2 is the batch form of /v2/score: the same verdict
+// documents (fingerprints, memo provenance, cache semantics), fanned
+// out over the worker pool and funneled through the coalescer so the
+// batch scores in node-major passes. Like v1, a deadline or
+// cancellation anywhere fails the whole batch — per-item failure
+// isolation is what /v2/score/stream is for.
+func (s *Server) handleScoreBatchV2(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	var req V2BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Pages) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Pages) > s.maxBatch {
+		s.metrics.batchRejected.Add(1)
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds limit %d", len(req.Pages), s.maxBatch))
+		return
+	}
+	opts, cc, err := s.coreOptions(req.ScoreOptions)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	pipe, err := s.pipeline()
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	ctx := r.Context()
+	workers := s.workers
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+
+	snaps := make([]*webpage.Snapshot, len(req.Pages))
+	pageErrs := make([]error, len(req.Pages))
+	if err := pool.ForEachIndexCtx(ctx, len(req.Pages), workers, func(i int) {
+		if berr := s.boundedCtx(ctx, prioBatch, func() { snaps[i], pageErrs[i] = req.Pages[i].snapshot() }); berr != nil {
+			pageErrs[i] = berr
+		}
+	}); err != nil {
+		s.failCtx(w, err)
+		return
+	}
+	for i, err := range pageErrs {
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.failCtx(w, err)
+				return
+			}
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("page %d: %w", i, err))
+			return
+		}
+	}
+
+	out := make([]V2ScoreResponse, len(snaps))
+	provs := make([]core.MemoProvenance, len(snaps))
+	itemErrs := make([]error, len(snaps))
+	if err := pool.ForEachIndexCtx(ctx, len(snaps), workers, func(i int) {
+		v, cached, err := s.scoreSnap(ctx, prioBatch, pipe, snaps[i], core.NewScoreRequest(snaps[i], opts...), cc, &provs[i])
+		if err != nil {
+			itemErrs[i] = err
+			return
+		}
+		if provs[i] != (core.MemoProvenance{}) {
+			v.Memo = &provs[i]
+		}
+		out[i] = V2ScoreResponse{Verdict: v, LandingURL: snaps[i].LandingURL, Cached: cached}
+	}); err != nil {
+		s.failCtx(w, err)
+		return
+	}
+	for _, err := range itemErrs {
+		if err != nil {
+			s.failCtx(w, err)
+			return
+		}
+	}
+	s.metrics.scoreBatch.Observe(time.Since(t0))
+	s.reply(w, http.StatusOK, V2BatchResponse{
+		Results:   out,
+		Count:     len(out),
+		ElapsedUS: time.Since(t0).Microseconds(),
+	})
 }
 
 func (s *Server) handleTargetV2(w http.ResponseWriter, r *http.Request) {
@@ -135,7 +312,7 @@ func (s *Server) handleTargetV2(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if _, err := s.coreOptions(req.ScoreOptions); err != nil {
+	if _, _, err := s.coreOptions(req.ScoreOptions); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}

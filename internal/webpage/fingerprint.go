@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"sync"
+
+	"knowphish/internal/xxh"
 )
 
 // preimagePool recycles the canonical-encoding buffer AppendFingerprint
@@ -40,7 +42,18 @@ func Fingerprint(snap *Snapshot) string {
 // The digest is byte-identical to Fingerprint's.
 func AppendFingerprint(dst []byte, snap *Snapshot) []byte {
 	bp := preimagePool.Get().(*[]byte)
-	b := (*bp)[:0]
+	b := appendPreimage((*bp)[:0], snap)
+	sum := sha256.Sum256(b)
+	if cap(b) <= maxPooledPreimage {
+		*bp = b
+		preimagePool.Put(bp)
+	}
+	return hex.AppendEncode(dst, sum[:])
+}
+
+// appendPreimage appends the canonical content encoding of snap — the
+// shared preimage of the sha256 fingerprint and the XXH64 content key.
+func appendPreimage(b []byte, snap *Snapshot) []byte {
 	b = fpString(b, snap.StartingURL)
 	b = fpList(b, snap.RedirectionChain)
 	b = fpList(b, snap.LoggedLinks)
@@ -54,13 +67,36 @@ func AppendFingerprint(dst []byte, snap *Snapshot) []byte {
 	binary.LittleEndian.PutUint64(counts[0:], uint64(snap.InputCount))
 	binary.LittleEndian.PutUint64(counts[8:], uint64(snap.ImageCount))
 	binary.LittleEndian.PutUint64(counts[16:], uint64(snap.IFrameCount))
-	b = append(b, counts[:]...)
-	sum := sha256.Sum256(b)
+	return append(b, counts[:]...)
+}
+
+// Key128 is a 128-bit content key: two independently seeded XXH64 sums
+// over the same preimage. 64 bits is too narrow for a table that serves
+// verdicts (a collision would hand one page another page's verdict);
+// two seeded sums push the collision probability back to the 128-bit
+// birthday bound at double the hashing cost of one pass — still far
+// below the sha256 identity's.
+type Key128 struct {
+	Hi, Lo uint64
+}
+
+// ContentKey returns the memoization key of a snapshot: XXH64 over the
+// landing URL plus the canonical content preimage. The landing URL is
+// part of this key — unlike the sha256 fingerprint, which identifies
+// "the same recorded content" — because feature extraction reads the
+// landing URL, so two snapshots differing only there must not share
+// memoized stages. The preimage is built in a pooled buffer and hashed
+// on the stack; ContentKey never allocates.
+func ContentKey(snap *Snapshot) Key128 {
+	bp := preimagePool.Get().(*[]byte)
+	b := fpString((*bp)[:0], snap.LandingURL)
+	b = appendPreimage(b, snap)
+	k := Key128{Hi: xxh.Sum64(b, 1), Lo: xxh.Sum64(b, 0)}
 	if cap(b) <= maxPooledPreimage {
 		*bp = b
 		preimagePool.Put(bp)
 	}
-	return hex.AppendEncode(dst, sum[:])
+	return k
 }
 
 // fpString appends one length-delimited string of the canonical

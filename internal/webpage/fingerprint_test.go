@@ -1,0 +1,81 @@
+package webpage
+
+import (
+	"testing"
+
+	"knowphish/internal/racecheck"
+)
+
+func fpSnap() *Snapshot {
+	return &Snapshot{
+		StartingURL:      "http://lure.example/login",
+		LandingURL:       "http://landing.example/phish",
+		RedirectionChain: []string{"http://lure.example/login", "http://landing.example/phish"},
+		LoggedLinks:      []string{"http://cdn.example/app.js"},
+		Title:            "Sign in",
+		Text:             "Enter your password to continue",
+		Copyright:        "© landing.example",
+		HREFLinks:        []string{"http://landing.example/help"},
+		InputCount:       2,
+		ImageCount:       3,
+		IFrameCount:      1,
+		ScreenshotTerms:  []string{"sign", "in"},
+		Language:         "en",
+	}
+}
+
+// TestContentKeyStable pins that equal content yields equal keys and
+// that every identity-bearing field — including the landing URL, which
+// the sha256 fingerprint deliberately excludes — perturbs the key.
+func TestContentKeyStable(t *testing.T) {
+	a, b := fpSnap(), fpSnap()
+	if ContentKey(a) != ContentKey(b) {
+		t.Fatal("identical snapshots produced different content keys")
+	}
+	base := ContentKey(a)
+
+	mut := fpSnap()
+	mut.LandingURL = "http://other.example/phish"
+	if ContentKey(mut) == base {
+		t.Fatal("landing URL change did not change the content key")
+	}
+	mut = fpSnap()
+	mut.Text = "different body"
+	if ContentKey(mut) == base {
+		t.Fatal("text change did not change the content key")
+	}
+	mut = fpSnap()
+	mut.InputCount++
+	if ContentKey(mut) == base {
+		t.Fatal("input count change did not change the content key")
+	}
+}
+
+// TestContentKeyDiffersFromFingerprintIdentity checks the one deliberate
+// divergence from the sha256 identity: two snapshots with identical
+// content but different landing URLs share a fingerprint (same recorded
+// content) yet must not share a content key (features read the landing
+// URL).
+func TestContentKeyDiffersFromFingerprintIdentity(t *testing.T) {
+	a, b := fpSnap(), fpSnap()
+	b.LandingURL = "http://elsewhere.example/"
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("fingerprint unexpectedly covers the landing URL")
+	}
+	if ContentKey(a) == ContentKey(b) {
+		t.Fatal("content key must cover the landing URL")
+	}
+}
+
+// TestContentKeyZeroAllocs pins the memo-key path off the heap: it runs
+// per request in front of every memo lookup.
+func TestContentKeyZeroAllocs(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	snap := fpSnap()
+	ContentKey(snap) // warm the pool
+	if n := testing.AllocsPerRun(200, func() { ContentKey(snap) }); n != 0 {
+		t.Fatalf("ContentKey allocates %.1f per run, want 0", n)
+	}
+}

@@ -1,0 +1,86 @@
+// Package xxh is a dependency-free implementation of the XXH64 hash
+// (Yann Collet's xxHash, the 64-bit variant) used for content-addressed
+// memoization keys. The memo tables of internal/coalesce hash
+// canonicalized page bytes and feature-vector bytes on every request,
+// so the fingerprint must be computed at memory bandwidth — XXH64 runs
+// an order of magnitude faster than the sha256 identity the verdict
+// store uses, and memo keys never leave the process, so cryptographic
+// collision resistance buys nothing here. Collision safety for table
+// keys comes from using two independently seeded sums as a 128-bit key
+// (see internal/webpage.ContentKey).
+//
+// The implementation follows the XXH64 specification exactly:
+// Sum64(b, 0) matches the reference vectors (pinned in xxh_test.go).
+package xxh
+
+import "encoding/binary"
+
+// XXH64 primes.
+const (
+	prime1 = 11400714785074694791
+	prime2 = 14029467366897019727
+	prime3 = 1609587929392839161
+	prime4 = 9650029242287828579
+	prime5 = 2870177450012600261
+)
+
+// Sum64 returns the XXH64 hash of b under the given seed.
+func Sum64(b []byte, seed uint64) uint64 {
+	n := uint64(len(b))
+	var h uint64
+	if len(b) >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = rol(v1, 1) + rol(v2, 7) + rol(v3, 12) + rol(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+	h += n
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b[0:8]))
+		h = rol(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[0:4])) * prime1
+		h = rol(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = rol(h, 11) * prime1
+	}
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	return rol(acc, 31) * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	acc ^= round(0, val)
+	return acc*prime1 + prime4
+}
+
+func rol(x uint64, k uint) uint64 {
+	return x<<k | x>>(64-k)
+}
